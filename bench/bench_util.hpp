@@ -1,0 +1,78 @@
+// Shared helpers for the figure-reproduction harnesses: formatted tables,
+// ASCII bar charts, and a one-call workflow runner.
+//
+// Every harness prints (a) the configuration it reproduces, (b) the measured
+// rows/series in the same structure as the paper's figure, and (c) the
+// paper's published values next to ours where the paper states them. We
+// reproduce *shape* (orderings, ratios, crossovers), not absolute seconds —
+// the substrate is a calibrated simulator, not the authors' testbed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/profiles.hpp"
+#include "transports/factory.hpp"
+#include "workflow/runner.hpp"
+#include "workflow/zipper_coupling.hpp"
+
+namespace zipper::bench {
+
+inline bool full_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--full") return true;
+  }
+  return false;
+}
+
+inline void title(const std::string& what, const std::string& paper_context) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("%s\n", paper_context.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string bar(double value, double vmax, int width = 42) {
+  const int n = vmax > 0 ? static_cast<int>(value / vmax * width + 0.5) : 0;
+  return std::string(static_cast<std::size_t>(std::min(n, width)), '#');
+}
+
+struct RunSpec {
+  workflow::ClusterSpec cluster = workflow::ClusterSpec::bridges();
+  int producers = 8;
+  int consumers = 4;
+  apps::WorkloadProfile profile;
+  transports::TransportParams params;
+  core::dsim::SimZipperConfig zipper;
+  bool record_traces = false;
+};
+
+struct RunOutput {
+  workflow::RunResult result;
+  std::unique_ptr<workflow::Cluster> cluster;  // alive for counters/traces
+};
+
+/// Runs `method` (or simulation-only when method == nullopt).
+inline RunOutput run_one(const RunSpec& spec,
+                         std::optional<transports::Method> method) {
+  const int servers =
+      method ? transports::servers_for(*method, spec.producers) : 0;
+  workflow::Layout layout{spec.producers, method ? spec.consumers : 0, servers};
+  auto out = RunOutput{};
+  out.cluster = std::make_unique<workflow::Cluster>(spec.cluster, layout);
+  out.cluster->recorder.set_enabled(spec.record_traces);
+  std::unique_ptr<workflow::Coupling> coupling;
+  if (method) {
+    coupling = transports::make_coupling(*method, *out.cluster, spec.profile,
+                                         spec.params, spec.zipper);
+  }
+  out.result = workflow::run_workflow(*out.cluster, spec.profile, coupling.get());
+  return out;
+}
+
+}  // namespace zipper::bench

@@ -1,0 +1,68 @@
+// Shared sweep for Figures 14 and 15: three synthetic applications, weak
+// scaling over the paper's core counts {84, 168, 336, 588, 1176, 2352}
+// (2 producer cores per analysis core), message-passing-only vs the
+// concurrent message+file transfer optimization.
+#pragma once
+
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace zipper::bench {
+
+struct ConcurrentPoint {
+  int cores;
+  bool concurrent;           // writer thread enabled?
+  double sim_s;              // pure compute (per producer)
+  double stall_s;            // producer blocked on a full buffer
+  double transfer_s;         // sender-thread busy time
+  double wallclock_s;        // producer process wall time
+  double steal_fraction;     // blocks via the file path
+  std::uint64_t xmit_wait;   // sum over producer hosts
+};
+
+inline ConcurrentPoint run_concurrent_point(apps::Complexity c, int cores,
+                                            bool concurrent, int steps,
+                                            std::uint64_t block_bytes) {
+  const int P = cores * 2 / 3;
+  const int Q = cores / 3;
+  RunSpec spec;
+  spec.cluster = workflow::ClusterSpec::bridges();
+  // Weak-scaled PFS slice, as in fig13: the full machine's 24 GB/s is shared
+  // by all jobs; our job's share grows with its allocation.
+  spec.cluster.pfs.num_osts = std::max(
+      2, static_cast<int>(24.0 * P / 1568.0 + 0.5));
+  spec.producers = P;
+  spec.consumers = Q;
+  spec.profile = apps::synthetic_profile(c, block_bytes, steps);
+  spec.zipper.block_bytes = block_bytes;
+  spec.zipper.producer_buffer_blocks = 32;
+  spec.zipper.enable_steal = concurrent;
+
+  workflow::Layout layout{P, Q, 0};
+  workflow::Cluster cluster(spec.cluster, layout);
+  cluster.recorder.set_enabled(false);
+  workflow::ZipperCoupling coupling(cluster, spec.profile, spec.zipper);
+  const auto r = workflow::run_workflow(cluster, spec.profile, &coupling);
+  const auto& zs = coupling.stats();
+
+  ConcurrentPoint out;
+  out.cores = cores;
+  out.concurrent = concurrent;
+  out.sim_s = steps * sim::to_seconds(spec.profile.compute_per_step());
+  out.stall_s = sim::to_seconds(zs.producer_stall) / P;
+  out.transfer_s = sim::to_seconds(zs.sender_busy) / P;
+  out.wallclock_s = r.producers_done_s;
+  out.steal_fraction =
+      zs.blocks_total ? static_cast<double>(zs.blocks_stolen) / zs.blocks_total : 0;
+  out.xmit_wait = cluster.producer_xmit_wait();
+  return out;
+}
+
+inline const std::vector<int>& concurrent_core_counts(bool full) {
+  static const std::vector<int> kFull{84, 168, 336, 588, 1176, 2352};
+  static const std::vector<int> kQuick{84, 168, 336, 588};
+  return full ? kFull : kQuick;
+}
+
+}  // namespace zipper::bench

@@ -1,0 +1,165 @@
+// Google-benchmark micro benches for the building blocks: the DES engine's
+// event throughput, the real producer buffer, the block policy, the fabric
+// transfer path, and the real computational kernels (LBM step, MD step,
+// moment/MSD analysis).
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "apps/analysis/moments.hpp"
+#include "apps/analysis/msd.hpp"
+#include "apps/lbm/lbm_solver.hpp"
+#include "apps/md/lj_md.hpp"
+#include "apps/synthetic.hpp"
+#include "common/rng.hpp"
+#include "core/rt/producer_buffer.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+
+using namespace zipper;
+
+// ----------------------------------------------------------- DES engine ----
+
+static void BM_SimEventThroughput(benchmark::State& state) {
+  const int n_processes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (int i = 0; i < n_processes; ++i) {
+      s.spawn([](sim::Simulation& sim) -> sim::Task {
+        for (int k = 0; k < 100; ++k) co_await sim.delay(10);
+      }(s));
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * n_processes * 100);
+}
+BENCHMARK(BM_SimEventThroughput)->Arg(64)->Arg(1024)->Arg(8192);
+
+static void BM_FabricTransfer(benchmark::State& state) {
+  const int messages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    net::FabricConfig cfg;
+    cfg.num_hosts = 64;
+    cfg.hosts_per_leaf = 16;
+    net::Fabric f(s, cfg);
+    for (int i = 0; i < messages; ++i) {
+      s.spawn(f.transfer(i % 32, 32 + i % 32, 1 << 20));
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * messages);
+}
+BENCHMARK(BM_FabricTransfer)->Arg(256)->Arg(4096);
+
+// ------------------------------------------------------- producer buffer ----
+
+static void BM_ProducerBufferPushPop(benchmark::State& state) {
+  core::rt::ProducerBuffer buf(core::StealPolicy{1024, 0.5, false});
+  auto block = std::make_shared<core::Block>();
+  block->payload.resize(1024);
+  for (auto _ : state) {
+    buf.push(block);
+    benchmark::DoNotOptimize(buf.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProducerBufferPushPop);
+
+static void BM_ProducerBufferContended(benchmark::State& state) {
+  for (auto _ : state) {
+    core::rt::ProducerBuffer buf(core::StealPolicy{64, 0.5, true});
+    constexpr int kBlocks = 2000;
+    std::thread sender([&] {
+      for (int i = 0; i < kBlocks;) {
+        if (buf.pop()) ++i;
+      }
+    });
+    std::thread writer([&] {
+      while (buf.steal()) {
+      }
+    });
+    auto block = std::make_shared<core::Block>();
+    for (int i = 0; i < kBlocks * 2; ++i) buf.push(block);
+    buf.close();
+    sender.join();
+    writer.join();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_ProducerBufferContended);
+
+// -------------------------------------------------------------- kernels ----
+
+static void BM_LbmStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  apps::lbm::Solver solver({n, n, n}, {0.8, {1e-6, 0, 0}});
+  for (auto _ : state) {
+    solver.step();
+    benchmark::DoNotOptimize(solver.rho().data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(solver.dims().cells()));
+}
+BENCHMARK(BM_LbmStep)->Arg(16)->Arg(32);
+
+static void BM_MdStep(benchmark::State& state) {
+  apps::md::MdParams p;
+  p.cells_per_side = static_cast<int>(state.range(0));
+  apps::md::LjMd md(p);
+  for (auto _ : state) {
+    md.step();
+    benchmark::DoNotOptimize(md.positions().data());
+  }
+  state.SetItemsProcessed(state.iterations() * md.num_atoms());
+}
+BENCHMARK(BM_MdStep)->Arg(4)->Arg(6);
+
+static void BM_MomentAnalysis(benchmark::State& state) {
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)));
+  common::Xoshiro256 rng(1);
+  for (double& x : data) x = rng.uniform();
+  for (auto _ : state) {
+    apps::analysis::MomentAccumulator acc(4);
+    acc.add_span(data);
+    benchmark::DoNotOptimize(acc.kurtosis());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size() * sizeof(double)));
+}
+BENCHMARK(BM_MomentAnalysis)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_MsdAnalysis(benchmark::State& state) {
+  std::vector<double> now(static_cast<std::size_t>(state.range(0)) * 3);
+  std::vector<double> ref(now.size());
+  common::Xoshiro256 rng(2);
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    ref[i] = rng.uniform();
+    now[i] = ref[i] + rng.uniform(-0.5, 0.5);
+  }
+  for (auto _ : state) {
+    apps::analysis::MsdAccumulator acc;
+    acc.add_block(now, ref);
+    benchmark::DoNotOptimize(acc.value());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MsdAnalysis)->Arg(1 << 14)->Arg(1 << 18);
+
+static void BM_SyntheticProducer(benchmark::State& state) {
+  std::vector<double> block(static_cast<std::size_t>(state.range(1)));
+  const auto c = static_cast<apps::Complexity>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::generate_block(c, block, seed++));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(block.size() * sizeof(double)));
+}
+BENCHMARK(BM_SyntheticProducer)
+    ->Args({0, 1 << 16})
+    ->Args({1, 1 << 16})
+    ->Args({2, 1 << 14});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Shared machinery for the weak-scaling figures (16: CFD, 18: LAMMPS) on the
+// Stampede2 model: core counts {204..13056}, 2/3 simulation + 1/3 analysis,
+// methods {MPI-IO, Flexpath, Decaf, Zipper} vs the simulation-only bound.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "transports/decaf.hpp"
+
+namespace zipper::bench {
+
+inline const std::vector<int>& scaling_core_counts(bool full) {
+  static const std::vector<int> kFull{204, 408, 816, 1632, 3264, 6528, 13056};
+  static const std::vector<int> kQuick{204, 408, 816, 1632, 3264};
+  return full ? kFull : kQuick;
+}
+
+struct ScalingPoint {
+  double end_to_end_s = 0;
+  bool crashed = false;     // Decaf int-overflow emulation
+  std::string crash_note;
+};
+
+inline ScalingPoint run_scaling_point(
+    const apps::WorkloadProfile& profile, int cores,
+    std::optional<transports::Method> method,
+    const transports::TransportParams& params,
+    const core::dsim::SimZipperConfig& zipper_cfg) {
+  const int P = cores * 2 / 3;
+  const int Q = cores / 3;
+  RunSpec spec;
+  spec.cluster = workflow::ClusterSpec::stampede2();
+  // Weak-scaled PFS slice (same reasoning as fig13/14).
+  spec.cluster.pfs.num_osts =
+      std::max(2, static_cast<int>(32.0 * P / 8704.0 + 0.5));
+  spec.producers = P;
+  spec.consumers = Q;
+  spec.profile = profile;
+  spec.params = params;
+  spec.zipper = zipper_cfg;
+
+  ScalingPoint out;
+  try {
+    auto run = run_one(spec, method);
+    out.end_to_end_s = run.result.end_to_end_s;
+  } catch (const transports::DecafCountOverflow& e) {
+    out.crashed = true;
+    out.crash_note = e.what();
+  }
+  return out;
+}
+
+inline void print_scaling_table(
+    const std::vector<int>& cores,
+    const std::vector<std::pair<std::string, std::vector<ScalingPoint>>>& series) {
+  std::printf("%8s", "cores");
+  for (const auto& [name, _] : series) std::printf(" %16s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    std::printf("%8d", cores[i]);
+    for (const auto& [name, pts] : series) {
+      if (pts[i].crashed) {
+        std::printf(" %16s", "CRASH(int32)");
+      } else {
+        std::printf(" %16.1f", pts[i].end_to_end_s);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace zipper::bench

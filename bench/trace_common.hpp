@@ -1,0 +1,48 @@
+// Shared machinery for the trace-snapshot figures (4, 5, 6, 17, 19):
+// run a workflow with tracing on, render an ASCII Gantt window for a few
+// ranks, and summarize per-phase times the way the paper's TAU/ITAC
+// screenshots do.
+#pragma once
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "trace/recorder.hpp"
+
+namespace zipper::bench {
+
+inline void print_phase_summary(const workflow::Cluster& cl, int producers,
+                                int steps) {
+  const auto& rec = cl.recorder;
+  const double inv = 1.0 / producers;
+  using trace::Cat;
+  std::printf("\nper-producer phase totals over %d steps (averaged):\n", steps);
+  const Cat cats[] = {Cat::kCollision, Cat::kStreaming, Cat::kUpdate, Cat::kPut,
+                      Cat::kLock,      Cat::kWaitall,   Cat::kStall,  Cat::kTransfer};
+  for (Cat c : cats) {
+    const double t = sim::to_seconds(rec.total(c)) * inv;
+    if (t > 1e-6) {
+      std::printf("  %-12s %8.3f s  (%6.3f s/step)\n",
+                  std::string(trace::cat_name(c)).c_str(), t, t / steps);
+    }
+  }
+}
+
+inline void print_gantt_window(const workflow::Cluster& cl,
+                               const std::vector<std::int32_t>& ranks,
+                               double t0_s, double t1_s) {
+  std::printf("\ntrace snapshot [%.2f s, %.2f s], %zu ranks:\n", t0_s, t1_s,
+              ranks.size());
+  std::printf("%s", trace::render_gantt(cl.recorder, ranks, sim::from_seconds(t0_s),
+                                        sim::from_seconds(t1_s), 100)
+                        .c_str());
+  std::printf("%s\n",
+              trace::gantt_legend({trace::Cat::kCollision, trace::Cat::kStreaming,
+                                   trace::Cat::kUpdate, trace::Cat::kPut,
+                                   trace::Cat::kLock, trace::Cat::kWaitall,
+                                   trace::Cat::kStall, trace::Cat::kAnalysis,
+                                   trace::Cat::kGet})
+                  .c_str());
+}
+
+}  // namespace zipper::bench

@@ -1,0 +1,96 @@
+// In-situ CFD workflow: a real D3Q19 lattice-Boltzmann channel-flow
+// simulation coupled through the Zipper runtime to an n-th-moment turbulence
+// analysis — the paper's CFD workflow at laptop scale.
+//
+// The simulation domain is decomposed along x across producer threads; each
+// step every producer runs collision/streaming/update on its own subdomain
+// and ships the velocity field as fine-grain blocks. Analysis threads fold
+// arriving blocks into velocity-moment accumulators (E(u^n), n<=4), exactly
+// the statistics the paper's turbulence analysis computes.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/analysis/moments.hpp"
+#include "apps/lbm/lbm_solver.hpp"
+#include "core/rt/runtime.hpp"
+
+using namespace zipper;
+using core::BlockId;
+
+int main() {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr int kSteps = 30;
+  constexpr std::uint64_t kBlockBytes = 256 * 1024;
+
+  core::rt::Config cfg;
+  cfg.producer_buffer_blocks = 8;
+  core::rt::Runtime zipper(kProducers, kConsumers, cfg);
+
+  // --- simulation: one LBM subdomain per producer thread --------------------
+  std::vector<std::thread> sims;
+  for (int p = 0; p < kProducers; ++p) {
+    sims.emplace_back([&, p] {
+      apps::lbm::Params params;
+      params.tau = 0.9;
+      params.force = {2e-6, 0, 0};  // body force drives the channel flow
+      apps::lbm::Solver solver({32, 24, 24}, params);
+      std::vector<std::byte> field(solver.field_bytes());
+
+      for (int step = 0; step < kSteps; ++step) {
+        solver.step();  // collision + streaming + update
+        solver.serialize_velocity(field);
+        // Fine-grain blocks out of the step's velocity field.
+        int index = 0;
+        for (std::size_t off = 0; off < field.size(); off += kBlockBytes) {
+          const std::size_t n = std::min<std::size_t>(kBlockBytes, field.size() - off);
+          zipper.producer(p).write(BlockId{step, p, index++},
+                                   std::span<const std::byte>(field).subspan(off, n),
+                                   off);
+        }
+      }
+      zipper.producer(p).finish();
+    });
+  }
+
+  // --- analysis: velocity moments, folded in block by block -----------------
+  std::vector<apps::analysis::MomentAccumulator> ux_moments(
+      static_cast<std::size_t>(kConsumers), apps::analysis::MomentAccumulator(4));
+  std::vector<std::thread> analysts;
+  for (int c = 0; c < kConsumers; ++c) {
+    analysts.emplace_back([&, c] {
+      auto& acc = ux_moments[static_cast<std::size_t>(c)];
+      while (auto block = zipper.consumer(c).read()) {
+        const auto* v = reinterpret_cast<const double*>(block->payload.data());
+        const std::size_t n = block->payload.size() / sizeof(double);
+        for (std::size_t i = 0; i + 2 < n; i += 3) acc.add(v[i]);  // u_x
+      }
+    });
+  }
+
+  for (auto& t : sims) t.join();
+  for (auto& t : analysts) t.join();
+
+  apps::analysis::MomentAccumulator total(4);
+  for (const auto& acc : ux_moments) total.merge(acc);
+
+  std::printf("in-situ CFD turbulence workflow: %d LBM subdomains x %d steps\n",
+              kProducers, kSteps);
+  std::printf("velocity samples analyzed: %llu\n",
+              static_cast<unsigned long long>(total.count()));
+  std::printf("E(u_x)   = %.6e  (mean streamwise velocity, driven by the force)\n",
+              total.raw_moment(1));
+  std::printf("E(u_x^2) = %.6e\n", total.raw_moment(2));
+  std::printf("E(u_x^4) = %.6e  (n=4 moment, as in the paper's analysis)\n",
+              total.raw_moment(4));
+  std::printf("variance = %.6e, kurtosis = %.3f\n", total.variance(),
+              total.kurtosis());
+
+  if (total.raw_moment(1) <= 0.0) {
+    std::printf("ERROR: channel flow should have positive mean u_x\n");
+    return 1;
+  }
+  std::printf("OK: flow accelerating along +x as expected.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// In-situ molecular-dynamics workflow: a real Lennard-Jones melt coupled
+// through the Zipper runtime to a mean-squared-displacement analysis — the
+// paper's LAMMPS workflow at laptop scale.
+//
+// Each producer thread owns an independent LJ system (as an MD rank owns its
+// spatial domain) and streams unwrapped atom positions every few steps; the
+// analysis threads compute the MSD against the initial configuration,
+// watching the crystal melt into a liquid.
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apps/analysis/msd.hpp"
+#include "apps/md/lj_md.hpp"
+#include "core/rt/runtime.hpp"
+
+using namespace zipper;
+using core::BlockId;
+
+int main() {
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 2;
+  constexpr int kSteps = 120;
+  constexpr int kOutputEvery = 20;  // one position frame per 20 MD steps
+
+  core::rt::Config cfg;
+  cfg.producer_buffer_blocks = 8;
+  cfg.mode = core::rt::Mode::kPreserve;  // keep trajectories, like archiving runs
+  core::rt::Runtime zipper(kProducers, kConsumers, cfg);
+
+  // Reference (t=0) positions per producer, shared with the analysis side.
+  std::vector<std::vector<double>> reference(static_cast<std::size_t>(kProducers));
+
+  std::vector<std::thread> sims;
+  for (int p = 0; p < kProducers; ++p) {
+    apps::md::MdParams params;
+    params.cells_per_side = 4;  // 256 atoms per rank
+    params.seed = 1000 + static_cast<std::uint64_t>(p);
+    auto md = std::make_shared<apps::md::LjMd>(params);
+    reference[static_cast<std::size_t>(p)].assign(md->positions_unwrapped().begin(),
+                                                  md->positions_unwrapped().end());
+    sims.emplace_back([&, p, md] {
+      std::vector<std::byte> frame(md->frame_bytes());
+      int out_index = 0;
+      for (int step = 1; step <= kSteps; ++step) {
+        md->step();
+        if (step % kOutputEvery == 0) {
+          md->serialize_positions(frame);
+          zipper.producer(p).write(BlockId{out_index++, p, 0}, frame);
+        }
+      }
+      zipper.producer(p).finish();
+    });
+  }
+
+  // --- analysis: MSD per output frame ---------------------------------------
+  std::mutex m;
+  std::map<int, apps::analysis::MsdAccumulator> msd_by_frame;
+  std::vector<std::thread> analysts;
+  for (int c = 0; c < kConsumers; ++c) {
+    analysts.emplace_back([&, c] {
+      while (auto block = zipper.consumer(c).read()) {
+        const int frame = block->header.id.step;
+        const int p = block->header.id.producer;
+        std::span<const double> now(
+            reinterpret_cast<const double*>(block->payload.data()),
+            block->payload.size() / sizeof(double));
+        std::lock_guard lk(m);
+        msd_by_frame[frame].add_block(now, reference[static_cast<std::size_t>(p)]);
+      }
+    });
+  }
+
+  for (auto& t : sims) t.join();
+  for (auto& t : analysts) t.join();
+  zipper.wait_idle();
+
+  std::printf("in-situ MD/MSD workflow: %d LJ systems (melt), %d steps, frame "
+              "every %d steps (Preserve mode)\n",
+              kProducers, kSteps, kOutputEvery);
+  std::printf("%8s %14s\n", "MD step", "MSD (sigma^2)");
+  double prev = 0.0;
+  bool monotone = true;
+  for (const auto& [frame, acc] : msd_by_frame) {
+    std::printf("%8d %14.4f\n", (frame + 1) * kOutputEvery, acc.value());
+    monotone = monotone && acc.value() >= prev * 0.8;  // liquid diffuses
+    prev = acc.value();
+  }
+  std::uint64_t preserved = 0;
+  for (int c = 0; c < kConsumers; ++c) {
+    preserved += zipper.consumer(c).stats().blocks_preserved;
+  }
+  std::printf("frames persisted by the Preserve-mode output thread: %llu\n",
+              static_cast<unsigned long long>(preserved));
+  if (!monotone || prev <= 0) {
+    std::printf("ERROR: MSD should grow as the crystal melts\n");
+    return 1;
+  }
+  std::printf("OK: MSD grows with time -- the crystal melted into a liquid.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// n-th moment analysis of a velocity field — the paper's turbulence analysis.
+//
+// The CFD workflow computes E(u(x,t)^n): raw moments of the velocity
+// distribution over all spatial points. MomentAccumulator keeps streaming
+// power sums so blocks can be folded in as they arrive (dataflow-driven, no
+// need to hold a whole step in memory) and partial accumulators from
+// different analysis ranks merge associatively — exactly what the paper's
+// "asynchronous reduction operations" need.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+
+namespace zipper::apps::analysis {
+
+class MomentAccumulator {
+ public:
+  static constexpr int kMaxOrder = 8;
+
+  explicit MomentAccumulator(int order = 4) : order_(order) {
+    assert(order >= 1 && order <= kMaxOrder);
+    sums_.fill(0.0);
+  }
+
+  int order() const noexcept { return order_; }
+  std::uint64_t count() const noexcept { return n_; }
+
+  void add(double x) {
+    ++n_;
+    double p = x;
+    for (int k = 1; k <= order_; ++k) {
+      sums_[static_cast<std::size_t>(k)] += p;
+      p *= x;
+    }
+  }
+
+  void add_span(std::span<const double> xs) {
+    for (double x : xs) add(x);
+  }
+
+  void merge(const MomentAccumulator& other) {
+    assert(order_ == other.order_);
+    n_ += other.n_;
+    for (int k = 1; k <= order_; ++k) {
+      sums_[static_cast<std::size_t>(k)] += other.sums_[static_cast<std::size_t>(k)];
+    }
+  }
+
+  /// E(x^k), k in [1, order].
+  double raw_moment(int k) const {
+    assert(k >= 1 && k <= order_);
+    return n_ ? sums_[static_cast<std::size_t>(k)] / static_cast<double>(n_) : 0.0;
+  }
+
+  /// E((x - E x)^k) via the binomial expansion over raw moments.
+  double central_moment(int k) const {
+    assert(k >= 1 && k <= order_);
+    if (n_ == 0) return 0.0;
+    const double mu = raw_moment(1);
+    // sum_{j=0..k} C(k,j) * E(x^j) * (-mu)^{k-j},  E(x^0) = 1.
+    double result = 0.0;
+    double binom = 1.0;  // C(k, 0)
+    for (int j = 0; j <= k; ++j) {
+      const double raw = (j == 0) ? 1.0 : raw_moment(j);
+      result += binom * raw * std::pow(-mu, k - j);
+      binom = binom * (k - j) / (j + 1);
+    }
+    return result;
+  }
+
+  double mean() const { return raw_moment(1); }
+  double variance() const { return order_ >= 2 ? central_moment(2) : 0.0; }
+  /// Standardized kurtosis E((x-mu)^4)/sigma^4 (the n=4 analysis in Table 1).
+  double kurtosis() const {
+    const double v = variance();
+    return v > 0 ? central_moment(4) / (v * v) : 0.0;
+  }
+
+ private:
+  int order_;
+  std::uint64_t n_ = 0;
+  std::array<double, kMaxOrder + 1> sums_{};  // index k = sum of x^k
+};
+
+}  // namespace zipper::apps::analysis

@@ -1,0 +1,45 @@
+// Mean-squared displacement — the paper's LAMMPS-side analysis.
+//
+// MSD(t) = < |r_i(t) - r_i(0)|^2 > over atoms, computed on *unwrapped*
+// coordinates. The accumulator form lets analysis ranks fold in position
+// blocks (subsets of atoms) as they arrive and merge partial results.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+namespace zipper::apps::analysis {
+
+class MsdAccumulator {
+ public:
+  /// Folds in a block of atoms: `now` and `ref` are interleaved xyz spans of
+  /// equal length (3 * atoms).
+  void add_block(std::span<const double> now, std::span<const double> ref) {
+    assert(now.size() == ref.size());
+    assert(now.size() % 3 == 0);
+    for (std::size_t i = 0; i < now.size(); i += 3) {
+      const double dx = now[i] - ref[i];
+      const double dy = now[i + 1] - ref[i + 1];
+      const double dz = now[i + 2] - ref[i + 2];
+      sum_sq_ += dx * dx + dy * dy + dz * dz;
+    }
+    atoms_ += now.size() / 3;
+  }
+
+  void merge(const MsdAccumulator& other) {
+    sum_sq_ += other.sum_sq_;
+    atoms_ += other.atoms_;
+  }
+
+  std::uint64_t atoms() const noexcept { return atoms_; }
+  double value() const noexcept {
+    return atoms_ ? sum_sq_ / static_cast<double>(atoms_) : 0.0;
+  }
+
+ private:
+  double sum_sq_ = 0.0;
+  std::uint64_t atoms_ = 0;
+};
+
+}  // namespace zipper::apps::analysis

@@ -1,0 +1,166 @@
+#include "apps/lbm/lbm_solver.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace zipper::apps::lbm {
+
+namespace {
+
+// D3Q19 velocity set: rest, 6 axis-aligned, 12 edge diagonals.
+constexpr std::array<std::array<int, 3>, Solver::kQ> kC{{
+    {0, 0, 0},
+    {1, 0, 0},  {-1, 0, 0},  {0, 1, 0},  {0, -1, 0},  {0, 0, 1},  {0, 0, -1},
+    {1, 1, 0},  {-1, -1, 0}, {1, -1, 0}, {-1, 1, 0},
+    {1, 0, 1},  {-1, 0, -1}, {1, 0, -1}, {-1, 0, 1},
+    {0, 1, 1},  {0, -1, -1}, {0, 1, -1}, {0, -1, 1},
+}};
+
+constexpr double kW0 = 1.0 / 3.0;
+constexpr double kWa = 1.0 / 18.0;
+constexpr double kWd = 1.0 / 36.0;
+constexpr std::array<double, Solver::kQ> kW{{
+    kW0,
+    kWa, kWa, kWa, kWa, kWa, kWa,
+    kWd, kWd, kWd, kWd, kWd, kWd, kWd, kWd, kWd, kWd, kWd, kWd,
+}};
+
+constexpr std::array<int, Solver::kQ> kOpp{{
+    0,
+    2, 1, 4, 3, 6, 5,
+    8, 7, 10, 9,
+    12, 11, 14, 13,
+    16, 15, 18, 17,
+}};
+
+}  // namespace
+
+const std::array<std::array<int, 3>, Solver::kQ>& Solver::velocities() noexcept {
+  return kC;
+}
+const std::array<double, Solver::kQ>& Solver::weights() noexcept { return kW; }
+int Solver::opposite(int q) noexcept { return kOpp[static_cast<std::size_t>(q)]; }
+
+Solver::Solver(Dims dims, Params params)
+    : dims_(dims), params_(params), cells_(dims.cells()) {
+  assert(dims.nx >= 2 && dims.ny >= 2 && dims.nz >= 2);
+  for (int q = 0; q < kQ; ++q) {
+    // Uniform fluid at rest, rho = 1: f_q = w_q.
+    f_[static_cast<std::size_t>(q)].assign(cells_, kW[static_cast<std::size_t>(q)]);
+    f_post_[static_cast<std::size_t>(q)].assign(cells_, 0.0);
+  }
+  rho_.assign(cells_, 1.0);
+  for (auto& comp : u_) comp.assign(cells_, 0.0);
+}
+
+void Solver::collide() {
+  const double inv_tau = 1.0 / params_.tau;
+  const std::array<double, 3> g = params_.force;
+  for (std::size_t i = 0; i < cells_; ++i) {
+    const double rho = rho_[i];
+    // Velocity-shifted equilibrium (Shan-Chen style forcing): the effective
+    // equilibrium velocity absorbs tau * F / rho.
+    const double ux = u_[0][i] + params_.tau * g[0] / rho;
+    const double uy = u_[1][i] + params_.tau * g[1] / rho;
+    const double uz = u_[2][i] + params_.tau * g[2] / rho;
+    const double usq = ux * ux + uy * uy + uz * uz;
+    for (int q = 0; q < kQ; ++q) {
+      const auto& c = kC[static_cast<std::size_t>(q)];
+      const double cu = c[0] * ux + c[1] * uy + c[2] * uz;
+      const double feq = kW[static_cast<std::size_t>(q)] * rho *
+                         (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq);
+      const std::size_t qi = static_cast<std::size_t>(q);
+      f_post_[qi][i] = f_[qi][i] - inv_tau * (f_[qi][i] - feq);
+    }
+  }
+}
+
+void Solver::stream() {
+  const int nx = dims_.nx, ny = dims_.ny, nz = dims_.nz;
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const std::size_t dst = index(x, y, z);
+        for (int q = 0; q < kQ; ++q) {
+          const auto& c = kC[static_cast<std::size_t>(q)];
+          const int sy = y - c[1];
+          if (sy < 0 || sy >= ny) {
+            // Half-way bounce-back at the channel walls: the particle that
+            // would have arrived from inside the wall is the one we sent
+            // toward it last step, reversed.
+            f_[static_cast<std::size_t>(q)][dst] =
+                f_post_[static_cast<std::size_t>(kOpp[static_cast<std::size_t>(q)])][dst];
+            continue;
+          }
+          const int sx = (x - c[0] + nx) % nx;
+          const int sz = (z - c[2] + nz) % nz;
+          f_[static_cast<std::size_t>(q)][dst] =
+              f_post_[static_cast<std::size_t>(q)][index(sx, sy, sz)];
+        }
+      }
+    }
+  }
+}
+
+void Solver::update_macroscopic() {
+  for (std::size_t i = 0; i < cells_; ++i) {
+    double rho = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+    for (int q = 0; q < kQ; ++q) {
+      const double fq = f_[static_cast<std::size_t>(q)][i];
+      rho += fq;
+      mx += fq * kC[static_cast<std::size_t>(q)][0];
+      my += fq * kC[static_cast<std::size_t>(q)][1];
+      mz += fq * kC[static_cast<std::size_t>(q)][2];
+    }
+    rho_[i] = rho;
+    u_[0][i] = mx / rho;
+    u_[1][i] = my / rho;
+    u_[2][i] = mz / rho;
+  }
+}
+
+double Solver::total_mass() const {
+  double m = 0.0;
+  for (int q = 0; q < kQ; ++q) {
+    for (double v : f_[static_cast<std::size_t>(q)]) m += v;
+  }
+  return m;
+}
+
+std::array<double, 3> Solver::total_momentum() const {
+  std::array<double, 3> p{0, 0, 0};
+  for (int q = 0; q < kQ; ++q) {
+    double sum = 0.0;
+    for (double v : f_[static_cast<std::size_t>(q)]) sum += v;
+    for (int d = 0; d < 3; ++d) {
+      p[static_cast<std::size_t>(d)] += sum * kC[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)];
+    }
+  }
+  return p;
+}
+
+std::vector<double> Solver::ux_profile() const {
+  std::vector<double> profile(static_cast<std::size_t>(dims_.ny), 0.0);
+  const double norm = 1.0 / (static_cast<double>(dims_.nx) * dims_.nz);
+  for (int z = 0; z < dims_.nz; ++z) {
+    for (int y = 0; y < dims_.ny; ++y) {
+      for (int x = 0; x < dims_.nx; ++x) {
+        profile[static_cast<std::size_t>(y)] += u_[0][index(x, y, z)] * norm;
+      }
+    }
+  }
+  return profile;
+}
+
+std::size_t Solver::serialize_velocity(std::span<std::byte> out) const {
+  assert(out.size() >= field_bytes());
+  double* dst = reinterpret_cast<double*>(out.data());
+  for (std::size_t i = 0; i < cells_; ++i) {
+    dst[3 * i + 0] = u_[0][i];
+    dst[3 * i + 1] = u_[1][i];
+    dst[3 * i + 2] = u_[2][i];
+  }
+  return field_bytes();
+}
+
+}  // namespace zipper::apps::lbm

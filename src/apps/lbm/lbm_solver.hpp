@@ -1,0 +1,108 @@
+// D3Q19 lattice-Boltzmann (BGK) solver for 3-D channel flow.
+//
+// This is the real computational kernel standing in for the paper's CFD
+// application (lattice-Boltzmann simulation of viscous flow in a 3-D
+// microchannel, Zhu et al.). Per time step it runs the same three phases the
+// paper's traces show — collision (CL), streaming (ST), update (UD) — and
+// exports the velocity field as the per-step data block stream the analysis
+// side consumes.
+//
+// Geometry: channel between two no-slip plates at y = -1/2 and y = ny - 1/2
+// (half-way bounce-back), periodic in x and z, driven by a constant body
+// force along +x. With force g and viscosity nu = (tau - 1/2)/3 the steady
+// solution is the plane Poiseuille profile
+//     u_x(y) = g/(2 nu) * (y + 1/2) (ny - 1/2 - y),
+// which the test suite checks against.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace zipper::apps::lbm {
+
+struct Dims {
+  int nx = 16;
+  int ny = 16;
+  int nz = 16;
+  std::size_t cells() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+};
+
+struct Params {
+  double tau = 0.8;                          // BGK relaxation time
+  std::array<double, 3> force{0.0, 0.0, 0.0};  // body force per unit mass
+};
+
+class Solver {
+ public:
+  static constexpr int kQ = 19;
+
+  Solver(Dims dims, Params params);
+
+  /// BGK collision with Guo-style forcing (velocity-shifted equilibrium).
+  void collide();
+  /// Pull streaming; periodic in x/z, half-way bounce-back at the y walls.
+  void stream();
+  /// Recomputes rho and u from the distributions.
+  void update_macroscopic();
+  /// One full time step: collide + stream + update.
+  void step() {
+    collide();
+    stream();
+    update_macroscopic();
+  }
+
+  const Dims& dims() const noexcept { return dims_; }
+  const Params& params() const noexcept { return params_; }
+  double viscosity() const noexcept { return (params_.tau - 0.5) / 3.0; }
+
+  double total_mass() const;
+  std::array<double, 3> total_momentum() const;
+
+  /// Density and velocity accessors (cell index = (z*ny + y)*nx + x).
+  std::span<const double> rho() const noexcept { return rho_; }
+  std::span<const double> ux() const noexcept { return u_[0]; }
+  std::span<const double> uy() const noexcept { return u_[1]; }
+  std::span<const double> uz() const noexcept { return u_[2]; }
+
+  /// x-velocity profile across the channel (averaged over x, z) — the
+  /// quantity compared against the Poiseuille solution.
+  std::vector<double> ux_profile() const;
+
+  /// Serializes the velocity field (3 doubles per cell, interleaved x,y,z)
+  /// into `out`; returns bytes written. This is the per-step payload the
+  /// in-situ analysis consumes. `out` must hold field_bytes().
+  std::size_t serialize_velocity(std::span<std::byte> out) const;
+  std::size_t field_bytes() const noexcept { return cells_ * 3 * sizeof(double); }
+
+  /// Direct distribution access for low-level tests.
+  double f(int q, std::size_t cell) const { return f_[static_cast<std::size_t>(q)][cell]; }
+  void set_f(int q, std::size_t cell, double v) { f_[static_cast<std::size_t>(q)][cell] = v; }
+
+  static const std::array<std::array<int, 3>, kQ>& velocities() noexcept;
+  static const std::array<double, kQ>& weights() noexcept;
+  static int opposite(int q) noexcept;
+
+ private:
+  std::size_t index(int x, int y, int z) const {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(dims_.ny) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(dims_.nx) +
+           static_cast<std::size_t>(x);
+  }
+
+  Dims dims_;
+  Params params_;
+  std::size_t cells_;
+  std::array<std::vector<double>, kQ> f_;
+  std::array<std::vector<double>, kQ> f_post_;  // post-collision scratch
+  std::vector<double> rho_;
+  std::array<std::vector<double>, 3> u_;
+};
+
+}  // namespace zipper::apps::lbm

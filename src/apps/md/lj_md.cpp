@@ -1,0 +1,212 @@
+#include "apps/md/lj_md.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace zipper::apps::md {
+
+LjMd::LjMd(const MdParams& params) : params_(params) {
+  const int c = params.cells_per_side;
+  n_ = 4 * c * c * c;
+  box_ = std::cbrt(static_cast<double>(n_) / params.density);
+  cutoff_sq_ = params.cutoff * params.cutoff;
+
+  pos_.resize(static_cast<std::size_t>(n_) * 3);
+  unwrapped_.resize(static_cast<std::size_t>(n_) * 3);
+  vel_.resize(static_cast<std::size_t>(n_) * 3);
+  force_.assign(static_cast<std::size_t>(n_) * 3, 0.0);
+
+  // FCC lattice: 4 basis atoms per unit cell.
+  const double a = box_ / c;
+  static constexpr double kBasis[4][3] = {
+      {0.0, 0.0, 0.0}, {0.5, 0.5, 0.0}, {0.5, 0.0, 0.5}, {0.0, 0.5, 0.5}};
+  std::size_t i = 0;
+  for (int x = 0; x < c; ++x) {
+    for (int y = 0; y < c; ++y) {
+      for (int z = 0; z < c; ++z) {
+        for (const auto& b : kBasis) {
+          pos_[3 * i + 0] = (x + b[0]) * a;
+          pos_[3 * i + 1] = (y + b[1]) * a;
+          pos_[3 * i + 2] = (z + b[2]) * a;
+          ++i;
+        }
+      }
+    }
+  }
+  unwrapped_ = pos_;
+
+  // Maxwellian-ish velocities at the target temperature (sum of uniforms),
+  // with center-of-mass drift removed then rescaled to exactly T.
+  common::Xoshiro256 rng(params.seed);
+  std::array<double, 3> vcm{0, 0, 0};
+  for (std::size_t k = 0; k < vel_.size(); ++k) {
+    double v = 0.0;
+    for (int s = 0; s < 12; ++s) v += rng.uniform();
+    vel_[k] = v - 6.0;  // ~N(0,1)
+    vcm[k % 3] += vel_[k];
+  }
+  for (std::size_t k = 0; k < vel_.size(); ++k) {
+    vel_[k] -= vcm[k % 3] / n_;
+  }
+  double ke = 0.0;
+  for (double v : vel_) ke += 0.5 * v * v;
+  const double t_now = 2.0 * ke / (3.0 * n_);
+  const double scale = std::sqrt(params.temperature / t_now);
+  for (double& v : vel_) v *= scale;
+
+  compute_forces();
+}
+
+void LjMd::build_cells() {
+  cells_dim_ = static_cast<int>(box_ / params_.cutoff);
+  cell_size_ = box_ / cells_dim_;
+  cell_head_.assign(static_cast<std::size_t>(cells_dim_) * cells_dim_ * cells_dim_, -1);
+  cell_next_.assign(static_cast<std::size_t>(n_), -1);
+  for (int i = 0; i < n_; ++i) {
+    int cx = static_cast<int>(pos_[3 * static_cast<std::size_t>(i)] / cell_size_) % cells_dim_;
+    int cy = static_cast<int>(pos_[3 * static_cast<std::size_t>(i) + 1] / cell_size_) % cells_dim_;
+    int cz = static_cast<int>(pos_[3 * static_cast<std::size_t>(i) + 2] / cell_size_) % cells_dim_;
+    cx = (cx + cells_dim_) % cells_dim_;
+    cy = (cy + cells_dim_) % cells_dim_;
+    cz = (cz + cells_dim_) % cells_dim_;
+    const std::size_t cell = static_cast<std::size_t>((cz * cells_dim_ + cy) * cells_dim_ + cx);
+    cell_next_[static_cast<std::size_t>(i)] = cell_head_[cell];
+    cell_head_[cell] = i;
+  }
+}
+
+void LjMd::compute_forces() {
+  // The one-cell-neighborhood sweep is only complete when cell_size >=
+  // cutoff with at least 3 cells per side; tiny boxes fall back to the exact
+  // all-pairs path.
+  if (static_cast<int>(box_ / params_.cutoff) < 3) {
+    compute_forces_reference(force_, potential_);
+    return;
+  }
+  build_cells();
+  std::fill(force_.begin(), force_.end(), 0.0);
+  potential_ = 0.0;
+  // Energy shift so U(r_c) = 0 (LAMMPS' default truncation reports unshifted
+  // energy, but a shifted potential keeps our conservation tests clean).
+  const double inv_rc6 = 1.0 / (cutoff_sq_ * cutoff_sq_ * cutoff_sq_);
+  const double u_shift = 4.0 * (inv_rc6 * inv_rc6 - inv_rc6);
+
+  for (int cz = 0; cz < cells_dim_; ++cz) {
+    for (int cy = 0; cy < cells_dim_; ++cy) {
+      for (int cx = 0; cx < cells_dim_; ++cx) {
+        const std::size_t cell = static_cast<std::size_t>((cz * cells_dim_ + cy) * cells_dim_ + cx);
+        for (int i = cell_head_[cell]; i >= 0; i = cell_next_[static_cast<std::size_t>(i)]) {
+          // Half neighbor sweep: 13 forward neighbor cells + same cell.
+          for (int n = 0; n < 14; ++n) {
+            static constexpr int kOff[14][3] = {
+                {0, 0, 0},  {1, 0, 0},  {-1, 1, 0}, {0, 1, 0},  {1, 1, 0},
+                {-1, -1, 1}, {0, -1, 1}, {1, -1, 1}, {-1, 0, 1}, {0, 0, 1},
+                {1, 0, 1},  {-1, 1, 1}, {0, 1, 1},  {1, 1, 1}};
+            const int ox = (cx + kOff[n][0] + cells_dim_) % cells_dim_;
+            const int oy = (cy + kOff[n][1] + cells_dim_) % cells_dim_;
+            const int oz = (cz + kOff[n][2] + cells_dim_) % cells_dim_;
+            const std::size_t other =
+                static_cast<std::size_t>((oz * cells_dim_ + oy) * cells_dim_ + ox);
+            const bool same = other == cell;
+            for (int j = same ? cell_next_[static_cast<std::size_t>(i)] : cell_head_[other];
+                 j >= 0; j = cell_next_[static_cast<std::size_t>(j)]) {
+              const double dx = minimum_image(
+                  pos_[3 * static_cast<std::size_t>(i)] - pos_[3 * static_cast<std::size_t>(j)], box_);
+              const double dy = minimum_image(
+                  pos_[3 * static_cast<std::size_t>(i) + 1] - pos_[3 * static_cast<std::size_t>(j) + 1], box_);
+              const double dz = minimum_image(
+                  pos_[3 * static_cast<std::size_t>(i) + 2] - pos_[3 * static_cast<std::size_t>(j) + 2], box_);
+              const double r2 = dx * dx + dy * dy + dz * dz;
+              if (r2 >= cutoff_sq_ || r2 == 0.0) continue;
+              const double inv_r2 = 1.0 / r2;
+              const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+              const double fmag = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+              force_[3 * static_cast<std::size_t>(i)] += fmag * dx;
+              force_[3 * static_cast<std::size_t>(i) + 1] += fmag * dy;
+              force_[3 * static_cast<std::size_t>(i) + 2] += fmag * dz;
+              force_[3 * static_cast<std::size_t>(j)] -= fmag * dx;
+              force_[3 * static_cast<std::size_t>(j) + 1] -= fmag * dy;
+              force_[3 * static_cast<std::size_t>(j) + 2] -= fmag * dz;
+              potential_ += 4.0 * inv_r6 * (inv_r6 - 1.0) - u_shift;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void LjMd::step() {
+  const double dt = params_.dt;
+  const double half_dt = 0.5 * dt;
+  for (int i = 0; i < n_ * 3; ++i) {
+    vel_[static_cast<std::size_t>(i)] += half_dt * force_[static_cast<std::size_t>(i)];
+    const double dr = dt * vel_[static_cast<std::size_t>(i)];
+    unwrapped_[static_cast<std::size_t>(i)] += dr;
+    double p = pos_[static_cast<std::size_t>(i)] + dr;
+    if (p >= box_) p -= box_;
+    if (p < 0) p += box_;
+    pos_[static_cast<std::size_t>(i)] = p;
+  }
+  compute_forces();
+  for (int i = 0; i < n_ * 3; ++i) {
+    vel_[static_cast<std::size_t>(i)] += half_dt * force_[static_cast<std::size_t>(i)];
+  }
+}
+
+double LjMd::kinetic_energy() const {
+  double ke = 0.0;
+  for (double v : vel_) ke += 0.5 * v * v;
+  return ke;
+}
+
+double LjMd::temperature() const {
+  return 2.0 * kinetic_energy() / (3.0 * n_);
+}
+
+std::array<double, 3> LjMd::total_momentum() const {
+  std::array<double, 3> p{0, 0, 0};
+  for (std::size_t i = 0; i < vel_.size(); ++i) p[i % 3] += vel_[i];
+  return p;
+}
+
+std::size_t LjMd::serialize_positions(std::span<std::byte> out) const {
+  assert(out.size() >= frame_bytes());
+  std::memcpy(out.data(), unwrapped_.data(), frame_bytes());
+  return frame_bytes();
+}
+
+void LjMd::compute_forces_reference(std::vector<double>& forces,
+                                    double& potential) const {
+  forces.assign(static_cast<std::size_t>(n_) * 3, 0.0);
+  potential = 0.0;
+  const double inv_rc6 = 1.0 / (cutoff_sq_ * cutoff_sq_ * cutoff_sq_);
+  const double u_shift = 4.0 * (inv_rc6 * inv_rc6 - inv_rc6);
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      const double dx = minimum_image(
+          pos_[3 * static_cast<std::size_t>(i)] - pos_[3 * static_cast<std::size_t>(j)], box_);
+      const double dy = minimum_image(
+          pos_[3 * static_cast<std::size_t>(i) + 1] - pos_[3 * static_cast<std::size_t>(j) + 1], box_);
+      const double dz = minimum_image(
+          pos_[3 * static_cast<std::size_t>(i) + 2] - pos_[3 * static_cast<std::size_t>(j) + 2], box_);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= cutoff_sq_ || r2 == 0.0) continue;
+      const double inv_r2 = 1.0 / r2;
+      const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+      const double fmag = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+      forces[3 * static_cast<std::size_t>(i)] += fmag * dx;
+      forces[3 * static_cast<std::size_t>(i) + 1] += fmag * dy;
+      forces[3 * static_cast<std::size_t>(i) + 2] += fmag * dz;
+      forces[3 * static_cast<std::size_t>(j)] -= fmag * dx;
+      forces[3 * static_cast<std::size_t>(j) + 1] -= fmag * dy;
+      forces[3 * static_cast<std::size_t>(j) + 2] -= fmag * dz;
+      potential += 4.0 * inv_r6 * (inv_r6 - 1.0) - u_shift;
+    }
+  }
+}
+
+}  // namespace zipper::apps::md

@@ -1,0 +1,92 @@
+// Lennard-Jones molecular dynamics mini-app (the paper's LAMMPS substitute).
+//
+// Reproduces the coupling-relevant behaviour of the LAMMPS "melt" benchmark:
+// an FCC lattice of LJ atoms in reduced units, velocity-Verlet integration,
+// truncated LJ potential (r_c = 2.5 sigma), periodic boundaries, cell-list
+// neighbor search, initial velocities drawn at a target temperature with the
+// center-of-mass drift removed. Unwrapped coordinates are tracked alongside
+// the wrapped ones so the mean-squared-displacement analysis (apps/analysis)
+// is exact across periodic images.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace zipper::apps::md {
+
+struct MdParams {
+  int cells_per_side = 3;     // FCC cells; atoms = 4 * c^3
+  double density = 0.8442;    // reduced density (LAMMPS melt default)
+  double temperature = 1.44;  // initial reduced temperature
+  double dt = 0.005;          // reduced time step
+  double cutoff = 2.5;        // LJ cutoff (sigma)
+  std::uint64_t seed = 12345;
+};
+
+class LjMd {
+ public:
+  explicit LjMd(const MdParams& params);
+
+  /// One velocity-Verlet step (forces via cell list).
+  void step();
+  void run(int steps) {
+    for (int i = 0; i < steps; ++i) step();
+  }
+
+  int num_atoms() const noexcept { return n_; }
+  double box() const noexcept { return box_; }
+  const MdParams& params() const noexcept { return params_; }
+
+  double kinetic_energy() const;
+  double potential_energy() const noexcept { return potential_; }
+  double total_energy() const { return kinetic_energy() + potential_energy(); }
+  double temperature() const;
+  std::array<double, 3> total_momentum() const;
+
+  /// Wrapped positions, interleaved xyz (3n doubles).
+  std::span<const double> positions() const noexcept { return pos_; }
+  /// Unwrapped positions for MSD, interleaved xyz.
+  std::span<const double> positions_unwrapped() const noexcept { return unwrapped_; }
+  std::span<const double> velocities() const noexcept { return vel_; }
+
+  /// Serializes unwrapped positions into `out` (payload for the MSD
+  /// analysis); returns bytes written. `out` must hold frame_bytes().
+  std::size_t serialize_positions(std::span<std::byte> out) const;
+  std::size_t frame_bytes() const noexcept {
+    return static_cast<std::size_t>(n_) * 3 * sizeof(double);
+  }
+
+  /// O(n^2) reference force computation — used only by tests to validate the
+  /// cell-list path. Returns interleaved forces and the potential energy.
+  void compute_forces_reference(std::vector<double>& forces, double& potential) const;
+
+ private:
+  void build_cells();
+  void compute_forces();
+  static double minimum_image(double d, double box) {
+    if (d > 0.5 * box) return d - box;
+    if (d < -0.5 * box) return d + box;
+    return d;
+  }
+
+  MdParams params_;
+  int n_;
+  double box_;
+  double cutoff_sq_;
+  std::vector<double> pos_;        // wrapped, interleaved
+  std::vector<double> unwrapped_;  // unwrapped, interleaved
+  std::vector<double> vel_;
+  std::vector<double> force_;
+  double potential_ = 0.0;
+
+  // cell list
+  int cells_dim_ = 0;
+  double cell_size_ = 0.0;
+  std::vector<int> cell_head_;  // first atom per cell, -1 empty
+  std::vector<int> cell_next_;  // linked list
+};
+
+}  // namespace zipper::apps::md

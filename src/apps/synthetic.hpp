@@ -1,0 +1,106 @@
+// The paper's three synthetic producer applications: T(n) = O(n),
+// O(n log n), O(n^{3/2}) (Table 3), paired with a standard-variance analysis.
+//
+// Two faces:
+//   * `block_compute_time` — the calibrated cost model the discrete-event
+//     experiments use (figures 12–15);
+//   * `generate_block` / `burn` — real data generation + CPU work for the
+//     threaded runtime examples and tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace zipper::apps {
+
+enum class Complexity {
+  kLinear,  // O(n)
+  kNLogN,   // O(n log n)
+  kN32,     // O(n^{3/2})
+};
+
+constexpr std::string_view complexity_name(Complexity c) noexcept {
+  switch (c) {
+    case Complexity::kLinear: return "O(n)";
+    case Complexity::kNLogN: return "O(nlgn)";
+    case Complexity::kN32: return "O(n^3/2)";
+  }
+  return "?";
+}
+
+/// Abstract work units for producing one block of n elements.
+///
+/// O(n^{3/2}) producers process large blocks in cache-sized tiles (1 MiB of
+/// doubles): inside a tile the cost is the full n*sqrt(n), across tiles it
+/// grows with a mild super-linear exponent fitted to the paper's Figure 12
+/// (an 8 MB block costs 1.55x per byte what a 1 MB block costs — not the
+/// sqrt(8) = 2.83x of a monolithic n^{3/2} sweep).
+inline double work_units(Complexity c, double n) {
+  switch (c) {
+    case Complexity::kLinear: return n;
+    case Complexity::kNLogN: return n * std::log2(std::max(2.0, n));
+    case Complexity::kN32: {
+      constexpr double kTileElems = 131072.0;  // 1 MiB of doubles
+      if (n <= kTileElems) return n * std::sqrt(n);
+      constexpr double kCrossTileExponent = 0.211;  // fits Fig 12's 1.55x
+      return n * std::sqrt(kTileElems) * std::pow(n / kTileElems, kCrossTileExponent);
+    }
+  }
+  return n;
+}
+
+/// Simulated time to *produce* one block of `bytes` bytes, given a machine
+/// speed of `units_per_second` work units per second. Elements are doubles.
+inline sim::Time block_compute_time(Complexity c, std::uint64_t bytes,
+                                    double units_per_second) {
+  const double n = static_cast<double>(bytes) / sizeof(double);
+  return static_cast<sim::Time>(work_units(c, n) / units_per_second * 1e9);
+}
+
+/// Fills `data` with a deterministic pattern and burns CPU proportional to
+/// work_units(c, data.size()); returns a value derived from every element so
+/// the work cannot be optimized away. Used by the real (threaded) runtime.
+inline double generate_block(Complexity c, std::span<double> data,
+                             std::uint64_t seed) {
+  double acc = 0.0;
+  const std::size_t n = data.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<double>((seed * 2654435761u + i * 40503u) % 65536) / 65536.0;
+  }
+  switch (c) {
+    case Complexity::kLinear:
+      for (double& x : data) {
+        x = x * 1.0000001 + 1e-9;
+        acc += x;
+      }
+      break;
+    case Complexity::kNLogN: {
+      const int passes = static_cast<int>(std::log2(std::max<std::size_t>(2, n)));
+      for (int p = 0; p < passes; ++p) {
+        for (double& x : data) {
+          x = x * 0.999999 + 1e-9;
+          acc += x;
+        }
+      }
+      break;
+    }
+    case Complexity::kN32: {
+      const std::size_t passes = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+      for (std::size_t p = 0; p < passes; ++p) {
+        // touch a rotating window so total work is n * sqrt(n) / window-sized
+        for (std::size_t i = 0; i < n; i += 1 + p % 3) {
+          data[i] = data[i] * 0.9999999 + 1e-9;
+          acc += data[i];
+        }
+      }
+      break;
+    }
+  }
+  return acc;
+}
+
+}  // namespace zipper::apps

@@ -1,0 +1,25 @@
+// FNV-1a checksum over byte buffers. Used by the real (threaded) Zipper
+// runtime tests to prove end-to-end payload integrity across the message and
+// file channels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace zipper::common {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+constexpr std::uint64_t fnv1a(std::span<const std::byte> bytes,
+                              std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace zipper::common

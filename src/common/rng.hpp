@@ -1,0 +1,71 @@
+// Deterministic, seedable PRNG (xoshiro256**) used everywhere randomness is
+// needed. We avoid std::mt19937 only for speed and for a guaranteed stable
+// stream across standard libraries: experiment reproducibility depends on
+// bit-identical random sequences.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace zipper::common {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free variant is overkill here; a
+    // simple modulo keeps the stream layout obvious and the bias (< 2^-53 for
+    // our n) irrelevant for workload generation.
+    return (*this)() % n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace zipper::common

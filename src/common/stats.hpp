@@ -1,0 +1,79 @@
+// Streaming statistics helpers (Welford mean/variance, central moments,
+// min/max) used by the analysis kernels, the benchmarks, and the tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace zipper::common {
+
+/// Numerically stable running mean / variance / extrema accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Population variance (divide by n).
+  double variance() const noexcept {
+    return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (divide by n-1).
+  double sample_variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// p-th percentile (0..100) of a sample, by sorting a copy. Intended for
+/// benchmark reporting, not hot paths.
+inline double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::vector<double> v(sample.begin(), sample.end());
+  std::sort(v.begin(), v.end());
+  const double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace zipper::common

@@ -1,0 +1,25 @@
+// Size and rate units shared across the whole library.
+//
+// All byte counts are std::uint64_t; all rates are double bytes/second when
+// expressed physically, or bytes/nanosecond inside the discrete-event core.
+#pragma once
+
+#include <cstdint>
+
+namespace zipper::common {
+
+inline constexpr std::uint64_t KiB = 1024ull;
+inline constexpr std::uint64_t MiB = 1024ull * KiB;
+inline constexpr std::uint64_t GiB = 1024ull * MiB;
+inline constexpr std::uint64_t TiB = 1024ull * GiB;
+
+/// Gigabytes-per-second expressed as bytes-per-nanosecond (the unit the
+/// discrete-event Resource model uses internally).
+constexpr double gb_per_s(double gb) noexcept { return gb * 1e9 / 1e9; }
+
+/// Convert a bytes/second rate to bytes/nanosecond.
+constexpr double bytes_per_ns(double bytes_per_second) noexcept {
+  return bytes_per_second / 1e9;
+}
+
+}  // namespace zipper::common

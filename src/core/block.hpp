@@ -1,0 +1,43 @@
+// Fine-grain data blocks — Zipper's unit of pipelining.
+//
+// A block is self-describing (paper §4.2): it carries the time step index,
+// the producer rank that emitted it, and its position in the global input
+// domain, so a consumer can apply the right analysis to whatever block
+// arrives next, in any order.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zipper::core {
+
+struct BlockId {
+  std::int32_t step = 0;
+  std::int32_t producer = 0;
+  std::int32_t index = 0;  // block index within (step, producer)
+
+  auto operator<=>(const BlockId&) const = default;
+
+  std::string to_string() const {
+    return "s" + std::to_string(step) + "_p" + std::to_string(producer) + "_b" +
+           std::to_string(index);
+  }
+};
+
+struct BlockHeader {
+  BlockId id;
+  std::uint64_t offset = 0;  // byte offset of this block in the step's domain
+  std::uint64_t bytes = 0;
+  bool on_disk = false;  // Preserve mode: already persisted by some thread?
+};
+
+/// A materialized block (real threaded runtime): header + payload.
+struct Block {
+  BlockHeader header;
+  std::vector<std::byte> payload;
+};
+
+}  // namespace zipper::core

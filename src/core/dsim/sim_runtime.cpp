@@ -1,0 +1,324 @@
+#include "core/dsim/sim_runtime.hpp"
+
+#include <any>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "sim/channel.hpp"
+#include "sim/latch.hpp"
+#include "sim/sync.hpp"
+
+namespace zipper::core::dsim {
+
+using sim::Task;
+using sim::Time;
+
+namespace {
+
+constexpr int kZipperTag = 7000;
+constexpr int kZipperAckTag = 7001;
+
+struct MixedMsg {
+  bool has_block = false;
+  BlockHeader block;
+  std::vector<BlockHeader> ids_on_disk;
+  bool done = false;
+  int producer = -1;
+};
+
+std::string spill_name(const BlockId& id) { return "zspill_" + id.to_string(); }
+
+}  // namespace
+
+// ----------------------------------------------------------- producer side --
+
+/// Coroutine analog of core/rt's ProducerBuffer (same Algorithm-1 policy).
+struct SimZipper::Producer {
+  Producer(sim::Simulation& s, StealPolicy pol)
+      : policy(pol), m(s), not_full(s), not_empty(s), above_threshold(s),
+        writer_done(s, pol.enabled ? 1 : 0) {}
+
+  StealPolicy policy;
+  std::deque<BlockHeader> q;
+  bool closed = false;
+  sim::SimMutex m;  // protects q/closed across coroutine suspension points
+  sim::SimCondVar not_full, not_empty, above_threshold;
+  sim::Latch writer_done;
+  // spilled headers per consumer, drained into mixed messages
+  std::map<int, std::vector<BlockHeader>> spilled;
+
+  std::vector<BlockHeader> take_spilled(int c) {
+    auto it = spilled.find(c);
+    if (it == spilled.end()) return {};
+    auto out = std::move(it->second);
+    spilled.erase(it);
+    return out;
+  }
+};
+
+struct SimZipper::Consumer {
+  Consumer(sim::Simulation& s, int buffer_cap)
+      : buffer(s, static_cast<std::size_t>(buffer_cap)), reader_q(s), output_q(s),
+        output_done(s, 1) {}
+
+  sim::Channel<BlockHeader> buffer;    // the consumer buffer
+  sim::Channel<BlockHeader> reader_q;  // block IDs on disk
+  sim::Channel<BlockHeader> output_q;  // Preserve-mode persistence queue
+  sim::Latch output_done;
+  int expected_producers = 0;
+};
+
+SimZipper::SimZipper(sim::Simulation& sim, mpi::World& world,
+                     pfs::ParallelFileSystem& fs, trace::Recorder& rec,
+                     const apps::WorkloadProfile& profile, SimZipperConfig cfg,
+                     int num_producers, int num_consumers, int first_consumer_rank)
+    : sim_(&sim), world_(&world), fs_(&fs), rec_(&rec), profile_(profile),
+      cfg_(cfg), P_(num_producers), Q_(num_consumers),
+      first_consumer_rank_(first_consumer_rank) {
+  blocks_per_step_ = static_cast<int>(
+      (profile.bytes_per_rank_per_step + cfg.block_bytes - 1) / cfg.block_bytes);
+  const StealPolicy pol{static_cast<std::size_t>(cfg.producer_buffer_blocks),
+                        cfg.high_water, cfg.enable_steal};
+  for (int p = 0; p < P_; ++p) {
+    producers_.push_back(std::make_unique<Producer>(sim, pol));
+  }
+  for (int c = 0; c < Q_; ++c) {
+    auto cons = std::make_unique<Consumer>(sim, cfg.consumer_buffer_blocks);
+    cons->expected_producers =
+        P_ >= Q_ ? producers_of_consumer(c, P_, Q_) : P_;
+    consumers_.push_back(std::move(cons));
+  }
+}
+
+SimZipper::~SimZipper() = default;
+
+void SimZipper::spawn_services() {
+  for (int p = 0; p < P_; ++p) {
+    sim_->spawn(sender_main(p));
+    if (cfg_.enable_steal) sim_->spawn(writer_main(p));
+  }
+}
+
+sim::Task SimZipper::producer_put_block(int p, int step, int b) {
+  Producer& pm = *producers_[static_cast<std::size_t>(p)];
+  const std::uint64_t last_block_bytes =
+      profile_.bytes_per_rank_per_step -
+      static_cast<std::uint64_t>(blocks_per_step_ - 1) * cfg_.block_bytes;
+  BlockHeader h;
+  h.id = BlockId{step, p, b};
+  h.offset = static_cast<std::uint64_t>(b) * cfg_.block_bytes;
+  h.bytes = (b == blocks_per_step_ - 1) ? last_block_bytes : cfg_.block_bytes;
+  co_await pm.m.lock();
+  if (pm.q.size() >= pm.policy.capacity) {
+    const Time t0 = sim_->now();
+    while (pm.q.size() >= pm.policy.capacity) co_await pm.not_full.wait(pm.m);
+    stats_.producer_stall += sim_->now() - t0;
+    rec_->record(p, trace::Cat::kStall, t0, sim_->now());
+  }
+  pm.q.push_back(h);
+  ++stats_.blocks_total;
+  pm.not_empty.notify_one();
+  if (pm.policy.should_steal(pm.q.size())) pm.above_threshold.notify_one();
+  pm.m.unlock();
+}
+
+sim::Task SimZipper::producer_put(int p, int step) {
+  for (int b = 0; b < blocks_per_step_; ++b) {
+    co_await producer_put_block(p, step, b);
+  }
+}
+
+sim::Task SimZipper::producer_finalize(int p) {
+  Producer& pm = *producers_[static_cast<std::size_t>(p)];
+  co_await pm.m.lock();
+  pm.closed = true;
+  pm.not_empty.notify_all();
+  pm.above_threshold.notify_all();
+  pm.m.unlock();
+  // The sender coroutine drains the queue, joins the writer, and emits the
+  // final control messages; nothing further to do on the app thread.
+}
+
+sim::Task SimZipper::sender_main(int p) {
+  Producer& pm = *producers_[static_cast<std::size_t>(p)];
+  int in_flight = 0;
+  while (true) {
+    co_await pm.m.lock();
+    while (pm.q.empty() && !pm.closed) co_await pm.not_empty.wait(pm.m);
+    if (pm.q.empty() && pm.closed) {
+      pm.m.unlock();
+      break;
+    }
+    BlockHeader h = pm.q.front();
+    pm.q.pop_front();
+    pm.not_full.notify_one();
+    pm.m.unlock();
+
+    const int c = consumer_of(h.id, P_, Q_);
+    MixedMsg msg;
+    msg.has_block = true;
+    msg.block = h;
+    msg.producer = p;
+    msg.ids_on_disk = pm.take_spilled(c);
+    {
+      trace::ScopedSpan span(*rec_, *sim_, p, trace::Cat::kTransfer);
+      const Time t0 = sim_->now();
+      // Flow control: wait for credits before injecting another block. The
+      // credit wait is a transmit stall (data ready, fabric won't take it),
+      // so it shows up in the host's XmitWait counter like any other
+      // congestion-control backoff.
+      if (in_flight >= cfg_.sender_window) {
+        const Time w0 = sim_->now();
+        while (in_flight >= cfg_.sender_window) {
+          mpi::Envelope ack;
+          co_await world_->recv(p, mpi::kAnySource, kZipperAckTag, ack);
+          --in_flight;
+        }
+        world_->fabric().charge_xmit_wait(world_->host_of(p), sim_->now() - w0);
+      }
+      co_await sim_->delay(cost(h.bytes, cfg_.sender_bandwidth));
+      co_await world_->send(p, consumer_rank(c), kZipperTag, h.bytes,
+                            std::any{std::move(msg)});
+      ++in_flight;
+      stats_.sender_busy += sim_->now() - t0;
+      stats_.bytes_via_network += h.bytes;
+    }
+  }
+  // Wait for the writer to finish its in-flight spill before flushing the
+  // final spilled-ID lists.
+  co_await pm.writer_done.wait();
+  std::vector<int> fed;
+  if (P_ >= Q_) {
+    fed.push_back(consumer_of(BlockId{0, p, 0}, P_, Q_));
+  } else {
+    for (int c = 0; c < Q_; ++c) fed.push_back(c);
+  }
+  for (int c : fed) {
+    MixedMsg msg;
+    msg.done = true;
+    msg.producer = p;
+    msg.ids_on_disk = pm.take_spilled(c);
+    co_await world_->send(p, consumer_rank(c), kZipperTag, 64,
+                          std::any{std::move(msg)});
+  }
+}
+
+sim::Task SimZipper::writer_main(int p) {
+  Producer& pm = *producers_[static_cast<std::size_t>(p)];
+  while (true) {
+    co_await pm.m.lock();
+    while (!pm.closed && !pm.policy.should_steal(pm.q.size())) {
+      co_await pm.above_threshold.wait(pm.m);
+    }
+    if (pm.closed) {
+      pm.m.unlock();
+      break;
+    }
+    BlockHeader h = pm.q.front();  // Algorithm 1: steal the first block
+    pm.q.pop_front();
+    pm.not_full.notify_one();
+    pm.m.unlock();
+
+    {
+      trace::ScopedSpan span(*rec_, *sim_, p, trace::Cat::kSteal);
+      const Time t0 = sim_->now();
+      co_await sim_->delay(cost(h.bytes, cfg_.writer_bandwidth));
+      pfs::FileId fid = 0;
+      const int host = world_->host_of(p);
+      co_await fs_->create(host, spill_name(h.id), fid);
+      co_await fs_->write(host, fid, 0, h.bytes);
+      stats_.writer_busy += sim_->now() - t0;
+      stats_.bytes_via_pfs += h.bytes;
+    }
+    ++stats_.blocks_stolen;
+    h.on_disk = true;
+    pm.spilled[consumer_of(h.id, P_, Q_)].push_back(h);
+  }
+  pm.writer_done.count_down();
+}
+
+// ----------------------------------------------------------- consumer side --
+
+sim::Task SimZipper::receiver_main(int c) {
+  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
+  const int rank = consumer_rank(c);
+  int done = 0;
+  while (done < cm.expected_producers) {
+    mpi::Envelope env;
+    co_await world_->recv(rank, mpi::kAnySource, kZipperTag, env);
+    MixedMsg msg = std::any_cast<MixedMsg>(std::move(env.payload));
+    for (const BlockHeader& h : msg.ids_on_disk) co_await cm.reader_q.send(h);
+    if (msg.has_block) {
+      co_await sim_->delay(cost(msg.block.bytes, cfg_.receiver_bandwidth));
+      // Return a flow-control credit to the sender.
+      world_->isend(rank, msg.producer, kZipperAckTag, 32);
+      co_await cm.buffer.send(msg.block);
+    }
+    if (msg.done) ++done;
+  }
+  cm.reader_q.close();
+}
+
+sim::Task SimZipper::reader_main(int c) {
+  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
+  const int rank = consumer_rank(c);
+  while (true) {
+    auto h = co_await cm.reader_q.recv();
+    if (!h) break;
+    trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kRead);
+    co_await fs_->read(world_->host_of(rank), fs_->id_of(spill_name(h->id)), 0,
+                       h->bytes);
+    co_await sim_->delay(cost(h->bytes, cfg_.reader_bandwidth));
+    h->on_disk = true;
+    co_await cm.buffer.send(*h);
+  }
+  cm.buffer.close();
+}
+
+sim::Task SimZipper::output_main(int c) {
+  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
+  const int rank = consumer_rank(c);
+  const int host = world_->host_of(rank);
+  pfs::FileId fid = 0;
+  co_await fs_->create(host, "zpreserve_c" + std::to_string(c), fid);
+  std::uint64_t offset = 0;
+  while (true) {
+    auto h = co_await cm.output_q.recv();
+    if (!h) break;
+    trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kStore);
+    const Time t0 = sim_->now();
+    co_await fs_->write(host, fid, offset, h->bytes);
+    stats_.store_busy += sim_->now() - t0;
+    offset += h->bytes;
+  }
+  cm.output_done.count_down();
+}
+
+sim::Task SimZipper::consumer_run(int c) {
+  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
+  const int rank = consumer_rank(c);
+  sim_->spawn(receiver_main(c));
+  sim_->spawn(reader_main(c));
+  if (cfg_.preserve) {
+    sim_->spawn(output_main(c));
+  } else {
+    cm.output_done.count_down();
+  }
+
+  while (true) {
+    auto h = co_await cm.buffer.recv();
+    if (!h) break;
+    if (cfg_.preserve && !h->on_disk) co_await cm.output_q.send(*h);
+    trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kAnalysis);
+    const Time t0 = sim_->now();
+    co_await sim_->delay(profile_.analysis_time(h->bytes));
+    stats_.analysis_busy += sim_->now() - t0;
+    ++stats_.blocks_analyzed;
+  }
+  cm.output_q.close();
+  co_await cm.output_done.wait();
+}
+
+}  // namespace zipper::core::dsim

@@ -1,0 +1,129 @@
+// The Zipper runtime, discrete-event edition — used for the paper-scale
+// experiments (up to 13,056 simulated cores).
+//
+// Mirrors core/rt structurally: per-producer {bounded producer buffer, sender
+// coroutine, work-stealing writer coroutine}, per-consumer {receiver, reader,
+// analysis loop, Preserve-mode output coroutine}. Costs come from two places:
+//   * the cluster model (fabric ports, PFS OSTs) — contention, congestion;
+//   * calibrated per-rank software rates (sender/writer/receiver/reader
+//     bytes/s) representing the runtime's packing/copy/protocol work, fitted
+//     to the paper's measured transfer stages (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "apps/profiles.hpp"
+#include "common/units.hpp"
+#include "core/block.hpp"
+#include "core/policy.hpp"
+#include "mpi/mpi.hpp"
+#include "pfs/pfs.hpp"
+#include "trace/recorder.hpp"
+
+namespace zipper::core::dsim {
+
+struct SimZipperConfig {
+  std::uint64_t block_bytes = common::MiB;
+  int producer_buffer_blocks = 32;
+  double high_water = 0.5;
+  bool enable_steal = true;  // concurrent message+file transfer optimization
+  bool preserve = false;
+
+  // Per-rank software-path rates (bytes/s), calibrated to the paper's Fig 12
+  // stage times (see EXPERIMENTS.md): a fast producer's transfer stage is
+  // bound by the consumer-side receive processing (~110 MB/s per analysis
+  // rank serving 2 producers => ~38 s for 2 GiB/rank), while a slow producer
+  // sees only its own sender cost (~140 MB/s => ~15 s).
+  double sender_bandwidth = 140e6;   // sender-thread pack+send rate
+  double writer_bandwidth = 40e6;    // spill packing rate (fig 14 gains)
+  double receiver_bandwidth = 110e6; // consumer-side unpack/match rate
+  double reader_bandwidth = 200e6;   // consumer-side PFS fetch processing
+
+  // Credit-based flow control: a sender may have at most this many
+  // unacknowledged blocks in flight, so consumer-side backpressure reaches
+  // the producer (and shows up in its buffer) like real MPI flow control.
+  int sender_window = 4;
+
+  int consumer_buffer_blocks = 256;
+};
+
+struct SimZipperStats {
+  sim::Time producer_stall = 0;   // Zipper.write blocked on a full buffer
+  sim::Time sender_busy = 0;      // data-transfer time on sender threads
+  sim::Time writer_busy = 0;      // spill time on writer threads
+  sim::Time analysis_busy = 0;
+  sim::Time store_busy = 0;       // Preserve-mode output writes
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_stolen = 0;
+  std::uint64_t blocks_analyzed = 0;
+  std::uint64_t bytes_via_network = 0;
+  std::uint64_t bytes_via_pfs = 0;
+};
+
+/// One Zipper-coupled workflow instance on a simulated cluster.
+class SimZipper {
+ public:
+  SimZipper(sim::Simulation& sim, mpi::World& world, pfs::ParallelFileSystem& fs,
+            trace::Recorder& rec, const apps::WorkloadProfile& profile,
+            SimZipperConfig cfg, int num_producers, int num_consumers,
+            int first_consumer_rank);
+  ~SimZipper();
+  SimZipper(const SimZipper&) = delete;
+  SimZipper& operator=(const SimZipper&) = delete;
+
+  /// Spawns the sender and writer service coroutines for every producer.
+  /// Call once before the producer processes start.
+  void spawn_services();
+
+  /// Zipper.write() of one simulation step's output: splits the step's bytes
+  /// into fine-grain blocks and pushes them into the producer buffer; stalls
+  /// (simulated) while the buffer is full.
+  sim::Task producer_put(int p, int step);
+
+  /// Fine-grain variant: pushes a single block of the step (used by
+  /// block-granular workloads where production interleaves with compute).
+  sim::Task producer_put_block(int p, int step, int block);
+
+  /// Ends producer p's stream: the sender drains, waits for the writer, and
+  /// flushes the end-of-stream control message(s).
+  sim::Task producer_finalize(int p);
+
+  /// Full consumer process c: receives blocks (network + spilled), analyzes
+  /// each as it arrives, persists in Preserve mode; returns when all
+  /// upstream producers finished and everything is analyzed/stored.
+  sim::Task consumer_run(int c);
+
+  const SimZipperStats& stats() const noexcept { return stats_; }
+  int blocks_per_step() const noexcept { return blocks_per_step_; }
+
+ private:
+  struct Producer;
+  struct Consumer;
+
+  sim::Task sender_main(int p);
+  sim::Task writer_main(int p);
+  sim::Task receiver_main(int c);
+  sim::Task reader_main(int c);
+  sim::Task output_main(int c);
+
+  int consumer_rank(int c) const noexcept { return first_consumer_rank_ + c; }
+  static sim::Time cost(std::uint64_t bytes, double rate) {
+    return static_cast<sim::Time>(static_cast<double>(bytes) / rate * 1e9);
+  }
+
+  sim::Simulation* sim_;
+  mpi::World* world_;
+  pfs::ParallelFileSystem* fs_;
+  trace::Recorder* rec_;
+  apps::WorkloadProfile profile_;
+  SimZipperConfig cfg_;
+  int P_, Q_, first_consumer_rank_;
+  int blocks_per_step_;
+  std::vector<std::unique_ptr<Producer>> producers_;
+  std::vector<std::unique_ptr<Consumer>> consumers_;
+  SimZipperStats stats_;
+};
+
+}  // namespace zipper::core::dsim

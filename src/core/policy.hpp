@@ -1,0 +1,65 @@
+// Runtime policies shared by the real (threaded) and simulated Zipper
+// runtimes — written once, unit-tested once.
+//
+//  * StealPolicy — the high-water-mark decision of Algorithm 1: the writer
+//    thread steals (spills to the parallel file system) only while the
+//    producer buffer holds more than `high_water` of its capacity.
+//  * consumer_of — the static block->consumer assignment: producers map onto
+//    consumers contiguously (P >= Q: each consumer owns P/Q producers); when
+//    consumers outnumber producers, blocks fan out round-robin by index.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "core/block.hpp"
+
+namespace zipper::core {
+
+struct StealPolicy {
+  std::size_t capacity = 16;   // producer buffer capacity in blocks
+  double high_water = 0.5;     // threshold fraction
+  bool enabled = true;
+
+  std::size_t threshold() const {
+    const auto t = static_cast<std::size_t>(static_cast<double>(capacity) * high_water);
+    return t < capacity ? t : capacity - 1;
+  }
+
+  /// Algorithm 1, line 9: steal only when #blocks exceeds the threshold.
+  bool should_steal(std::size_t buffer_size) const {
+    return enabled && buffer_size > threshold();
+  }
+};
+
+/// Which consumer rank analyzes this block.
+inline int consumer_of(const BlockId& id, int num_producers, int num_consumers) {
+  assert(num_producers > 0 && num_consumers > 0);
+  if (num_producers >= num_consumers) {
+    // Contiguous ownership: consumer c handles producers [c*P/Q, (c+1)*P/Q).
+    return static_cast<int>(
+        (static_cast<long long>(id.producer) * num_consumers) / num_producers);
+  }
+  // More consumers than producers: spread a producer's blocks round-robin.
+  return static_cast<int>((static_cast<long long>(id.producer) +
+                           static_cast<long long>(id.index) * num_producers) %
+                          num_consumers);
+}
+
+/// How many producers feed consumer `c` (the consumer uses this to know when
+/// every upstream endpoint has finished).
+inline int producers_of_consumer(int c, int num_producers, int num_consumers) {
+  if (num_producers >= num_consumers) {
+    // Exact inverse of consumer_of: p maps to c iff c <= p*Q/P < c+1, i.e.
+    // ceil(c*P/Q) <= p < ceil((c+1)*P/Q).
+    const auto ceil_div = [](long long a, long long b) { return (a + b - 1) / b; };
+    const long long lo = ceil_div(static_cast<long long>(c) * num_producers,
+                                  num_consumers);
+    const long long hi = ceil_div(static_cast<long long>(c + 1) * num_producers,
+                                  num_consumers);
+    return static_cast<int>(hi - lo);
+  }
+  return num_producers;  // every producer may route blocks to any consumer
+}
+
+}  // namespace zipper::core

@@ -1,0 +1,80 @@
+// Bounded MPMC channel for the real (threaded) Zipper runtime.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace zipper::core::rt {
+
+template <typename T>
+class RtChannel {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit RtChannel(std::size_t capacity = 0) : capacity_(capacity) {}
+  RtChannel(const RtChannel&) = delete;
+  RtChannel& operator=(const RtChannel&) = delete;
+
+  /// Blocks while full. Returns false (drops the value) if the channel was
+  /// closed — senders treat that as shutdown.
+  bool push(T value) {
+    std::unique_lock lk(m_);
+    not_full_.wait(lk, [&] {
+      return closed_ || capacity_ == 0 || q_.size() < capacity_;
+    });
+    if (closed_) return false;
+    q_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty; std::nullopt once closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock lk(m_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lk(m_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  void close() {
+    std::lock_guard lk(m_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lk(m_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(m_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace zipper::core::rt

@@ -1,0 +1,116 @@
+// The producer buffer (paper Fig 8) with Algorithm-1 work-stealing support.
+//
+// Three parties touch it:
+//   * the application thread pushes blocks (Zipper.write) and *stalls* while
+//     the buffer is full — that stall is the quantity the concurrent
+//     dual-channel optimization exists to shrink, so we measure it;
+//   * the sender thread pops blocks FIFO for the network path;
+//   * the writer thread *steals* the front block, but only while the buffer
+//     holds more than the high-water-mark threshold (Algorithm 1 waits on a
+//     condition variable otherwise).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "core/block.hpp"
+#include "core/policy.hpp"
+
+namespace zipper::core::rt {
+
+class ProducerBuffer {
+ public:
+  explicit ProducerBuffer(StealPolicy policy) : policy_(policy) {}
+  ProducerBuffer(const ProducerBuffer&) = delete;
+  ProducerBuffer& operator=(const ProducerBuffer&) = delete;
+
+  /// Application side (Zipper.write). Blocks while the buffer is full;
+  /// accumulates the blocked time in stall_ns().
+  void push(std::shared_ptr<Block> b) {
+    std::unique_lock lk(m_);
+    if (q_.size() >= policy_.capacity) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lk, [&] { return q_.size() < policy_.capacity; });
+      stall_ns_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    q_.push_back(std::move(b));
+    ++pushed_;
+    not_empty_.notify_one();
+    if (policy_.should_steal(q_.size())) above_threshold_.notify_one();
+  }
+
+  /// Sender thread: FIFO pop; std::nullopt once closed and drained.
+  std::optional<std::shared_ptr<Block>> pop() {
+    std::unique_lock lk(m_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    return take_front();
+  }
+
+  /// Writer thread (Algorithm 1's StealBlock): waits until the buffer rises
+  /// above the threshold, then steals the first block. Returns std::nullopt
+  /// once the buffer is closed (remaining blocks drain via the sender).
+  std::optional<std::shared_ptr<Block>> steal() {
+    std::unique_lock lk(m_);
+    above_threshold_.wait(lk, [&] { return closed_ || policy_.should_steal(q_.size()); });
+    if (closed_ || !policy_.should_steal(q_.size())) return std::nullopt;
+    ++stolen_;
+    return take_front();
+  }
+
+  /// Producer is done writing; wakes everything.
+  void close() {
+    std::lock_guard lk(m_);
+    closed_ = true;
+    not_empty_.notify_all();
+    above_threshold_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lk(m_);
+    return q_.size();
+  }
+  const StealPolicy& policy() const noexcept { return policy_; }
+  std::uint64_t stall_ns() const {
+    std::lock_guard lk(m_);
+    return stall_ns_;
+  }
+  std::uint64_t pushed() const {
+    std::lock_guard lk(m_);
+    return pushed_;
+  }
+  std::uint64_t stolen() const {
+    std::lock_guard lk(m_);
+    return stolen_;
+  }
+
+ private:
+  std::shared_ptr<Block> take_front() {
+    auto b = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return b;
+  }
+
+  mutable std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::condition_variable above_threshold_;
+  std::deque<std::shared_ptr<Block>> q_;
+  StealPolicy policy_;
+  bool closed_ = false;
+  std::uint64_t stall_ns_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t stolen_ = 0;
+};
+
+}  // namespace zipper::core::rt

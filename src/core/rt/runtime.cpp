@@ -1,0 +1,357 @@
+#include "core/rt/runtime.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+namespace zipper::core::rt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path spill_path(const fs::path& dir, const BlockId& id) {
+  return dir / ("blk_" + id.to_string() + ".bin");
+}
+
+fs::path preserve_path(const fs::path& dir, const BlockId& id) {
+  return dir / ("out_" + id.to_string() + ".bin");
+}
+
+void write_file(const fs::path& p, std::span<const std::byte> bytes) {
+  std::ofstream f(p, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("Zipper: cannot open spill file " + p.string());
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw std::runtime_error("Zipper: short write to " + p.string());
+}
+
+std::vector<std::byte> read_file(const fs::path& p, std::uint64_t expected) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) throw std::runtime_error("Zipper: cannot open spill file " + p.string());
+  std::vector<std::byte> out(expected);
+  f.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(expected));
+  if (static_cast<std::uint64_t>(f.gcount()) != expected) {
+    throw std::runtime_error("Zipper: short read from " + p.string());
+  }
+  return out;
+}
+
+/// Shared-rate limiter standing in for the HPC network's finite bandwidth.
+class TokenBucket {
+ public:
+  explicit TokenBucket(double bytes_per_second) : rate_(bytes_per_second) {}
+
+  void acquire(std::uint64_t bytes) {
+    if (rate_ <= 0) return;
+    std::chrono::steady_clock::time_point wake;
+    {
+      std::lock_guard lk(m_);
+      const auto now = std::chrono::steady_clock::now();
+      if (next_free_ < now) next_free_ = now;
+      next_free_ += std::chrono::nanoseconds(
+          static_cast<std::int64_t>(static_cast<double>(bytes) / rate_ * 1e9));
+      wake = next_free_;
+    }
+    std::this_thread::sleep_until(wake);
+  }
+
+ private:
+  std::mutex m_;
+  double rate_;
+  std::chrono::steady_clock::time_point next_free_{};
+};
+
+struct NetMessage {
+  std::shared_ptr<Block> block;          // null for pure control messages
+  std::vector<BlockHeader> ids_on_disk;  // spilled blocks bound for this consumer
+  int producer = -1;
+  bool producer_done = false;
+};
+
+}  // namespace
+
+namespace detail {
+
+struct ConsumerImpl {
+  ConsumerImpl(const Config& cfg, int expected_producers)
+      : net(cfg.net_channel_blocks),
+        buffer(cfg.consumer_buffer_blocks),
+        reader_q(0),
+        output_q(0),
+        expected(expected_producers) {}
+
+  RtChannel<NetMessage> net;
+  RtChannel<std::shared_ptr<Block>> buffer;
+  RtChannel<BlockHeader> reader_q;
+  RtChannel<std::shared_ptr<Block>> output_q;
+  std::thread receiver, reader, output;
+  int expected;
+  std::atomic<std::uint64_t> from_net{0}, from_disk{0}, read_count{0}, preserved{0};
+};
+
+struct ProducerImpl {
+  ProducerImpl(const Config& cfg, int producer_index)
+      : buf(StealPolicy{cfg.producer_buffer_blocks, cfg.high_water, cfg.enable_steal}),
+        index(producer_index) {}
+
+  ProducerBuffer buf;
+  int index;
+  std::thread sender, writer;
+  std::atomic<std::uint64_t> sent{0};
+  std::mutex spill_m;
+  std::map<int, std::vector<BlockHeader>> spilled;  // consumer -> spilled headers
+  bool finished = false;
+
+  std::vector<BlockHeader> take_spilled(int consumer) {
+    std::lock_guard lk(spill_m);
+    auto it = spilled.find(consumer);
+    if (it == spilled.end()) return {};
+    auto out = std::move(it->second);
+    spilled.erase(it);
+    return out;
+  }
+  void add_spilled(int consumer, const BlockHeader& h) {
+    std::lock_guard lk(spill_m);
+    spilled[consumer].push_back(h);
+  }
+};
+
+struct RuntimeShared {
+  Config cfg;
+  int P, Q;
+  TokenBucket net_bw;
+  std::vector<std::unique_ptr<ProducerImpl>> producers;
+  std::vector<std::unique_ptr<ConsumerImpl>> consumers;
+
+  RuntimeShared(const Config& c, int p, int q)
+      : cfg(c), P(p), Q(q), net_bw(c.network_bandwidth) {}
+
+  std::vector<int> consumers_fed_by(int producer) const {
+    if (P >= Q) return {consumer_of(BlockId{0, producer, 0}, P, Q)};
+    std::vector<int> all(static_cast<std::size_t>(Q));
+    for (int c = 0; c < Q; ++c) all[static_cast<std::size_t>(c)] = c;
+    return all;
+  }
+};
+
+}  // namespace detail
+
+using detail::ConsumerImpl;
+using detail::ProducerImpl;
+using detail::RuntimeShared;
+
+// ------------------------------------------------------------ thread bodies --
+
+namespace {
+
+void sender_main(RuntimeShared& sh, ProducerImpl& pm) {
+  while (auto popped = pm.buf.pop()) {
+    std::shared_ptr<Block> block = std::move(*popped);
+    const int c = consumer_of(block->header.id, sh.P, sh.Q);
+    NetMessage msg;
+    msg.producer = pm.index;
+    msg.ids_on_disk = pm.take_spilled(c);
+    sh.net_bw.acquire(block->header.bytes);
+    msg.block = std::move(block);
+    sh.consumers[static_cast<std::size_t>(c)]->net.push(std::move(msg));
+    pm.sent.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void writer_main(RuntimeShared& sh, ProducerImpl& pm) {
+  while (auto stolen = pm.buf.steal()) {
+    std::shared_ptr<Block> block = std::move(*stolen);
+    write_file(spill_path(sh.cfg.spill_dir, block->header.id), block->payload);
+    BlockHeader h = block->header;
+    h.on_disk = true;
+    pm.add_spilled(consumer_of(h.id, sh.P, sh.Q), h);
+  }
+}
+
+void receiver_main(RuntimeShared& sh, ConsumerImpl& cm) {
+  int done = 0;
+  while (auto popped = cm.net.pop()) {
+    NetMessage msg = std::move(*popped);
+    for (const BlockHeader& h : msg.ids_on_disk) cm.reader_q.push(h);
+    if (msg.block) {
+      cm.from_net.fetch_add(1, std::memory_order_relaxed);
+      if (sh.cfg.mode == Mode::kPreserve) cm.output_q.push(msg.block);
+      cm.buffer.push(std::move(msg.block));
+    }
+    if (msg.producer_done && ++done == cm.expected) break;
+  }
+  cm.reader_q.close();
+}
+
+void reader_main(RuntimeShared& sh, ConsumerImpl& cm) {
+  while (auto popped = cm.reader_q.pop()) {
+    const BlockHeader h = *popped;
+    auto block = std::make_shared<Block>();
+    block->header = h;
+    const fs::path src = spill_path(sh.cfg.spill_dir, h.id);
+    block->payload = read_file(src, h.bytes);
+    cm.from_disk.fetch_add(1, std::memory_order_relaxed);
+    if (sh.cfg.mode == Mode::kPreserve) {
+      // Already on disk: the output thread can skip it (on_disk flag); the
+      // spill file simply moves to its final home.
+      fs::rename(src, preserve_path(sh.cfg.preserve_dir, h.id));
+      cm.preserved.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      fs::remove(src);
+    }
+    cm.buffer.push(std::move(block));
+  }
+  cm.buffer.close();
+  cm.output_q.close();
+}
+
+void output_main(RuntimeShared& sh, ConsumerImpl& cm) {
+  // Preserve mode only: persists blocks that arrived over the network
+  // (on_disk == false); blocks the reader fetched were persisted already.
+  while (auto popped = cm.output_q.pop()) {
+    const std::shared_ptr<Block>& block = *popped;
+    write_file(preserve_path(sh.cfg.preserve_dir, block->header.id), block->payload);
+    cm.preserved.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- endpoints --
+
+void ProducerEndpoint::write(BlockId id, std::span<const std::byte> data,
+                             std::uint64_t offset) {
+  auto block = std::make_shared<Block>();
+  block->header = BlockHeader{id, offset, data.size(), false};
+  block->payload.assign(data.begin(), data.end());
+  impl_->buf.push(std::move(block));
+}
+
+void ProducerEndpoint::finish() {
+  assert(!impl_->finished && "finish() called twice");
+  impl_->finished = true;
+  impl_->buf.close();
+  if (impl_->writer.joinable()) impl_->writer.join();
+  if (impl_->sender.joinable()) impl_->sender.join();
+  // The writer has stopped: the spilled lists are final. Flush them with the
+  // end-of-stream control message to every consumer this producer feeds.
+  for (int c : shared_->consumers_fed_by(impl_->index)) {
+    NetMessage msg;
+    msg.producer = impl_->index;
+    msg.producer_done = true;
+    msg.ids_on_disk = impl_->take_spilled(c);
+    shared_->consumers[static_cast<std::size_t>(c)]->net.push(std::move(msg));
+  }
+}
+
+ProducerStats ProducerEndpoint::stats() const {
+  ProducerStats s;
+  s.blocks_written = impl_->buf.pushed();
+  s.blocks_sent = impl_->sent.load(std::memory_order_relaxed);
+  s.blocks_stolen = impl_->buf.stolen();
+  s.stall_ns = impl_->buf.stall_ns();
+  return s;
+}
+
+std::shared_ptr<const Block> ConsumerEndpoint::read() {
+  auto popped = impl_->buffer.pop();
+  if (!popped) return nullptr;
+  impl_->read_count.fetch_add(1, std::memory_order_relaxed);
+  return std::move(*popped);
+}
+
+ConsumerStats ConsumerEndpoint::stats() const {
+  ConsumerStats s;
+  s.blocks_from_network = impl_->from_net.load(std::memory_order_relaxed);
+  s.blocks_from_disk = impl_->from_disk.load(std::memory_order_relaxed);
+  s.blocks_read = impl_->read_count.load(std::memory_order_relaxed);
+  s.blocks_preserved = impl_->preserved.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ------------------------------------------------------------------ runtime --
+
+Runtime::Runtime(int num_producers, int num_consumers, Config config)
+    : config_(std::move(config)) {
+  assert(num_producers > 0 && num_consumers > 0);
+  if (config_.spill_dir.empty()) {
+    config_.spill_dir = fs::temp_directory_path() / "zipper_spill";
+  }
+  fs::create_directories(config_.spill_dir);
+  if (config_.mode == Mode::kPreserve) {
+    if (config_.preserve_dir.empty()) {
+      config_.preserve_dir = fs::temp_directory_path() / "zipper_preserve";
+    }
+    fs::create_directories(config_.preserve_dir);
+  }
+
+  shared_ = std::make_unique<RuntimeShared>(config_, num_producers, num_consumers);
+
+  consumers_.resize(static_cast<std::size_t>(num_consumers));
+  for (int c = 0; c < num_consumers; ++c) {
+    const int expected = (num_producers >= num_consumers)
+                             ? producers_of_consumer(c, num_producers, num_consumers)
+                             : num_producers;
+    auto impl = std::make_unique<ConsumerImpl>(config_, expected);
+    auto& cm = *impl;
+    cm.receiver = std::thread(receiver_main, std::ref(*shared_), std::ref(cm));
+    cm.reader = std::thread(reader_main, std::ref(*shared_), std::ref(cm));
+    if (config_.mode == Mode::kPreserve) {
+      cm.output = std::thread(output_main, std::ref(*shared_), std::ref(cm));
+    }
+    consumers_[static_cast<std::size_t>(c)].impl_ = impl.get();
+    shared_->consumers.push_back(std::move(impl));
+  }
+
+  producers_.resize(static_cast<std::size_t>(num_producers));
+  for (int p = 0; p < num_producers; ++p) {
+    auto impl = std::make_unique<ProducerImpl>(config_, p);
+    auto& pm = *impl;
+    pm.sender = std::thread(sender_main, std::ref(*shared_), std::ref(pm));
+    if (config_.enable_steal) {
+      pm.writer = std::thread(writer_main, std::ref(*shared_), std::ref(pm));
+    }
+    producers_[static_cast<std::size_t>(p)].impl_ = impl.get();
+    producers_[static_cast<std::size_t>(p)].shared_ = shared_.get();
+    shared_->producers.push_back(std::move(impl));
+  }
+}
+
+void Runtime::wait_idle() {
+  for (auto& cm : shared_->consumers) {
+    if (cm->receiver.joinable()) cm->receiver.join();
+    if (cm->reader.joinable()) cm->reader.join();
+    if (cm->output.joinable()) cm->output.join();
+  }
+}
+
+Runtime::~Runtime() {
+  // Emergency shutdown for producers whose finish() was never called.
+  for (auto& pm : shared_->producers) {
+    if (!pm->finished) {
+      pm->buf.close();
+      if (pm->writer.joinable()) pm->writer.join();
+      if (pm->sender.joinable()) pm->sender.join();
+    }
+  }
+  // Unblock every consumer-side stage (a consumer abandoned mid-stream could
+  // otherwise leave its reader parked on a full buffer), then join.
+  for (auto& cm : shared_->consumers) {
+    cm->net.close();
+    cm->buffer.close();
+    cm->reader_q.close();
+    cm->output_q.close();
+  }
+  for (auto& cm : shared_->consumers) {
+    if (cm->receiver.joinable()) cm->receiver.join();
+    if (cm->reader.joinable()) cm->reader.join();
+    if (cm->output.joinable()) cm->output.join();
+  }
+}
+
+}  // namespace zipper::core::rt

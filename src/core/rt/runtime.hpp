@@ -1,0 +1,143 @@
+// The Zipper runtime — real multi-threaded implementation.
+//
+// This is the embeddable library form of the paper's contribution: it couples
+// a group of producer endpoints (simulation threads/ranks) with a group of
+// consumer endpoints (analysis threads/ranks), below the application layer:
+//
+//   producer side (per endpoint, Fig 8):   consumer side (per endpoint, Fig 9):
+//     ProducerBuffer                          receiver thread
+//     sender thread  --(mixed messages)-->    consumer buffer
+//     writer thread  --(spill files)---->     reader thread
+//                                             output thread (Preserve mode)
+//
+// The "low-latency HPC network" is an in-process message channel (optionally
+// throttled to a configurable bandwidth so the dual-channel behaviour can be
+// observed on one machine), and the "parallel file system" is a spill
+// directory on the real file system. Mixed messages carry one data block plus
+// the IDs of blocks the writer thread spilled to disk, exactly as in the
+// paper; the consumer's reader thread fetches those from the spill directory.
+//
+// API (paper §4.1):  producer(i).write(id, data, bytes)  /  consumer(j).read().
+//
+// Modes: kPreserve keeps every block on disk under `preserve_dir` (a block is
+// freed only once analyzed *and* persisted — enforced by shared ownership);
+// kNoPreserve deletes spill files after consumption.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/block.hpp"
+#include "core/policy.hpp"
+#include "core/rt/channel.hpp"
+#include "core/rt/producer_buffer.hpp"
+
+namespace zipper::core::rt {
+
+enum class Mode { kNoPreserve, kPreserve };
+
+struct Config {
+  std::size_t producer_buffer_blocks = 16;
+  double high_water = 0.5;
+  bool enable_steal = true;  // dual-channel (message + file) transfer
+  Mode mode = Mode::kNoPreserve;
+  std::filesystem::path spill_dir;     // stands in for the parallel file system
+  std::filesystem::path preserve_dir;  // Preserve-mode output location
+  /// Simulated network bandwidth in bytes/s shared by all sender threads;
+  /// 0 = unthrottled. Lets single-machine demos reproduce producer stalls.
+  double network_bandwidth = 0.0;
+  std::size_t net_channel_blocks = 64;       // per-consumer in-flight bound
+  std::size_t consumer_buffer_blocks = 256;  // per-consumer buffered blocks
+};
+
+struct ProducerStats {
+  std::uint64_t blocks_written = 0;  // accepted via write()
+  std::uint64_t blocks_sent = 0;     // via network path
+  std::uint64_t blocks_stolen = 0;   // via file path
+  std::uint64_t stall_ns = 0;        // write() blocked on a full buffer
+};
+
+struct ConsumerStats {
+  std::uint64_t blocks_from_network = 0;
+  std::uint64_t blocks_from_disk = 0;
+  std::uint64_t blocks_read = 0;      // handed to the application
+  std::uint64_t blocks_preserved = 0; // persisted by the output thread / reader
+};
+
+class Runtime;
+
+namespace detail {
+struct RuntimeShared;
+struct ProducerImpl;
+struct ConsumerImpl;
+}  // namespace detail
+
+/// Producer-side endpoint: one per simulation thread/rank.
+class ProducerEndpoint {
+ public:
+  ProducerEndpoint() = default;
+
+  /// Zipper.write(block_id, data, block_size): copies `data` into the
+  /// producer buffer; may stall while the buffer is full.
+  void write(BlockId id, std::span<const std::byte> data, std::uint64_t offset = 0);
+  /// Signals end-of-stream for this producer; drains and joins its sender and
+  /// writer threads, then flushes the end-of-stream control message.
+  void finish();
+
+  ProducerStats stats() const;
+
+ private:
+  friend class Runtime;
+  detail::ProducerImpl* impl_ = nullptr;
+  detail::RuntimeShared* shared_ = nullptr;
+};
+
+/// Consumer-side endpoint: one per analysis thread/rank.
+class ConsumerEndpoint {
+ public:
+  ConsumerEndpoint() = default;
+
+  /// Zipper.read(): the next available block (dataflow-driven, any order),
+  /// or nullptr once every upstream producer finished and all blocks were
+  /// delivered. Blocks while nothing is available yet.
+  std::shared_ptr<const Block> read();
+
+  ConsumerStats stats() const;
+
+ private:
+  friend class Runtime;
+  detail::ConsumerImpl* impl_ = nullptr;
+};
+
+class Runtime {
+ public:
+  Runtime(int num_producers, int num_consumers, Config config);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  ProducerEndpoint& producer(int i) { return producers_[static_cast<std::size_t>(i)]; }
+  ConsumerEndpoint& consumer(int i) { return consumers_[static_cast<std::size_t>(i)]; }
+  int num_producers() const noexcept { return static_cast<int>(producers_.size()); }
+  int num_consumers() const noexcept { return static_cast<int>(consumers_.size()); }
+  const Config& config() const noexcept { return config_; }
+
+  /// Blocks until all producers finished and all consumers drained.
+  void wait_idle();
+
+ private:
+  Config config_;
+  std::unique_ptr<detail::RuntimeShared> shared_;
+  std::vector<ProducerEndpoint> producers_;
+  std::vector<ConsumerEndpoint> consumers_;
+};
+
+}  // namespace zipper::core::rt

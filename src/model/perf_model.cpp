@@ -1,0 +1,63 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zipper::model {
+
+ModelPrediction predict(const ModelInput& in) {
+  assert(in.block_bytes > 0 && in.producers > 0 && in.consumers > 0);
+  ModelPrediction out;
+  out.num_blocks = (in.total_bytes + in.block_bytes - 1) / in.block_bytes;
+  const double nb = static_cast<double>(out.num_blocks);
+  out.t_comp = in.tc_s * nb / in.producers;
+  out.t_transfer = in.tm_s * nb / in.producers;
+  out.t_analysis = in.ta_s * nb / in.consumers;
+  out.t_store = in.preserve
+                    ? static_cast<double>(in.total_bytes) / in.pfs_write_bandwidth
+                    : 0.0;
+  out.t_end_to_end = std::max({out.t_comp, out.t_transfer, out.t_analysis,
+                               out.t_store});
+  if (out.t_end_to_end == out.t_comp) out.dominant = "simulation";
+  if (out.t_end_to_end == out.t_transfer) out.dominant = "transfer";
+  if (out.t_end_to_end == out.t_analysis) out.dominant = "analysis";
+  if (in.preserve && out.t_end_to_end == out.t_store) out.dominant = "store";
+  return out;
+}
+
+std::vector<StageSpan> schedule_non_integrated(int blocks, const double stage_s[4]) {
+  std::vector<StageSpan> out;
+  double t = 0;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks; ++b) {
+      out.push_back(StageSpan{b, stage, t, t + stage_s[stage]});
+      t += stage_s[stage];
+    }
+  }
+  return out;
+}
+
+std::vector<StageSpan> schedule_integrated(int blocks, const double stage_s[4]) {
+  std::vector<StageSpan> out;
+  double stage_free[4] = {0, 0, 0, 0};
+  std::vector<double> block_ready(static_cast<std::size_t>(blocks), 0.0);
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks; ++b) {
+      const double start =
+          std::max(stage_free[stage], block_ready[static_cast<std::size_t>(b)]);
+      const double end = start + stage_s[stage];
+      out.push_back(StageSpan{b, stage, start, end});
+      stage_free[stage] = end;
+      block_ready[static_cast<std::size_t>(b)] = end;
+    }
+  }
+  return out;
+}
+
+double makespan(const std::vector<StageSpan>& s) {
+  double m = 0;
+  for (const auto& span : s) m = std::max(m, span.t1);
+  return m;
+}
+
+}  // namespace zipper::model

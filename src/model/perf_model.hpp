@@ -1,0 +1,69 @@
+// The paper's analytical performance model (§4.4) plus the pipeline-schedule
+// generator behind Figures 3 and 11.
+//
+// With P producer cores, Q analysis cores, total data D split into nb = D/B
+// blocks, per-block times (tc, tm, ta) for compute/transfer/analysis:
+//     Tcomp     = tc * nb / P
+//     Ttransfer = tm * nb / P            (each producer's sender drains its own blocks)
+//     Tanalysis = ta * nb / Q
+//     Tt2s      = max(Tcomp, Ttransfer, Tanalysis)     (No-Preserve)
+// Preserve mode adds Tstore = D / PFS aggregate write bandwidth as a fourth
+// pipeline stage. Pipeline fill/drain is ignored (nb >> #stages).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zipper::model {
+
+struct ModelInput {
+  std::uint64_t total_bytes = 0;   // D
+  std::uint64_t block_bytes = 1;   // B
+  int producers = 1;               // P
+  int consumers = 1;               // Q
+  double tc_s = 0;                 // compute time per block (one core)
+  double tm_s = 0;                 // transfer time per block (one sender)
+  double ta_s = 0;                 // analysis time per block (one core)
+  bool preserve = false;
+  double pfs_write_bandwidth = 24e9;  // aggregate bytes/s (Preserve mode)
+};
+
+struct ModelPrediction {
+  double t_comp = 0;
+  double t_transfer = 0;
+  double t_analysis = 0;
+  double t_store = 0;  // Preserve mode only
+  double t_end_to_end = 0;
+  std::uint64_t num_blocks = 0;
+  std::string dominant;  // which stage bounds Tt2s
+};
+
+ModelPrediction predict(const ModelInput& in);
+
+// ------------------------------------------------------------------ Fig 11 --
+
+/// One stage occupancy interval in a pipeline schedule.
+struct StageSpan {
+  int block;   // data block index
+  int stage;   // 0=Compute, 1=Output, 2=Input, 3=Analysis
+  double t0;
+  double t1;
+};
+
+inline constexpr const char* kStageNames[4] = {"Compute", "Output", "Input",
+                                               "Analysis"};
+
+/// Non-integrated execution (paper Fig 11 upper): stage k of the whole data
+/// set runs only after stage k-1 finished for *all* blocks.
+std::vector<StageSpan> schedule_non_integrated(int blocks, const double stage_s[4]);
+
+/// Integrated (Zipper) execution (Fig 11 lower): block b's stage k starts as
+/// soon as block b finished stage k-1 AND the stage-k unit is free — the
+/// classic pipeline; makespan approaches max-stage * blocks.
+std::vector<StageSpan> schedule_integrated(int blocks, const double stage_s[4]);
+
+/// Makespan of a schedule.
+double makespan(const std::vector<StageSpan>& s);
+
+}  // namespace zipper::model

@@ -1,0 +1,189 @@
+#include "mpi/mpi.hpp"
+
+#include <utility>
+
+namespace zipper::mpi {
+
+World::World(sim::Simulation& sim, net::Fabric& fabric, std::vector<int> rank_to_host)
+    : sim_(&sim), fabric_(&fabric), rank_to_host_(std::move(rank_to_host)) {
+  unmatched_.resize(rank_to_host_.size());
+  parked_.resize(rank_to_host_.size());
+}
+
+void World::deliver(int dst_rank, Envelope&& env) {
+  auto& parked = parked_[static_cast<std::size_t>(dst_rank)];
+  for (auto it = parked.begin(); it != parked.end(); ++it) {
+    if (matches(it->src, it->tag, env)) {
+      *it->out = std::move(env);
+      auto h = it->h;
+      parked.erase(it);
+      sim_->schedule_now(h);
+      return;
+    }
+  }
+  unmatched_[static_cast<std::size_t>(dst_rank)].push_back(std::move(env));
+}
+
+sim::Task World::send(int src_rank, int dst_rank, int tag, std::uint64_t bytes,
+                      std::any payload, net::TrafficClass cls) {
+  assert(src_rank >= 0 && src_rank < size());
+  assert(dst_rank >= 0 && dst_rank < size());
+  co_await fabric_->transfer(host_of(src_rank), host_of(dst_rank),
+                             bytes + kHeaderBytes, cls);
+  deliver(dst_rank, Envelope{src_rank, tag, bytes, std::move(payload)});
+}
+
+void World::isend(int src_rank, int dst_rank, int tag, std::uint64_t bytes,
+                  std::any payload, sim::Latch* done, net::TrafficClass cls) {
+  sim_->spawn([](World& w, int s, int d, int t, std::uint64_t b, std::any p,
+                 sim::Latch* l, net::TrafficClass c) -> sim::Task {
+    co_await w.send(s, d, t, b, std::move(p), c);
+    if (l) l->count_down();
+  }(*this, src_rank, dst_rank, tag, bytes, std::move(payload), done, cls));
+}
+
+bool World::RecvAwaiter::await_ready() {
+  auto& queue = w->unmatched_[static_cast<std::size_t>(dst)];
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (matches(src, tag, *it)) {
+      *out = std::move(*it);
+      queue.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void World::RecvAwaiter::await_suspend(std::coroutine_handle<> h) {
+  w->parked_[static_cast<std::size_t>(dst)].push_back(Parked{src, tag, out, h});
+}
+
+sim::Task World::recv_into(int dst_rank, int src, int tag, Envelope& out) {
+  co_await recv(dst_rank, src, tag, out);
+}
+
+sim::Task World::sendrecv(int rank, int send_to, int send_tag,
+                          std::uint64_t send_bytes, int recv_from, int recv_tag,
+                          Envelope& out) {
+  std::vector<sim::Task> both;
+  both.push_back(send(rank, send_to, send_tag, send_bytes));
+  both.push_back(recv_into(rank, recv_from, recv_tag, out));
+  co_await sim::when_all(*sim_, std::move(both));
+}
+
+Communicator::Communicator(World& world, std::vector<int> world_ranks, int tag_space)
+    : world_(&world), members_(std::move(world_ranks)), tag_space_(tag_space) {
+  seq_.assign(members_.size(), 0);
+}
+
+int Communicator::coll_tag(int comm_rank, int op) {
+  // Each collective call consumes one sequence number per rank; since all
+  // members call collectives in the same order, sequence numbers line up.
+  const std::uint32_t s = seq_[static_cast<std::size_t>(comm_rank)]++;
+  return tag_space_ + static_cast<int>(((s & 0xFFFFu) << 3) | static_cast<unsigned>(op));
+}
+
+sim::Task Communicator::barrier(int comm_rank) {
+  const int n = size();
+  if (n <= 1) co_return;
+  const int tag = coll_tag(comm_rank, 0);
+  Envelope e;
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (comm_rank + k) % n;
+    const int from = (comm_rank - k + n) % n;
+    world_->isend(world_rank(comm_rank), world_rank(to), tag, 8);
+    co_await world_->recv(world_rank(comm_rank), world_rank(from), tag, e);
+  }
+}
+
+sim::Task Communicator::bcast(int comm_rank, int root, std::uint64_t bytes) {
+  const int n = size();
+  if (n <= 1) co_return;
+  const int tag = coll_tag(comm_rank, 1);
+  // Binomial tree, virtualized so the root is vrank 0 (MPICH structure):
+  // climb masks until our set bit is found (receive there), then fan out to
+  // children at all lower masks.
+  const int vrank = (comm_rank - root + n) % n;
+  Envelope e;
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      co_await world_->recv(world_rank(comm_rank), kAnySource, tag, e);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      const int child = (vrank + mask + root) % n;
+      co_await world_->send(world_rank(comm_rank), world_rank(child), tag, bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task Communicator::reduce(int comm_rank, int root, double& value) {
+  const int n = size();
+  if (n <= 1) co_return;
+  const int tag = coll_tag(comm_rank, 2);
+  const int vrank = (comm_rank - root + n) % n;
+  Envelope e;
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      const int parent = ((vrank & ~mask) + root) % n;
+      co_await world_->send(world_rank(comm_rank), world_rank(parent), tag, 8,
+                            std::any{value});
+      co_return;
+    }
+    if (vrank + mask < n) {
+      co_await world_->recv(world_rank(comm_rank), kAnySource, tag, e);
+      value += std::any_cast<double>(e.payload);
+    }
+    mask <<= 1;
+  }
+}
+
+sim::Task Communicator::allreduce(int comm_rank, double& value) {
+  // reduce to rank 0, then a value-carrying binomial broadcast back out.
+  const int n = size();
+  if (n <= 1) co_return;
+  co_await reduce(comm_rank, 0, value);
+  const int tag = coll_tag(comm_rank, 3);
+  const int vrank = comm_rank;  // root is 0
+  Envelope e;
+  int mask = 1;
+  while (mask < n) {
+    if ((vrank & mask) != 0) {
+      co_await world_->recv(world_rank(comm_rank), kAnySource, tag, e);
+      value = std::any_cast<double>(e.payload);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < n) {
+      co_await world_->send(world_rank(comm_rank), world_rank(vrank + mask), tag, 8,
+                            std::any{value});
+    }
+    mask >>= 1;
+  }
+}
+
+sim::Task Communicator::gather(int comm_rank, int root, std::uint64_t bytes_each) {
+  const int n = size();
+  if (n <= 1) co_return;
+  const int tag = coll_tag(comm_rank, 4);
+  if (comm_rank == root) {
+    Envelope e;
+    for (int i = 0; i < n - 1; ++i) {
+      co_await world_->recv(world_rank(comm_rank), kAnySource, tag, e);
+    }
+  } else {
+    co_await world_->send(world_rank(comm_rank), world_rank(root), tag, bytes_each);
+  }
+}
+
+}  // namespace zipper::mpi

@@ -1,0 +1,97 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace zipper::net {
+
+Fabric::Fabric(sim::Simulation& sim, const FabricConfig& cfg)
+    : sim_(&sim), cfg_(cfg) {
+  assert(cfg.num_hosts > 0 && cfg.hosts_per_leaf > 0 && cfg.num_core_switches > 0);
+  num_leaves_ = (cfg.num_hosts + cfg.hosts_per_leaf - 1) / cfg.hosts_per_leaf;
+  flits_per_ns_ = cfg.port_bandwidth / 8.0 / 1e9;  // 8-byte FLITs
+
+  nic_tx_.reserve(cfg.num_hosts);
+  nic_rx_.reserve(cfg.num_hosts);
+  shm_.reserve(cfg.num_hosts);
+  for (int h = 0; h < cfg.num_hosts; ++h) {
+    nic_tx_.push_back(std::make_unique<sim::Resource>(sim, cfg.nic_bandwidth,
+                                                      cfg.software_overhead));
+    nic_rx_.push_back(std::make_unique<sim::Resource>(sim, cfg.nic_bandwidth));
+    shm_.push_back(std::make_unique<sim::Resource>(sim, cfg.shm_bandwidth,
+                                                   cfg.software_overhead));
+  }
+  up_.reserve(static_cast<std::size_t>(num_leaves_) * cfg.num_core_switches);
+  down_.reserve(static_cast<std::size_t>(num_leaves_) * cfg.num_core_switches);
+  for (int i = 0; i < num_leaves_ * cfg.num_core_switches; ++i) {
+    up_.push_back(std::make_unique<sim::Resource>(sim, cfg.port_bandwidth));
+    down_.push_back(std::make_unique<sim::Resource>(sim, cfg.port_bandwidth));
+  }
+  counters_.resize(cfg.num_hosts);
+  core_rr_.assign(cfg.num_hosts, 0);
+}
+
+void Fabric::charge_wait(int src_host, sim::Time wait_ns, TrafficClass cls) {
+  if (cls != TrafficClass::kMessage || wait_ns <= 0) return;
+  counters_[src_host].xmit_wait +=
+      static_cast<std::uint64_t>(static_cast<double>(wait_ns) * flits_per_ns_);
+}
+
+int Fabric::pick_core(int src_host, int dst_host) {
+  // Round-robin per source spreads a flow over all core switches (adaptive
+  // multipath), with the destination folded in so two hosts' streams do not
+  // stay phase-locked onto the same cores.
+  const std::uint32_t k = core_rr_[src_host]++;
+  return static_cast<int>((k + static_cast<std::uint32_t>(dst_host)) %
+                          static_cast<std::uint32_t>(cfg_.num_core_switches));
+}
+
+sim::Task Fabric::transfer(int src_host, int dst_host, std::uint64_t bytes,
+                           TrafficClass cls) {
+  assert(src_host >= 0 && src_host < cfg_.num_hosts);
+  assert(dst_host >= 0 && dst_host < cfg_.num_hosts);
+
+  HostCounters& src_ctr = counters_[src_host];
+  HostCounters& dst_ctr = counters_[dst_host];
+
+  if (src_host == dst_host) {
+    // Same-host: shared-memory copy engine, no NIC involvement.
+    co_await shm_[src_host]->transfer(bytes);
+    src_ctr.xmit_pkts += 1;
+    dst_ctr.rcv_pkts += 1;
+    co_return;
+  }
+
+  src_ctr.xmit_data += bytes;
+  src_ctr.xmit_pkts += 1;
+
+  sim::Time wait = co_await nic_tx_[src_host]->transfer(bytes);
+  charge_wait(src_host, wait, cls);
+  co_await sim_->delay(cfg_.hop_latency);
+
+  const int src_leaf = leaf_of(src_host);
+  const int dst_leaf = leaf_of(dst_host);
+  if (src_leaf != dst_leaf) {
+    const int core = pick_core(src_host, dst_host);
+    wait = co_await up_[src_leaf * cfg_.num_core_switches + core]->transfer(bytes);
+    charge_wait(src_host, wait, cls);
+    co_await sim_->delay(cfg_.hop_latency);
+    wait = co_await down_[dst_leaf * cfg_.num_core_switches + core]->transfer(bytes);
+    charge_wait(src_host, wait, cls);
+    co_await sim_->delay(cfg_.hop_latency);
+  }
+
+  wait = co_await nic_rx_[dst_host]->transfer(bytes);
+  charge_wait(src_host, wait, cls);
+
+  dst_ctr.rcv_data += bytes;
+  dst_ctr.rcv_pkts += 1;
+}
+
+std::uint64_t Fabric::total_xmit_wait(int begin, int end) const {
+  std::uint64_t sum = 0;
+  for (int h = begin; h < end; ++h) sum += counters_[h].xmit_wait;
+  return sum;
+}
+
+}  // namespace zipper::net

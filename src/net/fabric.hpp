@@ -1,0 +1,119 @@
+// Two-level fat-tree fabric model (Omni-Path-like).
+//
+// Topology: hosts attach to leaf switches (`hosts_per_leaf` per leaf); every
+// leaf connects to every core switch. A transfer occupies, in order:
+//
+//     src NIC TX  ->  leaf(src) uplink[core]  ->  leaf(dst) downlink[core]  ->  dst NIC RX
+//
+// (same-leaf traffic skips the core hops; same-host traffic uses the host's
+// shared-memory engine instead of the NIC). Each directional port is a FIFO
+// bandwidth Resource; queueing behind earlier packets is the model's *only*
+// source of contention, which is exactly the phenomenon the paper measures.
+//
+// Counters: per-host XmitData/XmitPkts/RcvData/RcvPkts and XmitWait. XmitWait
+// mirrors the Omni-Path counter the paper reads with `opapmaquery`: time (in
+// 64-bit FLIT units) during which traffic was ready to transmit but had to
+// wait. Credit-based flow control propagates downstream congestion back to
+// the sender, so we charge a message's queueing delay *anywhere on its path*
+// to the source host. Only MESSAGE-class traffic is counted (the paper's
+// counters are read on the compute-side MPI traffic; the I/O path is crafted
+// onto a separate virtual lane), though both classes share the same physical
+// port bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace zipper::net {
+
+enum class TrafficClass {
+  kMessage,  // MPI / staging / pub-sub traffic: counted in XmitWait
+  kIo,       // parallel-file-system traffic: shares bandwidth, not counted
+};
+
+struct FabricConfig {
+  int num_hosts = 16;
+  int hosts_per_leaf = 32;
+  int num_core_switches = 6;
+  double nic_bandwidth = 12.5e9;    // bytes/s per NIC direction
+  double port_bandwidth = 12.5e9;   // bytes/s per switch port direction
+  double shm_bandwidth = 8.0e9;     // same-host "transfer" bandwidth
+  sim::Time hop_latency = 150;      // ns propagation+switching per hop
+  sim::Time software_overhead = 400;  // ns of send-side software per message
+};
+
+struct HostCounters {
+  std::uint64_t xmit_data = 0;  // bytes
+  std::uint64_t xmit_pkts = 0;
+  std::uint64_t rcv_data = 0;
+  std::uint64_t rcv_pkts = 0;
+  std::uint64_t xmit_wait = 0;  // FLIT-times (64-bit flit units)
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulation& sim, const FabricConfig& cfg);
+
+  /// Moves `bytes` from `src_host` to `dst_host`, occupying every port along
+  /// the route. Completes when the last byte reaches the destination NIC.
+  /// Store-and-forward at message granularity: fine-grain blocks therefore
+  /// pipeline across hops, while monolithic per-step bursts serialize — the
+  /// effect §4 of the paper exploits.
+  sim::Task transfer(int src_host, int dst_host, std::uint64_t bytes,
+                     TrafficClass cls = TrafficClass::kMessage);
+
+  const FabricConfig& config() const noexcept { return cfg_; }
+  int num_leaves() const noexcept { return num_leaves_; }
+  int leaf_of(int host) const noexcept { return host / cfg_.hosts_per_leaf; }
+
+  const HostCounters& counters(int host) const { return counters_[host]; }
+  HostCounters& mutable_counters(int host) { return counters_[host]; }
+
+  /// Charges an externally-observed transmit stall (e.g. an end-to-end
+  /// flow-control credit wait in a runtime's sender) to `host`'s XmitWait,
+  /// in FLIT-times — the fabric's congestion control is what withholds the
+  /// credits, so the HFI reports the wait.
+  void charge_xmit_wait(int host, sim::Time wait_ns) {
+    if (wait_ns > 0) {
+      counters_[host].xmit_wait +=
+          static_cast<std::uint64_t>(static_cast<double>(wait_ns) * flits_per_ns_);
+    }
+  }
+
+  /// Sum of XmitWait over a host range [begin, end).
+  std::uint64_t total_xmit_wait(int begin, int end) const;
+
+  /// Direct access for co-located models (e.g., PFS ingestion): the NIC
+  /// resources of a host.
+  sim::Resource& nic_tx(int host) { return *nic_tx_[host]; }
+  sim::Resource& nic_rx(int host) { return *nic_rx_[host]; }
+  sim::Resource& shm(int host) { return *shm_[host]; }
+
+ private:
+  // Charges a queueing delay back to the source host's XmitWait counter in
+  // 64-bit-FLIT units at port rate.
+  void charge_wait(int src_host, sim::Time wait_ns, TrafficClass cls);
+  int pick_core(int src_host, int dst_host);
+
+  sim::Simulation* sim_;
+  FabricConfig cfg_;
+  int num_leaves_;
+  double flits_per_ns_;  // one 8-byte FLIT per this many ns at port rate
+
+  std::vector<std::unique_ptr<sim::Resource>> nic_tx_;
+  std::vector<std::unique_ptr<sim::Resource>> nic_rx_;
+  std::vector<std::unique_ptr<sim::Resource>> shm_;
+  // up_[leaf * num_cores + core], down_[leaf * num_cores + core]
+  std::vector<std::unique_ptr<sim::Resource>> up_;
+  std::vector<std::unique_ptr<sim::Resource>> down_;
+  std::vector<HostCounters> counters_;
+  std::vector<std::uint32_t> core_rr_;  // per-host round-robin core selector
+};
+
+}  // namespace zipper::net

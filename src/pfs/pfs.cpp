@@ -1,0 +1,156 @@
+#include "pfs/pfs.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "sim/latch.hpp"
+
+namespace zipper::pfs {
+
+ParallelFileSystem::ParallelFileSystem(sim::Simulation& sim, net::Fabric& fabric,
+                                       const PfsConfig& cfg)
+    : sim_(&sim), fabric_(&fabric), cfg_(cfg) {
+  metadata_ = std::make_unique<sim::Resource>(sim, 0.0, cfg.metadata_latency);
+  osts_.reserve(cfg.num_osts);
+  for (int i = 0; i < cfg.num_osts; ++i) {
+    osts_.push_back(std::make_unique<sim::Resource>(sim, cfg.ost_bandwidth));
+  }
+}
+
+sim::Task ParallelFileSystem::create(int client_host, const std::string& name,
+                                     FileId& out_id) {
+  (void)client_host;
+  co_await metadata_->op();
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    files_[it->second].size = 0;
+    out_id = it->second;
+    co_return;
+  }
+  const FileId id = static_cast<FileId>(files_.size());
+  files_.push_back(FileInfo{name, 0});
+  by_name_.emplace(name, id);
+  out_id = id;
+}
+
+sim::Task ParallelFileSystem::stat(int client_host, const std::string& name,
+                                   bool& exists, std::uint64_t& size) {
+  // Small metadata RPC over the fabric (128-byte request to the metadata
+  // gateway) followed by the server-side op.
+  co_await fabric_->transfer(client_host, cfg_.first_gateway_host, 128,
+                             net::TrafficClass::kIo);
+  co_await metadata_->op();
+  auto it = by_name_.find(name);
+  exists = it != by_name_.end();
+  size = exists ? files_[it->second].size : 0;
+}
+
+sim::Task ParallelFileSystem::write_chunk(int client_host, int ost,
+                                          std::uint64_t bytes,
+                                          double service_multiplier) {
+  co_await fabric_->transfer(client_host, gateway_of_ost(ost), bytes,
+                             net::TrafficClass::kIo);
+  co_await osts_[ost]->transfer(
+      static_cast<std::uint64_t>(static_cast<double>(bytes) * service_multiplier));
+}
+
+sim::Task ParallelFileSystem::read_chunk(int client_host, int ost,
+                                         std::uint64_t bytes,
+                                         double service_multiplier) {
+  co_await osts_[ost]->transfer(
+      static_cast<std::uint64_t>(static_cast<double>(bytes) * service_multiplier));
+  co_await fabric_->transfer(gateway_of_ost(ost), client_host, bytes,
+                             net::TrafficClass::kIo);
+}
+
+sim::Task ParallelFileSystem::io_chunks(int client_host, FileId file,
+                                        std::uint64_t offset, std::uint64_t bytes,
+                                        bool is_write, double service_multiplier) {
+  std::vector<sim::Task> chunks;
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + bytes;
+  while (pos < end) {
+    const std::uint64_t stripe_index = pos / cfg_.stripe_size;
+    const std::uint64_t stripe_end = (stripe_index + 1) * cfg_.stripe_size;
+    const std::uint64_t n = std::min(end, stripe_end) - pos;
+    // File id folded into the stripe->OST map so different files do not all
+    // hammer OST 0 with their first stripe.
+    const int ost = static_cast<int>((stripe_index + file * 7919u) %
+                                     static_cast<std::uint64_t>(cfg_.num_osts));
+    chunks.push_back(is_write ? write_chunk(client_host, ost, n, service_multiplier)
+                              : read_chunk(client_host, ost, n, service_multiplier));
+    pos += n;
+  }
+  co_await sim::when_all(*sim_, std::move(chunks));
+}
+
+sim::Task ParallelFileSystem::write(int client_host, FileId file,
+                                    std::uint64_t offset, std::uint64_t bytes,
+                                    double service_multiplier) {
+  assert(file < files_.size());
+  co_await io_chunks(client_host, file, offset, bytes, /*is_write=*/true,
+                     service_multiplier);
+  files_[file].size = std::max(files_[file].size, offset + bytes);
+  bytes_written_ += bytes;
+}
+
+sim::Task ParallelFileSystem::read(int client_host, FileId file,
+                                   std::uint64_t offset, std::uint64_t bytes,
+                                   double service_multiplier) {
+  assert(file < files_.size());
+  co_await io_chunks(client_host, file, offset, bytes, /*is_write=*/false,
+                     service_multiplier);
+  bytes_read_ += bytes;
+}
+
+bool ParallelFileSystem::exists_now(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+std::uint64_t ParallelFileSystem::size_now(FileId file) const {
+  assert(file < files_.size());
+  return files_[file].size;
+}
+
+FileId ParallelFileSystem::id_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  assert(it != by_name_.end());
+  return it->second;
+}
+
+namespace {
+// One duty-cycled burst loop pinned to a single OST: occupies it with random
+// 1..64 MiB bursts so its long-run utilization approaches `intensity`.
+sim::Task ost_load_loop(sim::Simulation& sim, sim::Resource& ost,
+                        double ost_bandwidth, double intensity,
+                        std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  while (true) {
+    // Burst sizes grow with intensity: heavy competing jobs keep large
+    // extents outstanding, so under FIFO they claim a real share even when
+    // the foreground saturates the OST.
+    const std::uint64_t burst = static_cast<std::uint64_t>(
+        static_cast<double>((1 + rng.below(64)) * common::MiB) *
+        (1.0 + 12.0 * intensity));
+    co_await ost.transfer(burst);
+    const double busy_ns = static_cast<double>(burst) / (ost_bandwidth / 1e9);
+    const double idle_ns =
+        busy_ns * (1.0 - intensity) / std::max(intensity, 1e-6);
+    co_await sim.delay(static_cast<sim::Time>(idle_ns * (0.5 + rng.uniform())));
+  }
+}
+}  // namespace
+
+sim::Task ParallelFileSystem::background_load(double intensity, std::uint64_t seed) {
+  // Every OST gets its own burst loop so `intensity` is the fraction of the
+  // *aggregate* bandwidth consumed by other users of the shared file system.
+  for (int i = 0; i < cfg_.num_osts; ++i) {
+    sim_->spawn(ost_load_loop(*sim_, *osts_[static_cast<std::size_t>(i)],
+                              cfg_.ost_bandwidth, intensity,
+                              seed * 6364136223846793005ull +
+                                  static_cast<std::uint64_t>(i)));
+  }
+  co_return;
+}
+
+}  // namespace zipper::pfs

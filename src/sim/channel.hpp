@@ -1,0 +1,154 @@
+// Simulated MPSC/MPMC channel with optional capacity bound.
+//
+// Semantics mirror a Go-style channel adapted to the discrete-event world:
+//   * `co_await ch.send(v)` — completes immediately if a receiver is parked
+//     or buffer space exists; otherwise suspends the sender (backpressure).
+//   * `co_await ch.recv()` — yields std::optional<T>; std::nullopt once the
+//     channel is closed *and* drained.
+//
+// Handoff rule: when a sender finds a parked receiver, the value is delivered
+// directly into the receiver's awaiter slot (never through the buffer), so a
+// later same-timestamp recv() cannot steal it. FIFO order is preserved among
+// both senders and receivers.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.hpp"
+
+namespace zipper::sim {
+
+template <typename T>
+class Channel {
+ public:
+  /// capacity == 0 means unbounded.
+  explicit Channel(Simulation& sim, std::size_t capacity = 0)
+      : sim_(&sim), capacity_(capacity) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  struct RecvAwaiter {
+    Channel* ch;
+    std::optional<T> slot;
+    bool closed_signal = false;
+
+    bool await_ready() {
+      if (!ch->buffer_.empty()) {
+        slot = std::move(ch->buffer_.front());
+        ch->buffer_.pop_front();
+        ch->promote_waiting_sender();
+        return true;
+      }
+      if (ch->closed_) {
+        closed_signal = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ch->recv_waiters_.push_back(ParkedRecv{this, h});
+    }
+    std::optional<T> await_resume() {
+      if (closed_signal) return std::nullopt;
+      return std::move(slot);
+    }
+  };
+
+  struct SendAwaiter {
+    Channel* ch;
+    T value;
+
+    bool await_ready() {
+      assert(!ch->closed_ && "send on closed channel");
+      if (!ch->recv_waiters_.empty()) {
+        ParkedRecv r = ch->recv_waiters_.front();
+        ch->recv_waiters_.pop_front();
+        r.awaiter->slot = std::move(value);
+        ch->sim_->schedule_now(r.handle);
+        return true;
+      }
+      if (ch->capacity_ == 0 || ch->buffer_.size() < ch->capacity_) {
+        ch->buffer_.push_back(std::move(value));
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      ch->send_waiters_.push_back(ParkedSend{this, h});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// Awaitable send; applies backpressure when the channel is bounded & full.
+  SendAwaiter send(T value) { return SendAwaiter{this, std::move(value)}; }
+
+  /// Non-suspending send; returns false instead of blocking when full.
+  bool try_send(T value) {
+    assert(!closed_ && "send on closed channel");
+    if (!recv_waiters_.empty()) {
+      ParkedRecv r = recv_waiters_.front();
+      recv_waiters_.pop_front();
+      r.awaiter->slot = std::move(value);
+      sim_->schedule_now(r.handle);
+      return true;
+    }
+    if (capacity_ == 0 || buffer_.size() < capacity_) {
+      buffer_.push_back(std::move(value));
+      return true;
+    }
+    return false;
+  }
+
+  /// Awaitable receive; std::nullopt after close() once drained.
+  RecvAwaiter recv() { return RecvAwaiter{this, std::nullopt}; }
+
+  /// Closes the channel: parked receivers wake with std::nullopt; buffered
+  /// values remain receivable. Sends after close are a programming error.
+  void close() {
+    closed_ = true;
+    while (!recv_waiters_.empty() && buffer_.empty()) {
+      ParkedRecv r = recv_waiters_.front();
+      recv_waiters_.pop_front();
+      r.awaiter->closed_signal = true;
+      sim_->schedule_now(r.handle);
+    }
+  }
+
+  std::size_t size() const noexcept { return buffer_.size(); }
+  bool empty() const noexcept { return buffer_.empty(); }
+  bool closed() const noexcept { return closed_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct ParkedRecv {
+    RecvAwaiter* awaiter;
+    std::coroutine_handle<> handle;
+  };
+  struct ParkedSend {
+    SendAwaiter* awaiter;
+    std::coroutine_handle<> handle;
+  };
+
+  // Called after a buffered item was consumed: moves one parked sender's value
+  // into the freed buffer slot and resumes that sender.
+  void promote_waiting_sender() {
+    if (send_waiters_.empty()) return;
+    ParkedSend s = send_waiters_.front();
+    send_waiters_.pop_front();
+    buffer_.push_back(std::move(s.awaiter->value));
+    sim_->schedule_now(s.handle);
+  }
+
+  Simulation* sim_;
+  std::size_t capacity_;
+  bool closed_ = false;
+  std::deque<T> buffer_;
+  std::deque<ParkedRecv> recv_waiters_;
+  std::deque<ParkedSend> send_waiters_;
+};
+
+}  // namespace zipper::sim

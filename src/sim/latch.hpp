@@ -1,0 +1,69 @@
+// Completion latch + structured concurrency helper for simulated tasks.
+//
+// `Latch` counts down to zero and wakes all waiters; `when_all` runs a batch
+// of Tasks concurrently (as detached processes) and resumes its awaiter when
+// every one has finished — the building block for MPI_Waitall-style semantics.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace zipper::sim {
+
+class Latch {
+ public:
+  Latch(Simulation& sim, std::int64_t count) : sim_(&sim), count_(count) {}
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void count_down(std::int64_t n = 1) {
+    assert(count_ >= n && "latch underflow");
+    count_ -= n;
+    if (count_ == 0) {
+      for (auto h : waiters_) sim_->schedule_now(h);
+      waiters_.clear();
+    }
+  }
+
+  struct WaitAwaiter {
+    Latch* l;
+    bool await_ready() const noexcept { return l->count_ == 0; }
+    void await_suspend(std::coroutine_handle<> h) { l->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  WaitAwaiter wait() { return WaitAwaiter{this}; }
+  std::int64_t pending() const noexcept { return count_; }
+
+ private:
+  Simulation* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+namespace detail {
+inline Task run_and_count_down(Task t, Latch& latch) {
+  co_await std::move(t);
+  latch.count_down();
+}
+}  // namespace detail
+
+/// Runs all tasks concurrently; completes when the last one finishes.
+/// Exceptions inside any task are fatal (they surface from Simulation::run),
+/// matching MPI's error-aborts-the-job model.
+inline Task when_all(Simulation& sim, std::vector<Task> tasks) {
+  Latch latch(sim, static_cast<std::int64_t>(tasks.size()));
+  for (auto& t : tasks) {
+    sim.spawn(detail::run_and_count_down(std::move(t), latch));
+  }
+  co_await latch.wait();
+}
+
+}  // namespace zipper::sim

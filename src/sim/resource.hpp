@@ -1,0 +1,101 @@
+// FIFO bandwidth server ("resource") — the queueing primitive behind every
+// network port, NIC, and PFS storage target in the cluster model.
+//
+// A Resource serves requests strictly in arrival order at a fixed byte rate
+// (plus an optional fixed per-operation overhead). Because service is
+// non-preemptive and FIFO, a request's start time is known the moment it
+// arrives: start = max(now, busy_until). This lets us implement the server as
+// a *virtual queue* — each arriving coroutine is simply scheduled to resume at
+// its departure time — with O(log n) cost per transfer and exact queueing
+// delays.
+//
+// The awaiter reports the queueing delay it experienced, which the fabric
+// layer converts into Omni-Path-style XmitWait counter increments.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <coroutine>
+#include <cstdint>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace zipper::sim {
+
+class Resource {
+ public:
+  struct Stats {
+    std::uint64_t ops = 0;
+    std::uint64_t bytes = 0;
+    Time busy = 0;        // cumulative service time
+    Time queue_wait = 0;  // cumulative time requests spent waiting
+  };
+
+  /// `bytes_per_second` <= 0 means "infinitely fast" (per-op overhead only).
+  Resource(Simulation& sim, double bytes_per_second, Time per_op_overhead = 0)
+      : sim_(&sim),
+        bytes_per_ns_(bytes_per_second / 1e9),
+        per_op_overhead_(per_op_overhead) {}
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  struct TransferAwaiter {
+    Resource* res;
+    std::uint64_t bytes;
+    Time wait = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      const Time now = res->sim_->now();
+      const Time start = std::max(now, res->busy_until_);
+      const Time service = res->service_time(bytes);
+      wait = start - now;
+      res->busy_until_ = start + service;
+      res->stats_.ops += 1;
+      res->stats_.bytes += bytes;
+      res->stats_.busy += service;
+      res->stats_.queue_wait += wait;
+      res->sim_->schedule_at(start + service, h);
+    }
+    /// Returns the queueing delay (time spent waiting behind earlier
+    /// requests, excluding own service time).
+    Time await_resume() const noexcept { return wait; }
+  };
+
+  /// Occupies the server for bytes/rate (+ per-op overhead), FIFO-ordered.
+  /// `co_await` yields the queueing delay experienced.
+  TransferAwaiter transfer(std::uint64_t bytes) { return TransferAwaiter{this, bytes}; }
+
+  /// Pure-latency operation (e.g., one metadata RPC of fixed service time).
+  TransferAwaiter op() { return TransferAwaiter{this, 0}; }
+
+  Time service_time(std::uint64_t bytes) const noexcept {
+    Time t = per_op_overhead_;
+    if (bytes_per_ns_ > 0 && bytes > 0) {
+      t += static_cast<Time>(std::ceil(static_cast<double>(bytes) / bytes_per_ns_));
+    }
+    return t;
+  }
+
+  /// Time at which the server becomes idle (== now when idle already).
+  Time busy_until() const noexcept { return busy_until_; }
+  /// Current virtual queue length expressed as time: how long a request
+  /// arriving now would wait before service starts.
+  Time backlog() const noexcept { return std::max<Time>(0, busy_until_ - sim_->now()); }
+
+  const Stats& stats() const noexcept { return stats_; }
+  double bytes_per_second() const noexcept { return bytes_per_ns_ * 1e9; }
+  Time per_op_overhead() const noexcept { return per_op_overhead_; }
+
+ private:
+  Simulation* sim_;
+  double bytes_per_ns_;
+  Time per_op_overhead_;
+  Time busy_until_ = 0;
+  Stats stats_;
+};
+
+}  // namespace zipper::sim

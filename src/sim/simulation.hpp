@@ -1,0 +1,100 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Determinism contract: events fire in (time, sequence-number) order, where
+// sequence numbers are assigned at scheduling time. No wall-clock, no global
+// RNG. Two runs of the same program produce identical event orders and
+// identical simulated timestamps.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace zipper::sim {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  /// Current simulated time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `h` to resume at absolute time `t` (must be >= now()).
+  void schedule_at(Time t, std::coroutine_handle<> h);
+
+  /// Schedules `h` to resume after `delay` nanoseconds.
+  void schedule_after(Time delay, std::coroutine_handle<> h) {
+    schedule_at(now_ + delay, h);
+  }
+
+  /// Schedules `h` to resume at the current time, after already-queued events
+  /// at this timestamp.
+  void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
+
+  /// Detaches `task` as a root simulated process; its first resume is
+  /// scheduled at the current simulated time.
+  void spawn(Task task);
+
+  /// Awaitable: suspend the calling coroutine for `d` simulated nanoseconds.
+  auto delay(Time d) noexcept {
+    struct Awaiter {
+      Simulation* sim;
+      Time d;
+      bool await_ready() const noexcept { return d <= 0; }
+      void await_suspend(std::coroutine_handle<> h) { sim->schedule_after(d, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Runs until the event queue drains. Returns the final simulated time.
+  /// Throws if any root process terminated with an exception.
+  Time run();
+
+  /// Makes run()/run_until() return after the current event completes —
+  /// used by drivers whose universes contain never-ending processes (e.g.
+  /// background file-system load). Cleared on the next run() call.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+  /// Runs until the event queue drains or simulated time would exceed
+  /// `deadline`; events after the deadline stay queued.
+  Time run_until(Time deadline);
+
+  /// Number of root processes that have not yet finished (useful for
+  /// detecting deadlocks after run() returns: parked coroutines hold no
+  /// queued events).
+  std::size_t unfinished_processes() const;
+
+  /// Total number of events dispatched so far.
+  std::uint64_t events_dispatched() const noexcept { return dispatched_; }
+
+ private:
+  struct Event {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  void dispatch(const Event& ev);
+  void sweep_finished_roots();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  std::vector<Task::Handle> roots_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace zipper::sim

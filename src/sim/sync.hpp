@@ -1,0 +1,159 @@
+// Simulated synchronization primitives: FIFO mutex, condition variable, and
+// counting semaphore. All are single-"OS-thread" objects living inside one
+// Simulation; fairness is strict FIFO to keep runs deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+
+namespace zipper::sim {
+
+class SimMutex {
+ public:
+  explicit SimMutex(Simulation& sim) : sim_(&sim) {}
+  SimMutex(const SimMutex&) = delete;
+  SimMutex& operator=(const SimMutex&) = delete;
+
+  struct LockAwaiter {
+    SimMutex* m;
+    bool await_ready() {
+      if (!m->locked_) {
+        m->locked_ = true;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { m->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await lock(); ownership transfers FIFO on unlock().
+  LockAwaiter lock() { return LockAwaiter{this}; }
+
+  bool try_lock() {
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  void unlock() {
+    assert(locked_ && "unlock of unlocked SimMutex");
+    if (!waiters_.empty()) {
+      // Ownership passes directly to the first waiter; locked_ stays true.
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule_now(h);
+    } else {
+      locked_ = false;
+    }
+  }
+
+  bool locked() const noexcept { return locked_; }
+
+ private:
+  friend class SimCondVar;
+  Simulation* sim_;
+  bool locked_ = false;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// RAII guard usable inside coroutines:  auto g = co_await ScopedSimLock::acquire(m);
+class ScopedSimLock {
+ public:
+  explicit ScopedSimLock(SimMutex& m) noexcept : m_(&m) {}
+  ScopedSimLock(ScopedSimLock&& o) noexcept : m_(o.m_) { o.m_ = nullptr; }
+  ScopedSimLock(const ScopedSimLock&) = delete;
+  ScopedSimLock& operator=(const ScopedSimLock&) = delete;
+  ~ScopedSimLock() {
+    if (m_) m_->unlock();
+  }
+
+ private:
+  SimMutex* m_;
+};
+
+class SimCondVar {
+ public:
+  explicit SimCondVar(Simulation& sim) : sim_(&sim) {}
+  SimCondVar(const SimCondVar&) = delete;
+  SimCondVar& operator=(const SimCondVar&) = delete;
+
+  /// Atomically releases `m`, parks, and re-acquires `m` before returning.
+  /// Standard predicate-loop usage:
+  ///   while (!pred()) co_await cv.wait(m);
+  Task wait(SimMutex& m) {
+    m.unlock();
+    co_await Park{this};
+    co_await m.lock();
+  }
+
+  void notify_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_->schedule_now(h);
+  }
+
+  void notify_all() {
+    while (!waiters_.empty()) notify_one();
+  }
+
+  std::size_t waiter_count() const noexcept { return waiters_.size(); }
+
+ private:
+  struct Park {
+    SimCondVar* cv;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { cv->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  Simulation* sim_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+class SimSemaphore {
+ public:
+  SimSemaphore(Simulation& sim, std::int64_t initial) : sim_(&sim), count_(initial) {}
+  SimSemaphore(const SimSemaphore&) = delete;
+  SimSemaphore& operator=(const SimSemaphore&) = delete;
+
+  struct AcquireAwaiter {
+    SimSemaphore* s;
+    bool await_ready() {
+      if (s->count_ > 0) {
+        --s->count_;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) { s->waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  AcquireAwaiter acquire() { return AcquireAwaiter{this}; }
+
+  void release(std::int64_t n = 1) {
+    count_ += n;
+    while (count_ > 0 && !waiters_.empty()) {
+      --count_;
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->schedule_now(h);
+    }
+  }
+
+  std::int64_t available() const noexcept { return count_; }
+
+ private:
+  Simulation* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace zipper::sim

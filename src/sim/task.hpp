@@ -1,0 +1,105 @@
+// Coroutine task type for simulated processes.
+//
+// A `Task` is an eager-free (initially suspended) coroutine. There are two
+// ways to run one:
+//   * `co_await child_task()` from another Task: suspends the parent, runs the
+//     child to completion (possibly across many simulated-time suspensions),
+//     then resumes the parent via symmetric transfer. The awaiting expression
+//     owns the child frame.
+//   * `Simulation::spawn(std::move(task))`: detaches the task as a root
+//     simulated process; the Simulation owns the frame and schedules its first
+//     resume at the current simulated time.
+//
+// Exceptions thrown inside a Task are captured and re-thrown at the awaiter
+// (for child tasks) or out of Simulation::run() (for root tasks).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace zipper::sim {
+
+class Task {
+ public:
+  struct promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  struct promise_type {
+    std::coroutine_handle<> continuation;  // resumed when this task finishes
+    std::exception_ptr exception;
+
+    Task get_return_object() { return Task{Handle::from_promise(*this)}; }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(Handle h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+
+  Task() = default;
+  explicit Task(Handle h) : handle_(h) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return handle_ != nullptr; }
+  bool done() const noexcept { return handle_ && handle_.done(); }
+  Handle handle() const noexcept { return handle_; }
+
+  /// Releases ownership of the coroutine frame (used by Simulation::spawn).
+  Handle release() noexcept { return std::exchange(handle_, nullptr); }
+
+  /// Awaiting a Task starts it and suspends the awaiter until it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      Handle child;
+      bool await_ready() const noexcept { return !child || child.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) noexcept {
+        child.promise().continuation = parent;
+        return child;  // symmetric transfer: run the child now
+      }
+      void await_resume() const {
+        if (child && child.promise().exception) {
+          std::rethrow_exception(child.promise().exception);
+        }
+      }
+      ~Awaiter() {
+        if (child) child.destroy();
+      }
+      Awaiter(const Awaiter&) = delete;
+      Awaiter& operator=(const Awaiter&) = delete;
+      explicit Awaiter(Handle h) noexcept : child(h) {}
+    };
+    return Awaiter{release()};
+  }
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace zipper::sim

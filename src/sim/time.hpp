@@ -1,0 +1,28 @@
+// Simulated-time type for the discrete-event engine.
+//
+// Simulated time is a signed 64-bit count of nanoseconds (enough for ~292
+// simulated years). All fabric/PFS/runtime models operate in this unit; the
+// benches convert to seconds only for reporting.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace zipper::sim {
+
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Convert seconds (double) to simulated nanoseconds, rounding to nearest.
+constexpr Time from_seconds(double s) noexcept {
+  return static_cast<Time>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert simulated nanoseconds to seconds.
+constexpr double to_seconds(Time t) noexcept { return static_cast<double>(t) / 1e9; }
+
+}  // namespace zipper::sim

@@ -1,0 +1,96 @@
+#include "trace/recorder.hpp"
+
+#include <array>
+#include <string>
+
+namespace zipper::trace {
+
+namespace {
+struct CatInfo {
+  std::string_view name;
+  char glyph;
+};
+constexpr std::array<CatInfo, 16> kCatInfo{{
+    {"Compute", 'C'},
+    {"Collision", 'c'},
+    {"Streaming", 's'},
+    {"Update", 'u'},
+    {"Put", 'P'},
+    {"Get", 'G'},
+    {"Lock", 'L'},
+    {"ServerQuery", 'Q'},
+    {"Stall", '#'},
+    {"Transfer", 'T'},
+    {"Store", 'W'},
+    {"Read", 'R'},
+    {"Analysis", 'A'},
+    {"Waitall", 'X'},
+    {"Barrier", 'B'},
+    {"Steal", '$'},
+}};
+}  // namespace
+
+std::string_view cat_name(Cat c) noexcept {
+  return kCatInfo[static_cast<std::size_t>(c)].name;
+}
+
+char cat_glyph(Cat c) noexcept {
+  return kCatInfo[static_cast<std::size_t>(c)].glyph;
+}
+
+sim::Time Recorder::total(Cat cat, std::int32_t rank) const {
+  sim::Time sum = 0;
+  for (const Span& s : spans_) {
+    if (s.cat == cat && (rank < 0 || s.rank == rank)) sum += s.t1 - s.t0;
+  }
+  return sum;
+}
+
+std::vector<Span> Recorder::window(std::int32_t rank, sim::Time t0,
+                                   sim::Time t1) const {
+  std::vector<Span> out;
+  for (const Span& s : spans_) {
+    if (s.rank != rank || s.t1 <= t0 || s.t0 >= t1) continue;
+    out.push_back(Span{s.rank, s.cat, std::max(s.t0, t0), std::min(s.t1, t1)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.t0 < b.t0; });
+  return out;
+}
+
+std::string render_gantt(const Recorder& rec, const std::vector<std::int32_t>& ranks,
+                         sim::Time t0, sim::Time t1, int width) {
+  std::string out;
+  const double cell = static_cast<double>(t1 - t0) / width;
+  for (std::int32_t rank : ranks) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const Span& s : rec.window(rank, t0, t1)) {
+      int c0 = static_cast<int>(static_cast<double>(s.t0 - t0) / cell);
+      int c1 = static_cast<int>(static_cast<double>(s.t1 - t0) / cell + 0.999);
+      c0 = std::clamp(c0, 0, width - 1);
+      c1 = std::clamp(c1, c0 + 1, width);
+      for (int c = c0; c < c1; ++c) row[static_cast<std::size_t>(c)] = cat_glyph(s.cat);
+    }
+    out += "rank ";
+    std::string r = std::to_string(rank);
+    out.append(5 - std::min<std::size_t>(5, r.size()), ' ');
+    out += r;
+    out += " |";
+    out += row;
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string gantt_legend(const std::vector<Cat>& cats) {
+  std::string out = "legend: ";
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    if (i) out += ", ";
+    out += cat_glyph(cats[i]);
+    out += "=";
+    out += cat_name(cats[i]);
+  }
+  return out;
+}
+
+}  // namespace zipper::trace

@@ -1,0 +1,54 @@
+// Decaf-style dataflow coupling: producers PUT each step to dedicated link
+// ranks; the PUT completes only when *every* producer's data reached its link
+// (the MPI_Waitall interlock of Fig 6), after which links forward data to the
+// consumers. All participants share one MPI_COMM_WORLD (single failure
+// domain), and the per-step synchronized burst of whole-step messages is
+// exactly the traffic pattern that inflates the application's MPI_Sendrecv
+// and stalls producers in Figs 6/17/19.
+//
+// `decaf_emulate_count_overflow` reproduces the 32-bit element-count overflow
+// the paper hit at 6,528+ cores with the CFD workflow (confirmed by the Decaf
+// developers): construction throws once the global element count exceeds
+// INT32_MAX, and the bench reports the crash like the paper does.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "apps/profiles.hpp"
+#include "transports/params.hpp"
+#include "workflow/cluster.hpp"
+#include "workflow/coupling.hpp"
+
+namespace zipper::transports {
+
+class DecafCountOverflow : public std::runtime_error {
+ public:
+  explicit DecafCountOverflow(const std::string& what) : std::runtime_error(what) {}
+};
+
+class DecafCoupling : public workflow::Coupling {
+ public:
+  DecafCoupling(workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
+                TransportParams params = {});
+
+  std::string name() const override { return "Decaf"; }
+  void spawn_services() override;
+  sim::Task producer_step(int p, int step) override;
+  sim::Task consumer_run(int c) override;
+  std::map<std::string, double> metrics() const override;
+
+ private:
+  sim::Task link_proc(int l);
+  sim::Task master_proc();
+  int link_of(int p) const;
+
+  workflow::Cluster* cl_;
+  apps::WorkloadProfile profile_;
+  TransportParams params_;
+  int num_links_;
+  sim::Time waitall_total_ = 0;
+};
+
+}  // namespace zipper::transports

@@ -1,0 +1,72 @@
+#include "transports/factory.hpp"
+
+#include "transports/decaf.hpp"
+#include "transports/flexpath.hpp"
+#include "transports/mpiio.hpp"
+#include "transports/staging.hpp"
+#include "workflow/zipper_coupling.hpp"
+
+namespace zipper::transports {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::kMpiIo: return "MPI-IO";
+    case Method::kAdiosDataSpaces: return "ADIOS/DataSpaces";
+    case Method::kAdiosDimes: return "ADIOS/DIMES";
+    case Method::kNativeDataSpaces: return "native DataSpaces";
+    case Method::kNativeDimes: return "native DIMES";
+    case Method::kFlexpath: return "Flexpath";
+    case Method::kDecaf: return "Decaf";
+    case Method::kZipper: return "Zipper";
+  }
+  return "?";
+}
+
+int servers_for(Method m, int producers) {
+  switch (m) {
+    case Method::kAdiosDataSpaces:
+    case Method::kAdiosDimes:
+    case Method::kNativeDataSpaces:
+    case Method::kNativeDimes:
+      // Table 1: 32 staging/metadata server processes for 256 producers.
+      return std::max(1, producers / 8);
+    case Method::kDecaf:
+      // Table 1: 64 Decaf-link processes for 256 producers.
+      return std::max(1, producers / 4);
+    default:
+      return 0;
+  }
+}
+
+std::unique_ptr<workflow::Coupling> make_coupling(
+    Method m, workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
+    const TransportParams& params, const core::dsim::SimZipperConfig& zipper_cfg) {
+  switch (m) {
+    case Method::kMpiIo:
+      return std::make_unique<MpiIoCoupling>(cluster, profile, params);
+    case Method::kAdiosDataSpaces:
+      return std::make_unique<StagingCoupling>(cluster, profile,
+                                               StagingKind::kDataSpaces, true,
+                                               params);
+    case Method::kAdiosDimes:
+      return std::make_unique<StagingCoupling>(cluster, profile,
+                                               StagingKind::kDimes, true, params);
+    case Method::kNativeDataSpaces:
+      return std::make_unique<StagingCoupling>(cluster, profile,
+                                               StagingKind::kDataSpaces, false,
+                                               params);
+    case Method::kNativeDimes:
+      return std::make_unique<StagingCoupling>(cluster, profile,
+                                               StagingKind::kDimes, false, params);
+    case Method::kFlexpath:
+      return std::make_unique<FlexpathCoupling>(cluster, profile, params);
+    case Method::kDecaf:
+      return std::make_unique<DecafCoupling>(cluster, profile, params);
+    case Method::kZipper:
+      return std::make_unique<workflow::ZipperCoupling>(cluster, profile,
+                                                        zipper_cfg);
+  }
+  return nullptr;
+}
+
+}  // namespace zipper::transports

@@ -1,0 +1,40 @@
+// Convenience factory used by the benches and integration tests: builds any
+// of the paper's seven transport couplings (plus Zipper) by name.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "apps/profiles.hpp"
+#include "core/dsim/sim_runtime.hpp"
+#include "transports/params.hpp"
+#include "workflow/cluster.hpp"
+#include "workflow/coupling.hpp"
+
+namespace zipper::transports {
+
+enum class Method {
+  kMpiIo,
+  kAdiosDataSpaces,
+  kAdiosDimes,
+  kNativeDataSpaces,
+  kNativeDimes,
+  kFlexpath,
+  kDecaf,
+  kZipper,
+};
+
+/// Human-readable name matching the paper's Figure 2 labels.
+std::string method_name(Method m);
+
+/// Number of auxiliary server/link ranks a method wants for P producers,
+/// following Table 1 (DataSpaces/DIMES: 32 servers per 256 producers; Decaf:
+/// 64 links per 256 producers i.e. P/4; others: none).
+int servers_for(Method m, int producers);
+
+std::unique_ptr<workflow::Coupling> make_coupling(
+    Method m, workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
+    const TransportParams& params = {},
+    const core::dsim::SimZipperConfig& zipper_cfg = {});
+
+}  // namespace zipper::transports

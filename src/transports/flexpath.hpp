@@ -1,0 +1,51 @@
+// Flexpath-style publish/subscribe coupling (the ADIOS/Flexpath method).
+//
+// Producers publish each step through an output epoch (open/write/close =
+// a buffer copy); subscribers send a fetch message to *every* publisher they
+// consume from, and a per-producer publisher service answers over the socket
+// path. Two pathologies the paper measured are modeled mechanically:
+//   * every byte — even node-local — crosses a per-HOST socket stack with
+//     limited bandwidth, so packing many ranks per node serializes
+//     (the paper's one-process-per-node experiment ran 11x faster);
+//   * the socket traffic shares NICs with the application's MPI_Sendrecv,
+//     inflating the LBM streaming phase (Fig 5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apps/profiles.hpp"
+#include "sim/resource.hpp"
+#include "sim/sync.hpp"
+#include "transports/params.hpp"
+#include "workflow/cluster.hpp"
+#include "workflow/coupling.hpp"
+
+namespace zipper::transports {
+
+class FlexpathCoupling : public workflow::Coupling {
+ public:
+  FlexpathCoupling(workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
+                   TransportParams params = {});
+  ~FlexpathCoupling() override;
+
+  std::string name() const override { return "Flexpath"; }
+  void spawn_services() override;
+  sim::Task producer_step(int p, int step) override;
+  sim::Task producer_finalize(int p) override;
+  sim::Task consumer_run(int c) override;
+
+ private:
+  sim::Task publisher_service(int p);
+
+  struct Publisher;
+  workflow::Cluster* cl_;
+  apps::WorkloadProfile profile_;
+  TransportParams params_;
+  std::vector<std::unique_ptr<Publisher>> pubs_;
+  // one socket stack per host, shared by every rank on it
+  std::vector<std::unique_ptr<sim::Resource>> socket_stack_;
+};
+
+}  // namespace zipper::transports

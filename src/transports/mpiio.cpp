@@ -1,0 +1,102 @@
+#include "transports/mpiio.hpp"
+
+#include <numeric>
+
+#include "core/policy.hpp"
+#include "trace/recorder.hpp"
+
+namespace zipper::transports {
+
+using sim::Task;
+
+MpiIoCoupling::MpiIoCoupling(workflow::Cluster& cluster,
+                             const apps::WorkloadProfile& profile,
+                             TransportParams params)
+    : cl_(&cluster), profile_(profile), params_(params) {
+  std::vector<int> producer_ranks(static_cast<std::size_t>(cluster.layout().producers));
+  std::iota(producer_ranks.begin(), producer_ranks.end(), 0);
+  producers_comm_ = std::make_unique<mpi::Communicator>(
+      *cluster.world, std::move(producer_ranks), /*tag_space=*/1 << 21);
+}
+
+std::string MpiIoCoupling::step_file(int step) const {
+  return "mpiio_step_" + std::to_string(step);
+}
+
+sim::Task MpiIoCoupling::producer_step(int p, int step) {
+  auto& sim = cl_->sim;
+  auto& fs = *cl_->fs;
+  const int rank = cl_->producer_rank(p);
+  const int host = cl_->world->host_of(rank);
+  const std::uint64_t bytes = profile_.bytes_per_rank_per_step;
+
+  // Collective open: every writer synchronizes, rank 0 creates the file.
+  {
+    trace::ScopedSpan s(cl_->recorder, sim, rank, trace::Cat::kBarrier);
+    co_await producers_comm_->barrier(p);
+  }
+  if (p == 0) {
+    pfs::FileId fid = 0;
+    co_await fs.create(host, step_file(step), fid);
+  }
+  {
+    trace::ScopedSpan s(cl_->recorder, sim, rank, trace::Cat::kStore);
+    // Everyone (including rank 0, post-create) waits for the file to exist,
+    // then writes its slice of the shared file.
+    while (!fs.exists_now(step_file(step))) co_await sim.delay(10'000);
+    co_await fs.write(host, fs.id_of(step_file(step)),
+                      static_cast<std::uint64_t>(p) * bytes, bytes,
+                      params_.mpiio_write_amplification);
+  }
+  // Collective close.
+  {
+    trace::ScopedSpan s(cl_->recorder, sim, rank, trace::Cat::kBarrier);
+    co_await producers_comm_->barrier(p);
+  }
+}
+
+sim::Task MpiIoCoupling::consumer_run(int c) {
+  auto& sim = cl_->sim;
+  auto& fs = *cl_->fs;
+  const int P = cl_->layout().producers;
+  const int Q = cl_->layout().consumers;
+  const int rank = cl_->consumer_rank(c);
+  const int host = cl_->world->host_of(rank);
+  const std::uint64_t bytes = profile_.bytes_per_rank_per_step;
+  const std::uint64_t full_size = static_cast<std::uint64_t>(P) * bytes;
+
+  // This consumer analyzes the slices of its assigned producers.
+  std::vector<int> owned;
+  for (int p = 0; p < P; ++p) {
+    if (core::consumer_of(core::BlockId{0, p, 0}, P, Q) == c) owned.push_back(p);
+  }
+
+  for (int step = 0; step < profile_.steps; ++step) {
+    // Poll until the step's shared file is fully written.
+    {
+      trace::ScopedSpan s(cl_->recorder, sim, rank, trace::Cat::kServerQuery);
+      while (true) {
+        bool exists = false;
+        std::uint64_t size = 0;
+        co_await fs.stat(host, step_file(step), exists, size);
+        if (exists && size >= full_size) break;
+        co_await sim.delay(params_.mpiio_poll_interval);
+      }
+    }
+    {
+      trace::ScopedSpan s(cl_->recorder, sim, rank, trace::Cat::kRead);
+      const pfs::FileId fid = fs.id_of(step_file(step));
+      for (int p : owned) {
+        co_await fs.read(host, fid, static_cast<std::uint64_t>(p) * bytes, bytes,
+                         params_.mpiio_read_amplification);
+      }
+    }
+    {
+      trace::ScopedSpan s(cl_->recorder, sim, rank, trace::Cat::kAnalysis);
+      co_await sim.delay(
+          profile_.analysis_time(bytes * static_cast<std::uint64_t>(owned.size())));
+    }
+  }
+}
+
+}  // namespace zipper::transports

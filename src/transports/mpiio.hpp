@@ -1,0 +1,39 @@
+// MPI-IO coupling: producers collectively write one shared file per step to
+// the parallel file system; consumers poll the metadata server until the
+// step's file is complete, then read their slices.
+//
+// Captures the paper's observations: coupling "requires writing code to let a
+// consumer know when new data is available in a file" (polling), collective
+// open/close synchronization among writers, and total exposure to shared-file-
+// system contention (the source of MPI-IO's large run-to-run variance).
+#pragma once
+
+#include <memory>
+
+#include "apps/profiles.hpp"
+#include "mpi/mpi.hpp"
+#include "transports/params.hpp"
+#include "workflow/cluster.hpp"
+#include "workflow/coupling.hpp"
+
+namespace zipper::transports {
+
+class MpiIoCoupling : public workflow::Coupling {
+ public:
+  MpiIoCoupling(workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
+                TransportParams params = {});
+
+  std::string name() const override { return "MPI-IO"; }
+  sim::Task producer_step(int p, int step) override;
+  sim::Task consumer_run(int c) override;
+
+ private:
+  std::string step_file(int step) const;
+
+  workflow::Cluster* cl_;
+  apps::WorkloadProfile profile_;
+  TransportParams params_;
+  std::unique_ptr<mpi::Communicator> producers_comm_;
+};
+
+}  // namespace zipper::transports

@@ -1,0 +1,75 @@
+#include "workflow/cluster.hpp"
+
+#include <cassert>
+
+#include "common/units.hpp"
+
+namespace zipper::workflow {
+
+ClusterSpec ClusterSpec::bridges() {
+  ClusterSpec s;
+  s.name = "Bridges";
+  s.cores_per_node = 28;
+  s.fabric.hosts_per_leaf = 42;       // 42-port leaf edge switches
+  s.fabric.num_core_switches = 8;
+  s.fabric.nic_bandwidth = 10.2e9;    // measured point-to-point (paper §6.2)
+  s.fabric.port_bandwidth = 12.5e9;   // 100 Gb/s OPA ports
+  s.fabric.shm_bandwidth = 8.0e9;
+  s.fabric.hop_latency = 150;
+  s.fabric.software_overhead = 500;
+  s.pfs.num_osts = 24;
+  s.pfs.ost_bandwidth = 1.0e9;        // 24 GB/s aggregate (Fig 13 calibration)
+  s.pfs.stripe_size = common::MiB;
+  s.pfs.metadata_latency = 50'000;
+  s.pfs.num_io_gateways = 8;
+  return s;
+}
+
+ClusterSpec ClusterSpec::stampede2() {
+  ClusterSpec s = bridges();
+  s.name = "Stampede2";
+  s.cores_per_node = 68;              // self-booting KNL
+  s.fabric.hosts_per_leaf = 48;
+  s.fabric.num_core_switches = 16;
+  s.fabric.nic_bandwidth = 12.0e9;
+  s.pfs.num_osts = 32;                // 30 PB Lustre, a bit wider
+  s.pfs.num_io_gateways = 8;
+  return s;
+}
+
+Cluster::Cluster(const ClusterSpec& spec, const Layout& layout)
+    : spec_(spec), layout_(layout) {
+  assert(layout.producers > 0);
+  const int cpn = spec.cores_per_node;
+  const auto nodes_for = [cpn](int ranks) { return (ranks + cpn - 1) / cpn; };
+
+  producer_hosts_ = nodes_for(layout.producers);
+  const int consumer_hosts = nodes_for(layout.consumers);
+  const int server_hosts = nodes_for(layout.servers);
+  const int compute_hosts = producer_hosts_ + consumer_hosts + server_hosts;
+
+  net::FabricConfig fcfg = spec.fabric;
+  fcfg.num_hosts = compute_hosts + spec.pfs.num_io_gateways;
+  fabric = std::make_unique<net::Fabric>(sim, fcfg);
+
+  pfs::PfsConfig pcfg = spec.pfs;
+  pcfg.first_gateway_host = compute_hosts;
+  fs = std::make_unique<pfs::ParallelFileSystem>(sim, *fabric, pcfg);
+
+  // rank -> host: each group packs its own nodes.
+  std::vector<int> rank_to_host(static_cast<std::size_t>(num_ranks()));
+  for (int p = 0; p < layout.producers; ++p) {
+    rank_to_host[static_cast<std::size_t>(producer_rank(p))] = p / cpn;
+  }
+  for (int c = 0; c < layout.consumers; ++c) {
+    rank_to_host[static_cast<std::size_t>(consumer_rank(c))] =
+        producer_hosts_ + c / cpn;
+  }
+  for (int s = 0; s < layout.servers; ++s) {
+    rank_to_host[static_cast<std::size_t>(server_rank(s))] =
+        producer_hosts_ + consumer_hosts + s / cpn;
+  }
+  world = std::make_unique<mpi::World>(sim, *fabric, std::move(rank_to_host));
+}
+
+}  // namespace zipper::workflow

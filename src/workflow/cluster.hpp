@@ -1,0 +1,80 @@
+// Cluster specifications and the assembled simulation universe for one
+// workflow run.
+//
+// Rank placement follows the paper's job layouts: producer ranks pack the
+// first nodes exclusively, consumer ranks the next nodes, staging/link server
+// ranks (DataSpaces servers, Decaf links) their own nodes, and the parallel
+// file system's I/O gateways occupy dedicated hosts at the end.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/simulation.hpp"
+#include "trace/recorder.hpp"
+
+namespace zipper::workflow {
+
+struct ClusterSpec {
+  std::string name;
+  int cores_per_node = 28;
+  net::FabricConfig fabric;  // num_hosts filled in by Cluster
+  pfs::PfsConfig pfs;        // first_gateway_host filled in by Cluster
+
+  /// PSC Bridges: 28-core Haswell nodes, 100 Gb/s Omni-Path (12.5 GB/s
+  /// ports), ~10 PB Lustre (we model 24 GB/s of aggregate OST bandwidth,
+  /// calibrated from Fig 13's Preserve-mode store times).
+  static ClusterSpec bridges();
+
+  /// TACC Stampede2: 68-core KNL nodes, Omni-Path, 30 PB Lustre.
+  static ClusterSpec stampede2();
+};
+
+struct Layout {
+  int producers = 0;
+  int consumers = 0;
+  int servers = 0;  // staging servers / Decaf links; 0 for serverless couplings
+};
+
+/// The assembled universe: simulation kernel, fabric, PFS, MPI world, trace
+/// recorder, with ranks mapped to hosts.
+class Cluster {
+ public:
+  Cluster(const ClusterSpec& spec, const Layout& layout);
+
+  sim::Simulation sim;
+  trace::Recorder recorder;
+  std::unique_ptr<net::Fabric> fabric;
+  std::unique_ptr<pfs::ParallelFileSystem> fs;
+  std::unique_ptr<mpi::World> world;
+
+  const ClusterSpec& spec() const noexcept { return spec_; }
+  const Layout& layout() const noexcept { return layout_; }
+
+  int producer_rank(int p) const noexcept { return p; }
+  int consumer_rank(int c) const noexcept { return layout_.producers + c; }
+  int server_rank(int s) const noexcept {
+    return layout_.producers + layout_.consumers + s;
+  }
+  int num_ranks() const noexcept {
+    return layout_.producers + layout_.consumers + layout_.servers;
+  }
+  int producer_hosts() const noexcept { return producer_hosts_; }
+
+  /// Sum of XmitWait counters over all producer hosts (the quantity Fig 15
+  /// plots; the paper reads it per compute node with opapmaquery).
+  std::uint64_t producer_xmit_wait() const {
+    return fabric->total_xmit_wait(0, producer_hosts_);
+  }
+
+ private:
+  ClusterSpec spec_;
+  Layout layout_;
+  int producer_hosts_ = 0;
+};
+
+}  // namespace zipper::workflow

@@ -1,0 +1,158 @@
+#include "workflow/runner.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/latch.hpp"
+#include "trace/recorder.hpp"
+
+namespace zipper::workflow {
+
+using sim::Task;
+using sim::Time;
+
+namespace {
+
+constexpr int kHaloTagBase = 1 << 16;
+
+/// One producer rank: the CL/ST/UD phases plus the transport PUT.
+Task producer_proc(Cluster& cl, const apps::WorkloadProfile& prof,
+                   Coupling* coupling, int p, sim::Latch& done, Time& finish) {
+  auto& sim = cl.sim;
+  auto& rec = cl.recorder;
+  const int P = cl.layout().producers;
+  const int rank = cl.producer_rank(p);
+
+  // Deterministic per-rank compute jitter (see WorkloadProfile::compute_jitter).
+  common::Xoshiro256 jitter_rng(0x5EED0000u + static_cast<std::uint64_t>(p));
+  const auto jittered = [&](sim::Time t) {
+    if (prof.compute_jitter <= 0 || t <= 0) return t;
+    const double f = 1.0 + prof.compute_jitter * jitter_rng.uniform(-1.0, 1.0);
+    return static_cast<sim::Time>(static_cast<double>(t) * f);
+  };
+  // Startup skew: real ranks never leave MPI_Init in lockstep (first-touch
+  // faults, module loads). Without it, every rank's first sends collide at
+  // the NIC in an artificial synchronized burst.
+  co_await sim.delay(static_cast<sim::Time>(jitter_rng.below(20 * sim::kMillisecond)));
+
+  const bool granular =
+      prof.block_granular_compute && coupling != nullptr &&
+      coupling->producer_blocks_per_step() > 1;
+  const int nb = granular ? coupling->producer_blocks_per_step() : 1;
+
+  for (int step = 0; step < prof.steps; ++step) {
+    if (granular) {
+      // Continuous production: each block is computed then immediately
+      // handed to the coupling (the synthetic-producer pattern of Figs
+      // 12-15; injection pressure tracks the generation rate).
+      for (int b = 0; b < nb; ++b) {
+        {
+          trace::ScopedSpan s(rec, sim, rank, trace::Cat::kCollision);
+          co_await sim.delay(jittered(prof.compute_per_step() / nb));
+        }
+        trace::ScopedSpan s(rec, sim, rank, trace::Cat::kPut);
+        co_await coupling->producer_block(p, step, b, nb);
+      }
+      continue;
+    }
+    {
+      trace::ScopedSpan s(rec, sim, rank, trace::Cat::kCollision);
+      co_await sim.delay(jittered(prof.t_collision));
+    }
+    {
+      trace::ScopedSpan s(rec, sim, rank, trace::Cat::kStreaming);
+      if (prof.halo_neighbors > 0 && P > 1) {
+        // LBM/MD halo exchange along a producer ring: MPI_Sendrecv with both
+        // neighbors. Tag disambiguates step and direction.
+        const int right = cl.producer_rank((p + 1) % P);
+        const int left = cl.producer_rank((p - 1 + P) % P);
+        mpi::Envelope e;
+        const int t0 = kHaloTagBase + (step % 1024) * 2;
+        co_await cl.world->sendrecv(rank, right, t0, prof.halo_bytes, left, t0, e);
+        if (prof.halo_neighbors > 1) {
+          co_await cl.world->sendrecv(rank, left, t0 + 1, prof.halo_bytes, right,
+                                      t0 + 1, e);
+        }
+      }
+      co_await sim.delay(jittered(prof.t_streaming));
+    }
+    {
+      trace::ScopedSpan s(rec, sim, rank, trace::Cat::kUpdate);
+      co_await sim.delay(jittered(prof.t_update));
+    }
+    if (coupling) {
+      trace::ScopedSpan s(rec, sim, rank, trace::Cat::kPut);
+      co_await coupling->producer_step(p, step);
+    }
+  }
+  if (coupling) co_await coupling->producer_finalize(p);
+  finish = sim.now();
+  done.count_down();
+}
+
+Task consumer_proc(Cluster& cl, Coupling* coupling, int c, sim::Latch& done,
+                   Time& finish) {
+  co_await coupling->consumer_run(c);
+  finish = cl.sim.now();
+  done.count_down();
+}
+
+Task finish_watcher(Cluster& cl, sim::Latch& all_done, bool& finished) {
+  co_await all_done.wait();
+  finished = true;
+  cl.sim.request_stop();
+}
+
+}  // namespace
+
+RunResult run_workflow(Cluster& cl, const apps::WorkloadProfile& prof,
+                       Coupling* coupling) {
+  const int P = cl.layout().producers;
+  const int Q = coupling ? cl.layout().consumers : 0;
+
+  if (coupling) coupling->spawn_services();
+
+  sim::Latch all_done(cl.sim, P + Q);
+  std::vector<Time> producer_finish(static_cast<std::size_t>(P), 0);
+  std::vector<Time> consumer_finish(static_cast<std::size_t>(Q), 0);
+  bool finished = false;
+
+  for (int p = 0; p < P; ++p) {
+    cl.sim.spawn(producer_proc(cl, prof, coupling, p, all_done,
+                               producer_finish[static_cast<std::size_t>(p)]));
+  }
+  for (int c = 0; c < Q; ++c) {
+    cl.sim.spawn(consumer_proc(cl, coupling, c, all_done,
+                               consumer_finish[static_cast<std::size_t>(c)]));
+  }
+  cl.sim.spawn(finish_watcher(cl, all_done, finished));
+  cl.sim.run();
+  if (!finished) {
+    throw std::runtime_error("workflow deadlocked: " +
+                             std::string(coupling ? coupling->name() : "sim-only"));
+  }
+
+  RunResult r;
+  Time last_producer = 0, last_any = 0;
+  for (Time t : producer_finish) last_producer = std::max(last_producer, t);
+  last_any = last_producer;
+  for (Time t : consumer_finish) last_any = std::max(last_any, t);
+  r.end_to_end_s = sim::to_seconds(last_any);
+  r.producers_done_s = sim::to_seconds(last_producer);
+
+  const auto& rec = cl.recorder;
+  const double inv_p = 1.0 / P;
+  r.compute_s = sim::to_seconds(rec.total(trace::Cat::kCollision) +
+                                rec.total(trace::Cat::kUpdate)) *
+                inv_p;
+  r.halo_s = sim::to_seconds(rec.total(trace::Cat::kStreaming)) * inv_p;
+  r.put_s = sim::to_seconds(rec.total(trace::Cat::kPut)) * inv_p;
+  if (Q > 0) {
+    r.analysis_s = sim::to_seconds(rec.total(trace::Cat::kAnalysis)) / Q;
+  }
+  r.producer_xmit_wait = cl.producer_xmit_wait();
+  if (coupling) r.metrics = coupling->metrics();
+  return r;
+}
+
+}  // namespace zipper::workflow

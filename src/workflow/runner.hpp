@@ -1,0 +1,38 @@
+// The workflow runner: spawns producer and consumer rank processes over a
+// Cluster, drives them through the WorkloadProfile's steps, and collects the
+// timings every figure of the paper reports.
+//
+// A producer process per step runs the trace-visible phases:
+//     collision (CL) -> streaming (ST: halo MPI_Sendrecv + compute) ->
+//     update (UD) -> PUT (coupling->producer_step)
+// so transport-induced interference with MPI_Sendrecv (Figs 5/6/17/19)
+// emerges mechanically from shared NICs rather than being scripted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "apps/profiles.hpp"
+#include "workflow/cluster.hpp"
+#include "workflow/coupling.hpp"
+
+namespace zipper::workflow {
+
+struct RunResult {
+  double end_to_end_s = 0;        // all producers + consumers finished
+  double producers_done_s = 0;    // last producer finished (incl. final put)
+  double compute_s = 0;           // per-producer average pure-compute time
+  double halo_s = 0;              // per-producer average MPI_Sendrecv time
+  double put_s = 0;               // per-producer average PUT/stall time
+  double analysis_s = 0;          // per-consumer average analysis time
+  std::uint64_t producer_xmit_wait = 0;
+  std::map<std::string, double> metrics;  // coupling-specific extras
+};
+
+/// Runs one workflow. `coupling == nullptr` runs the simulation only (the
+/// paper's "Simulation-only" lower-bound series).
+RunResult run_workflow(Cluster& cluster, const apps::WorkloadProfile& profile,
+                       Coupling* coupling);
+
+}  // namespace zipper::workflow

@@ -1,0 +1,60 @@
+// Adapter exposing the Zipper DES runtime (core/dsim) through the generic
+// Coupling interface the workflow runner drives.
+#pragma once
+
+#include <memory>
+
+#include "core/dsim/sim_runtime.hpp"
+#include "workflow/cluster.hpp"
+#include "workflow/coupling.hpp"
+
+namespace zipper::workflow {
+
+class ZipperCoupling : public Coupling {
+ public:
+  ZipperCoupling(Cluster& cluster, const apps::WorkloadProfile& profile,
+                 core::dsim::SimZipperConfig cfg)
+      : zip_(std::make_unique<core::dsim::SimZipper>(
+            cluster.sim, *cluster.world, *cluster.fs, cluster.recorder, profile,
+            cfg, cluster.layout().producers, cluster.layout().consumers,
+            cluster.consumer_rank(0))) {}
+
+  std::string name() const override { return "Zipper"; }
+
+  void spawn_services() override { zip_->spawn_services(); }
+
+  sim::Task producer_step(int p, int step) override {
+    return zip_->producer_put(p, step);
+  }
+  sim::Task producer_block(int p, int step, int block, int /*num_blocks*/) override {
+    return zip_->producer_put_block(p, step, block);
+  }
+  int producer_blocks_per_step() const override { return zip_->blocks_per_step(); }
+  sim::Task producer_finalize(int p) override { return zip_->producer_finalize(p); }
+  sim::Task consumer_run(int c) override { return zip_->consumer_run(c); }
+
+  std::map<std::string, double> metrics() const override {
+    const auto& s = zip_->stats();
+    return {
+        {"stall_s", sim::to_seconds(s.producer_stall)},
+        {"sender_busy_s", sim::to_seconds(s.sender_busy)},
+        {"writer_busy_s", sim::to_seconds(s.writer_busy)},
+        {"analysis_busy_s", sim::to_seconds(s.analysis_busy)},
+        {"store_busy_s", sim::to_seconds(s.store_busy)},
+        {"blocks_total", static_cast<double>(s.blocks_total)},
+        {"blocks_stolen", static_cast<double>(s.blocks_stolen)},
+        {"steal_fraction", s.blocks_total
+                               ? static_cast<double>(s.blocks_stolen) / s.blocks_total
+                               : 0.0},
+        {"bytes_via_network", static_cast<double>(s.bytes_via_network)},
+        {"bytes_via_pfs", static_cast<double>(s.bytes_via_pfs)},
+    };
+  }
+
+  const core::dsim::SimZipperStats& stats() const { return zip_->stats(); }
+
+ private:
+  std::unique_ptr<core::dsim::SimZipper> zip_;
+};
+
+}  // namespace zipper::workflow

@@ -1,0 +1,149 @@
+// Tests for the analysis kernels (moments, MSD, synthetic cost models) and
+// the calibrated workload profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/analysis/moments.hpp"
+#include "apps/analysis/msd.hpp"
+#include "apps/profiles.hpp"
+#include "apps/synthetic.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+using zipper::apps::Complexity;
+using zipper::apps::analysis::MomentAccumulator;
+
+TEST(Moments, KnownSmallSample) {
+  MomentAccumulator m(4);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) m.add(x);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_DOUBLE_EQ(m.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(m.raw_moment(2), (1 + 4 + 9 + 16) / 4.0);
+  EXPECT_NEAR(m.variance(), 1.25, 1e-12);
+  // central 3rd of a symmetric sample is 0
+  EXPECT_NEAR(m.central_moment(3), 0.0, 1e-12);
+  // central 4th: mean of (x-2.5)^4 = (5.0625+0.0625)*2/4
+  EXPECT_NEAR(m.central_moment(4), (5.0625 + 0.0625) * 2 / 4.0, 1e-12);
+}
+
+TEST(Moments, MatchesRunningStatsVariance) {
+  zipper::common::Xoshiro256 rng(3);
+  MomentAccumulator m(4);
+  zipper::common::RunningStats rs;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(-2, 7);
+    m.add(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(m.mean(), rs.mean(), 1e-10);
+  EXPECT_NEAR(m.variance(), rs.variance(), 1e-7);
+}
+
+TEST(Moments, UniformDistributionClosedForm) {
+  // U(0,1): E x^k = 1/(k+1); kurtosis = 9/5.
+  zipper::common::Xoshiro256 rng(11);
+  MomentAccumulator m(4);
+  for (int i = 0; i < 400000; ++i) m.add(rng.uniform());
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(m.raw_moment(k), 1.0 / (k + 1), 3e-3) << "k=" << k;
+  }
+  EXPECT_NEAR(m.kurtosis(), 1.8, 2e-2);
+}
+
+TEST(Moments, MergePartialsEqualsWhole) {
+  zipper::common::Xoshiro256 rng(5);
+  std::vector<double> xs(10000);
+  for (double& x : xs) x = rng.uniform(-1, 1);
+  MomentAccumulator whole(6);
+  whole.add_span(xs);
+  MomentAccumulator a(6), b(6), c(6);
+  a.add_span(std::span<const double>(xs).subspan(0, 3000));
+  b.add_span(std::span<const double>(xs).subspan(3000, 4000));
+  c.add_span(std::span<const double>(xs).subspan(7000));
+  a.merge(b);
+  a.merge(c);
+  EXPECT_EQ(a.count(), whole.count());
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_NEAR(a.raw_moment(k), whole.raw_moment(k), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(Moments, EmptyIsZero) {
+  MomentAccumulator m(4);
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.mean(), 0.0);
+  EXPECT_EQ(m.variance(), 0.0);
+  EXPECT_EQ(m.kurtosis(), 0.0);
+}
+
+TEST(Msd, SimpleDisplacement) {
+  // one atom moved by (3,4,0): MSD = 25.
+  std::vector<double> ref{0, 0, 0};
+  std::vector<double> now{3, 4, 0};
+  zipper::apps::analysis::MsdAccumulator msd;
+  msd.add_block(now, ref);
+  EXPECT_DOUBLE_EQ(msd.value(), 25.0);
+  EXPECT_EQ(msd.atoms(), 1u);
+}
+
+TEST(Synthetic, WorkUnitsOrdering) {
+  // For the same n, O(n) < O(n log n) < O(n^1.5) once n is large.
+  const double n = 1 << 20;
+  const double lin = zipper::apps::work_units(Complexity::kLinear, n);
+  const double nlogn = zipper::apps::work_units(Complexity::kNLogN, n);
+  const double n32 = zipper::apps::work_units(Complexity::kN32, n);
+  EXPECT_LT(lin, nlogn);
+  EXPECT_LT(nlogn, n32);
+}
+
+TEST(Synthetic, BlockTimeScalesWithComplexity) {
+  using zipper::apps::block_compute_time;
+  const auto t_lin = block_compute_time(Complexity::kLinear, 1 << 20, 1e8);
+  const auto t_n32 = block_compute_time(Complexity::kN32, 1 << 20, 1e8);
+  EXPECT_GT(t_n32, 100 * t_lin);
+}
+
+TEST(Synthetic, GenerateBlockProducesFiniteValues) {
+  std::vector<double> data(4096);
+  for (Complexity c :
+       {Complexity::kLinear, Complexity::kNLogN, Complexity::kN32}) {
+    const double acc = zipper::apps::generate_block(c, data, 42);
+    EXPECT_TRUE(std::isfinite(acc));
+    for (double x : data) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+TEST(Profiles, CfdBridgesMatchesPaperCalibration) {
+  const auto p = zipper::apps::cfd_bridges();
+  // 100 steps at ~0.39 s/step => simulation-only ~ 39 s (paper: 39.2 s).
+  const double sim_only = 100 * zipper::sim::to_seconds(p.compute_per_step());
+  EXPECT_NEAR(sim_only, 39.2, 1.0);
+  // 128 analysis ranks x 2 producers x 16 MiB/step at 14.4 ns/B ~ 48 s
+  // (paper: 48.4 s).
+  const double analysis_only =
+      100 * zipper::sim::to_seconds(p.analysis_time(2 * p.bytes_per_rank_per_step));
+  EXPECT_NEAR(analysis_only, 48.4, 1.5);
+}
+
+TEST(Profiles, SyntheticSimTimesMatchFig12) {
+  using zipper::apps::synthetic_profile;
+  // 1 MB blocks: paper's measured simulation times 2.1 / 22.2 / 64.0 s.
+  const double lin = 100 * zipper::sim::to_seconds(
+      synthetic_profile(Complexity::kLinear, 1 << 20).compute_per_step());
+  const double nlogn = 100 * zipper::sim::to_seconds(
+      synthetic_profile(Complexity::kNLogN, 1 << 20).compute_per_step());
+  const double n32 = 100 * zipper::sim::to_seconds(
+      synthetic_profile(Complexity::kN32, 1 << 20).compute_per_step());
+  EXPECT_NEAR(lin, 2.1, 0.3);
+  EXPECT_NEAR(nlogn, 22.2, 2.5);
+  EXPECT_NEAR(n32, 64.0, 6.0);
+}
+
+TEST(Profiles, LammpsStepTimeMatchesFig19) {
+  const auto p = zipper::apps::lammps_stampede2();
+  // Fig 19: 4.4 steps in 9.1 s => ~2.07 s/step.
+  EXPECT_NEAR(zipper::sim::to_seconds(p.compute_per_step()), 2.07, 0.1);
+  EXPECT_EQ(p.bytes_per_rank_per_step, 20 * zipper::common::MiB);
+}

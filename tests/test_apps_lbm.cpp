@@ -1,0 +1,210 @@
+// Physics tests for the D3Q19 lattice-Boltzmann solver: conservation laws,
+// streaming correctness, wall behaviour, and the Poiseuille channel profile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "apps/lbm/lbm_solver.hpp"
+
+using zipper::apps::lbm::Dims;
+using zipper::apps::lbm::Params;
+using zipper::apps::lbm::Solver;
+
+namespace {
+Solver make_quiet(Dims d = {8, 8, 8}) {
+  Params p;
+  p.tau = 0.8;
+  return Solver(d, p);
+}
+}  // namespace
+
+TEST(Lbm, VelocitySetIsConsistent) {
+  const auto& c = Solver::velocities();
+  const auto& w = Solver::weights();
+  double wsum = 0;
+  std::array<double, 3> csum{0, 0, 0};
+  for (int q = 0; q < Solver::kQ; ++q) {
+    wsum += w[static_cast<std::size_t>(q)];
+    for (int d = 0; d < 3; ++d) {
+      csum[static_cast<std::size_t>(d)] +=
+          w[static_cast<std::size_t>(q)] * c[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)];
+    }
+    // opposite() must reverse the velocity.
+    const int o = Solver::opposite(q);
+    for (int d = 0; d < 3; ++d) {
+      EXPECT_EQ(c[static_cast<std::size_t>(q)][static_cast<std::size_t>(d)],
+                -c[static_cast<std::size_t>(o)][static_cast<std::size_t>(d)]);
+    }
+  }
+  EXPECT_NEAR(wsum, 1.0, 1e-14);
+  for (double s : csum) EXPECT_NEAR(s, 0.0, 1e-14);
+  // Second moment isotropy: sum w c_a c_b = cs^2 delta_ab = 1/3.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double m = 0;
+      for (int q = 0; q < Solver::kQ; ++q) {
+        m += w[static_cast<std::size_t>(q)] *
+             c[static_cast<std::size_t>(q)][static_cast<std::size_t>(a)] *
+             c[static_cast<std::size_t>(q)][static_cast<std::size_t>(b)];
+      }
+      EXPECT_NEAR(m, a == b ? 1.0 / 3.0 : 0.0, 1e-14) << a << "," << b;
+    }
+  }
+}
+
+TEST(Lbm, InitialStateIsUniformRest) {
+  Solver s = make_quiet();
+  EXPECT_NEAR(s.total_mass(), static_cast<double>(s.dims().cells()), 1e-9);
+  for (double m : s.total_momentum()) EXPECT_NEAR(m, 0.0, 1e-12);
+  for (double u : s.ux()) EXPECT_EQ(u, 0.0);
+}
+
+TEST(Lbm, MassConservedWithoutForce) {
+  Solver s = make_quiet({12, 9, 7});
+  const double m0 = s.total_mass();
+  for (int t = 0; t < 50; ++t) s.step();
+  EXPECT_NEAR(s.total_mass(), m0, m0 * 1e-12);
+}
+
+TEST(Lbm, MassConservedWithForce) {
+  Params p;
+  p.tau = 0.9;
+  p.force = {1e-6, 0, 0};
+  Solver s({10, 9, 6}, p);
+  const double m0 = s.total_mass();
+  for (int t = 0; t < 100; ++t) s.step();
+  EXPECT_NEAR(s.total_mass(), m0, m0 * 1e-10);
+}
+
+TEST(Lbm, MomentumStaysZeroWithoutForce) {
+  Solver s = make_quiet({8, 7, 9});
+  for (int t = 0; t < 30; ++t) s.step();
+  for (double m : s.total_momentum()) EXPECT_NEAR(m, 0.0, 1e-10);
+}
+
+TEST(Lbm, ForceAcceleratesFlow) {
+  Params p;
+  p.tau = 0.8;
+  p.force = {1e-5, 0, 0};
+  Solver s({8, 8, 8}, p);
+  s.step();
+  const double px1 = s.total_momentum()[0];
+  for (int t = 0; t < 20; ++t) s.step();
+  const double px2 = s.total_momentum()[0];
+  EXPECT_GT(px1, 0.0);
+  EXPECT_GT(px2, px1);  // still accelerating long before steady state
+  // transverse momentum stays zero
+  EXPECT_NEAR(s.total_momentum()[1], 0.0, 1e-10);
+  EXPECT_NEAR(s.total_momentum()[2], 0.0, 1e-10);
+}
+
+TEST(Lbm, StreamingMovesPulseOneCellPerStep) {
+  // Inject an excess of the +x distribution at one cell; after one stream it
+  // must appear one cell downstream.
+  Solver s = make_quiet({8, 8, 8});
+  // q=1 is (+1,0,0). Cell (2, 3, 4) -> index.
+  const auto idx = [&](int x, int y, int z) {
+    return (static_cast<std::size_t>(z) * 8 + static_cast<std::size_t>(y)) * 8 +
+           static_cast<std::size_t>(x);
+  };
+  // Prepare a post-collision state manually: run collide on uniform state
+  // (which is a fixed point), then perturb the scratch via set_f + collide
+  // trick: easiest is to perturb f, collide with tau=1 is not identity...
+  // Instead: perturb f, call stream() directly after copying f into the
+  // post-collision buffer through a zero-relaxation collide: use tau large.
+  (void)idx;
+  Params p;
+  p.tau = 1e12;  // effectively no relaxation: collide() copies f
+  Solver t({8, 8, 8}, p);
+  t.set_f(1, idx(2, 3, 4), t.f(1, idx(2, 3, 4)) + 0.5);
+  t.collide();
+  t.stream();
+  EXPECT_NEAR(t.f(1, idx(3, 3, 4)), Solver::weights()[1] + 0.5, 1e-9);
+  EXPECT_NEAR(t.f(1, idx(2, 3, 4)), Solver::weights()[1], 1e-9);
+}
+
+TEST(Lbm, StreamingWrapsPeriodicInX) {
+  Params p;
+  p.tau = 1e12;
+  Solver t({8, 8, 8}, p);
+  const auto idx = [&](int x, int y, int z) {
+    return (static_cast<std::size_t>(z) * 8 + static_cast<std::size_t>(y)) * 8 +
+           static_cast<std::size_t>(x);
+  };
+  t.set_f(1, idx(7, 3, 4), t.f(1, idx(7, 3, 4)) + 0.25);
+  t.collide();
+  t.stream();
+  EXPECT_NEAR(t.f(1, idx(0, 3, 4)), Solver::weights()[1] + 0.25, 1e-9);
+}
+
+TEST(Lbm, WallBouncesBackDistribution) {
+  Params p;
+  p.tau = 1e12;
+  Solver t({8, 8, 8}, p);
+  const auto idx = [&](int x, int y, int z) {
+    return (static_cast<std::size_t>(z) * 8 + static_cast<std::size_t>(y)) * 8 +
+           static_cast<std::size_t>(x);
+  };
+  // q=3 is (0,+1,0); at the top wall y=7 it must come back as q=4 (0,-1,0).
+  const double excess = 0.125;
+  t.set_f(3, idx(4, 7, 4), t.f(3, idx(4, 7, 4)) + excess);
+  t.collide();
+  t.stream();
+  EXPECT_NEAR(t.f(4, idx(4, 7, 4)), Solver::weights()[4] + excess, 1e-9);
+}
+
+TEST(Lbm, PoiseuilleProfileMatchesAnalytic) {
+  // Body-force-driven channel flow between y walls; compare the steady
+  // x-velocity profile to u(y) = g/(2 nu) (y+1/2)(H-1/2-y) with H = ny.
+  Params p;
+  p.tau = 1.0;  // nu = 1/6
+  const double g = 1e-6;
+  p.force = {g, 0, 0};
+  Dims d{4, 11, 4};
+  Solver s(d, p);
+  for (int t = 0; t < 4000; ++t) s.step();
+
+  const double nu = s.viscosity();
+  const auto profile = s.ux_profile();
+  double max_rel_err = 0.0;
+  for (int y = 0; y < d.ny; ++y) {
+    const double yy = y + 0.5;
+    const double analytic = g / (2.0 * nu) * yy * (d.ny - yy);
+    const double rel =
+        std::abs(profile[static_cast<std::size_t>(y)] - analytic) / analytic;
+    max_rel_err = std::max(max_rel_err, rel);
+  }
+  EXPECT_LT(max_rel_err, 0.02) << "Poiseuille profile off by >2%";
+}
+
+TEST(Lbm, ProfileIsSymmetricAcrossChannel) {
+  Params p;
+  p.tau = 0.9;
+  p.force = {5e-6, 0, 0};
+  Dims d{4, 10, 4};
+  Solver s(d, p);
+  for (int t = 0; t < 1000; ++t) s.step();
+  const auto prof = s.ux_profile();
+  for (int y = 0; y < d.ny / 2; ++y) {
+    EXPECT_NEAR(prof[static_cast<std::size_t>(y)],
+                prof[static_cast<std::size_t>(d.ny - 1 - y)], 1e-12)
+        << "asymmetry at y=" << y;
+  }
+}
+
+TEST(Lbm, SerializeVelocityRoundTrips) {
+  Params p;
+  p.tau = 0.8;
+  p.force = {1e-5, 0, 0};
+  Solver s({6, 6, 6}, p);
+  for (int t = 0; t < 5; ++t) s.step();
+  std::vector<std::byte> buf(s.field_bytes());
+  ASSERT_EQ(s.serialize_velocity(buf), s.field_bytes());
+  const double* d = reinterpret_cast<const double*>(buf.data());
+  for (std::size_t i = 0; i < s.dims().cells(); ++i) {
+    EXPECT_EQ(d[3 * i + 0], s.ux()[i]);
+    EXPECT_EQ(d[3 * i + 1], s.uy()[i]);
+    EXPECT_EQ(d[3 * i + 2], s.uz()[i]);
+  }
+}

@@ -1,0 +1,141 @@
+// Physics tests for the Lennard-Jones MD mini-app: lattice setup, force
+// correctness (cell list vs all-pairs), conservation laws, and melt behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/analysis/msd.hpp"
+#include "apps/md/lj_md.hpp"
+
+using zipper::apps::md::LjMd;
+using zipper::apps::md::MdParams;
+
+namespace {
+MdParams small_params(int cells = 3) {
+  MdParams p;
+  p.cells_per_side = cells;
+  p.seed = 7;
+  return p;
+}
+}  // namespace
+
+TEST(Md, FccLatticeAtomCountAndBox) {
+  LjMd md(small_params(3));
+  EXPECT_EQ(md.num_atoms(), 108);
+  EXPECT_NEAR(md.box(), std::cbrt(108 / 0.8442), 1e-12);
+  // All atoms inside the box.
+  for (double x : md.positions()) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, md.box());
+  }
+}
+
+TEST(Md, InitialTemperatureMatchesTarget) {
+  LjMd md(small_params(3));
+  EXPECT_NEAR(md.temperature(), 1.44, 1e-9);
+}
+
+TEST(Md, InitialMomentumIsZero) {
+  LjMd md(small_params(3));
+  for (double p : md.total_momentum()) EXPECT_NEAR(p, 0.0, 1e-9);
+}
+
+TEST(Md, MomentumConservedOverRun) {
+  LjMd md(small_params(4));
+  md.run(100);
+  for (double p : md.total_momentum()) EXPECT_NEAR(p, 0.0, 1e-7);
+}
+
+TEST(Md, CellListMatchesAllPairs) {
+  // cells_per_side = 5 -> box ~ 8.4 -> cell list active (3 cells/side).
+  MdParams p = small_params(5);
+  LjMd md(p);
+  md.run(20);  // let it disorder a bit first
+  std::vector<double> ref_forces;
+  double ref_pot = 0.0;
+  md.compute_forces_reference(ref_forces, ref_pot);
+  // step() leaves force_ = forces at current positions; compare via another
+  // half-step trick: recompute through one more step's first half. Instead we
+  // compare potential energies and the effect of forces indirectly: the
+  // reference and production paths must agree on the potential.
+  EXPECT_NEAR(md.potential_energy(), ref_pot, std::abs(ref_pot) * 1e-10);
+}
+
+TEST(Md, EnergyConservedInNve) {
+  MdParams p = small_params(4);
+  p.dt = 0.002;
+  LjMd md(p);
+  const double e0 = md.total_energy();
+  md.run(250);
+  const double e1 = md.total_energy();
+  EXPECT_NEAR(e1, e0, std::abs(e0) * 2e-3) << "NVE drift too large";
+}
+
+TEST(Md, SolidHeatsToLiquid) {
+  // Starting from a perfect lattice at T=1.44, half the kinetic energy flows
+  // into potential energy as the crystal melts; temperature drops from the
+  // initial value but stays well above zero.
+  LjMd md(small_params(4));
+  md.run(200);
+  EXPECT_LT(md.temperature(), 1.44);
+  EXPECT_GT(md.temperature(), 0.3);
+}
+
+TEST(Md, MsdZeroAtStartAndGrows) {
+  LjMd md(small_params(4));
+  std::vector<double> ref(md.positions_unwrapped().begin(),
+                          md.positions_unwrapped().end());
+  zipper::apps::analysis::MsdAccumulator msd0;
+  msd0.add_block(md.positions_unwrapped(), ref);
+  EXPECT_DOUBLE_EQ(msd0.value(), 0.0);
+
+  md.run(50);
+  zipper::apps::analysis::MsdAccumulator msd1;
+  msd1.add_block(md.positions_unwrapped(), ref);
+  const double at50 = msd1.value();
+  EXPECT_GT(at50, 0.0);
+
+  md.run(150);
+  zipper::apps::analysis::MsdAccumulator msd2;
+  msd2.add_block(md.positions_unwrapped(), ref);
+  EXPECT_GT(msd2.value(), at50) << "MSD must keep growing in the liquid";
+}
+
+TEST(Md, MsdMergeAcrossBlocksMatchesWhole) {
+  LjMd md(small_params(3));
+  std::vector<double> ref(md.positions_unwrapped().begin(),
+                          md.positions_unwrapped().end());
+  md.run(30);
+  auto now = md.positions_unwrapped();
+
+  zipper::apps::analysis::MsdAccumulator whole;
+  whole.add_block(now, ref);
+
+  zipper::apps::analysis::MsdAccumulator left, right;
+  const std::size_t half_atoms = static_cast<std::size_t>(md.num_atoms()) / 2;
+  left.add_block(now.subspan(0, 3 * half_atoms),
+                 std::span<const double>(ref).subspan(0, 3 * half_atoms));
+  right.add_block(now.subspan(3 * half_atoms),
+                  std::span<const double>(ref).subspan(3 * half_atoms));
+  left.merge(right);
+  EXPECT_EQ(left.atoms(), whole.atoms());
+  EXPECT_NEAR(left.value(), whole.value(), 1e-12);
+}
+
+TEST(Md, SerializeFrameBytes) {
+  LjMd md(small_params(3));
+  std::vector<std::byte> buf(md.frame_bytes());
+  EXPECT_EQ(md.serialize_positions(buf), md.frame_bytes());
+  const double* d = reinterpret_cast<const double*>(buf.data());
+  EXPECT_EQ(d[0], md.positions_unwrapped()[0]);
+  EXPECT_EQ(d[3 * static_cast<std::size_t>(md.num_atoms()) - 1],
+            md.positions_unwrapped()[3 * static_cast<std::size_t>(md.num_atoms()) - 1]);
+}
+
+TEST(Md, DeterministicWithSameSeed) {
+  LjMd a(small_params(3)), b(small_params(3));
+  a.run(50);
+  b.run(50);
+  EXPECT_EQ(a.positions()[0], b.positions()[0]);
+  EXPECT_EQ(a.total_energy(), b.total_energy());
+}

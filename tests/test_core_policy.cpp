@@ -1,0 +1,105 @@
+// Tests for the shared Zipper policies: Algorithm-1 steal threshold and the
+// block->consumer assignment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/block.hpp"
+#include "core/policy.hpp"
+
+using zipper::core::BlockId;
+using zipper::core::consumer_of;
+using zipper::core::producers_of_consumer;
+using zipper::core::StealPolicy;
+
+TEST(StealPolicy, ThresholdIsFractionOfCapacity) {
+  StealPolicy p{16, 0.5, true};
+  EXPECT_EQ(p.threshold(), 8u);
+  EXPECT_FALSE(p.should_steal(8));
+  EXPECT_TRUE(p.should_steal(9));
+  EXPECT_TRUE(p.should_steal(16));
+}
+
+TEST(StealPolicy, DisabledNeverSteals) {
+  StealPolicy p{16, 0.5, false};
+  EXPECT_FALSE(p.should_steal(16));
+}
+
+TEST(StealPolicy, HighWaterOneNeverTriggersBelowFull) {
+  StealPolicy p{8, 1.0, true};
+  // threshold clamps to capacity-1 so a forever-full buffer still steals
+  EXPECT_EQ(p.threshold(), 7u);
+  EXPECT_FALSE(p.should_steal(7));
+  EXPECT_TRUE(p.should_steal(8));
+}
+
+TEST(StealPolicy, ZeroHighWaterStealsWheneverNonEmpty) {
+  StealPolicy p{8, 0.0, true};
+  EXPECT_EQ(p.threshold(), 0u);
+  EXPECT_FALSE(p.should_steal(0));
+  EXPECT_TRUE(p.should_steal(1));
+}
+
+class MappingShapes
+    : public ::testing::TestWithParam<std::pair<int, int>> {};  // (P, Q)
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MappingShapes,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{4, 2},
+                      std::pair{256, 128}, std::pair{5, 2}, std::pair{7, 3},
+                      std::pair{3, 5}, std::pair{2, 8}, std::pair{13, 13}));
+
+TEST_P(MappingShapes, EveryBlockGetsAValidConsumer) {
+  const auto [P, Q] = GetParam();
+  for (int p = 0; p < P; ++p) {
+    for (int b = 0; b < 6; ++b) {
+      const int c = consumer_of(BlockId{0, p, b}, P, Q);
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, Q);
+    }
+  }
+}
+
+TEST_P(MappingShapes, OwnershipCountsAreConsistent) {
+  const auto [P, Q] = GetParam();
+  if (P < Q) return;  // contiguous ownership only defined for P >= Q
+  std::map<int, int> count;
+  for (int p = 0; p < P; ++p) ++count[consumer_of(BlockId{0, p, 0}, P, Q)];
+  for (int c = 0; c < Q; ++c) {
+    EXPECT_EQ(count[c], producers_of_consumer(c, P, Q)) << "consumer " << c;
+  }
+}
+
+TEST_P(MappingShapes, LoadSpreadIsBalanced) {
+  const auto [P, Q] = GetParam();
+  std::map<int, int> blocks_per_consumer;
+  for (int p = 0; p < P; ++p) {
+    for (int b = 0; b < 12; ++b) {
+      ++blocks_per_consumer[consumer_of(BlockId{3, p, b}, P, Q)];
+    }
+  }
+  int lo = 1 << 30, hi = 0;
+  for (int c = 0; c < Q; ++c) {
+    lo = std::min(lo, blocks_per_consumer[c]);
+    hi = std::max(hi, blocks_per_consumer[c]);
+  }
+  // No consumer gets more than ~2x the lightest one's blocks.
+  EXPECT_LE(hi, 2 * std::max(1, lo)) << "P=" << P << " Q=" << Q;
+}
+
+TEST(Mapping, SameProducerSameConsumerWhenContiguous) {
+  // With P >= Q a producer's blocks all land on one consumer (cache-friendly
+  // and what the mixed-message protocol relies on).
+  for (int b = 0; b < 20; ++b) {
+    EXPECT_EQ(consumer_of(BlockId{0, 5, b}, 8, 4),
+              consumer_of(BlockId{1, 5, 0}, 8, 4));
+  }
+}
+
+TEST(Mapping, FanOutWhenMoreConsumers) {
+  // With Q > P a single producer's blocks must reach several consumers.
+  std::set<int> seen;
+  for (int b = 0; b < 8; ++b) seen.insert(consumer_of(BlockId{0, 0, b}, 2, 8));
+  EXPECT_GT(seen.size(), 1u);
+}

@@ -1,0 +1,326 @@
+// Tests for the real (threaded) Zipper runtime: end-to-end delivery and
+// integrity over both channels, work-stealing behaviour, Preserve mode
+// durability, termination, stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "common/rng.hpp"
+#include "core/rt/runtime.hpp"
+
+namespace fs = std::filesystem;
+using namespace zipper::core;
+using namespace zipper::core::rt;
+
+namespace {
+
+struct TempDirs {
+  fs::path spill, preserve;
+  TempDirs() {
+    const auto base = fs::temp_directory_path() /
+                      ("zipper_test_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(counter()++));
+    spill = base / "spill";
+    preserve = base / "preserve";
+    fs::create_directories(spill);
+    fs::create_directories(preserve);
+  }
+  ~TempDirs() {
+    std::error_code ec;
+    fs::remove_all(spill.parent_path(), ec);
+  }
+  static std::atomic<int>& counter() {
+    static std::atomic<int> c{0};
+    return c;
+  }
+};
+
+std::vector<std::byte> make_payload(std::uint64_t seed, std::size_t n) {
+  std::vector<std::byte> out(n);
+  zipper::common::Xoshiro256 rng(seed);
+  for (auto& b : out) b = static_cast<std::byte>(rng() & 0xFF);
+  return out;
+}
+
+Config base_config(const TempDirs& dirs) {
+  Config cfg;
+  cfg.spill_dir = dirs.spill;
+  cfg.preserve_dir = dirs.preserve;
+  cfg.producer_buffer_blocks = 8;
+  cfg.high_water = 0.5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(RtRuntime, SingleBlockRoundTrip) {
+  TempDirs dirs;
+  Runtime rt(1, 1, base_config(dirs));
+  const auto payload = make_payload(1, 4096);
+  rt.producer(0).write(BlockId{0, 0, 0}, payload);
+  rt.producer(0).finish();
+  auto block = rt.consumer(0).read();
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->header.id, (BlockId{0, 0, 0}));
+  EXPECT_EQ(block->payload, payload);
+  EXPECT_EQ(rt.consumer(0).read(), nullptr);  // end of stream
+}
+
+TEST(RtRuntime, PayloadIntegrityManyBlocks) {
+  TempDirs dirs;
+  Runtime rt(1, 1, base_config(dirs));
+  std::map<BlockId, std::uint64_t> checksums;
+  for (int s = 0; s < 5; ++s) {
+    for (int b = 0; b < 10; ++b) {
+      const BlockId id{s, 0, b};
+      auto payload = make_payload(static_cast<std::uint64_t>(s * 100 + b), 8192);
+      checksums[id] = zipper::common::fnv1a(payload);
+      rt.producer(0).write(id, payload);
+    }
+  }
+  rt.producer(0).finish();
+  int received = 0;
+  while (auto block = rt.consumer(0).read()) {
+    ASSERT_TRUE(checksums.contains(block->header.id));
+    EXPECT_EQ(zipper::common::fnv1a(block->payload), checksums[block->header.id])
+        << "corrupt payload for " << block->header.id.to_string();
+    ++received;
+  }
+  EXPECT_EQ(received, 50);
+}
+
+TEST(RtRuntime, EveryBlockDeliveredExactlyOnceMultiProducerMultiConsumer) {
+  TempDirs dirs;
+  const int P = 4, Q = 2, steps = 6, blocks = 8;
+  Runtime rt(P, Q, base_config(dirs));
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < P; ++p) {
+    producers.emplace_back([&, p] {
+      auto payload = make_payload(static_cast<std::uint64_t>(p), 2048);
+      for (int s = 0; s < steps; ++s) {
+        for (int b = 0; b < blocks; ++b) {
+          rt.producer(p).write(BlockId{s, p, b}, payload);
+        }
+      }
+      rt.producer(p).finish();
+    });
+  }
+
+  std::mutex m;
+  std::map<std::string, int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < Q; ++c) {
+    consumers.emplace_back([&, c] {
+      while (auto block = rt.consumer(c).read()) {
+        std::lock_guard lk(m);
+        ++seen[block->header.id.to_string()];
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(P * steps * blocks));
+  for (const auto& [id, n] : seen) EXPECT_EQ(n, 1) << id << " delivered " << n << "x";
+}
+
+TEST(RtRuntime, StealActivatesUnderBackpressure) {
+  TempDirs dirs;
+  Config cfg = base_config(dirs);
+  cfg.producer_buffer_blocks = 4;
+  cfg.high_water = 0.5;
+  cfg.network_bandwidth = 2e6;  // 2 MB/s: sender is deliberately slow
+  Runtime rt(1, 1, cfg);
+
+  const auto payload = make_payload(7, 64 * 1024);
+  std::thread consumer([&] {
+    while (rt.consumer(0).read()) {
+    }
+  });
+  for (int b = 0; b < 40; ++b) rt.producer(0).write(BlockId{0, 0, b}, payload);
+  rt.producer(0).finish();
+  consumer.join();
+
+  const auto ps = rt.producer(0).stats();
+  EXPECT_EQ(ps.blocks_written, 40u);
+  EXPECT_GT(ps.blocks_stolen, 0u) << "writer thread never stole despite backpressure";
+  EXPECT_EQ(ps.blocks_sent + ps.blocks_stolen, 40u);
+  const auto cs = rt.consumer(0).stats();
+  EXPECT_EQ(cs.blocks_from_disk, ps.blocks_stolen);
+  EXPECT_EQ(cs.blocks_read, 40u);
+}
+
+TEST(RtRuntime, StealDisabledSendsEverythingViaNetwork) {
+  TempDirs dirs;
+  Config cfg = base_config(dirs);
+  cfg.enable_steal = false;
+  cfg.network_bandwidth = 5e6;
+  Runtime rt(1, 1, cfg);
+  const auto payload = make_payload(3, 32 * 1024);
+  std::thread consumer([&] {
+    while (rt.consumer(0).read()) {
+    }
+  });
+  for (int b = 0; b < 20; ++b) rt.producer(0).write(BlockId{0, 0, b}, payload);
+  rt.producer(0).finish();
+  consumer.join();
+  EXPECT_EQ(rt.producer(0).stats().blocks_stolen, 0u);
+  EXPECT_EQ(rt.producer(0).stats().blocks_sent, 20u);
+}
+
+TEST(RtRuntime, DualChannelReducesProducerStall) {
+  // The paper's headline producer-side effect: with a slow network and a
+  // bounded buffer, enabling the writer thread must cut write() stall time.
+  auto run = [](bool steal) {
+    TempDirs dirs;
+    Config cfg;
+    cfg.spill_dir = dirs.spill;
+    cfg.producer_buffer_blocks = 4;
+    cfg.high_water = 0.5;
+    cfg.enable_steal = steal;
+    cfg.network_bandwidth = 4e6;
+    Runtime rt(1, 1, cfg);
+    std::thread consumer([&] {
+      while (rt.consumer(0).read()) {
+      }
+    });
+    const auto payload = make_payload(11, 64 * 1024);
+    for (int b = 0; b < 32; ++b) rt.producer(0).write(BlockId{0, 0, b}, payload);
+    const auto stall = rt.producer(0).stats().stall_ns;
+    rt.producer(0).finish();
+    consumer.join();
+    return stall;
+  };
+  const auto stall_without = run(false);
+  const auto stall_with = run(true);
+  EXPECT_LT(static_cast<double>(stall_with),
+            0.8 * static_cast<double>(stall_without))
+      << "work stealing failed to reduce producer stall ("
+      << stall_with / 1e6 << "ms vs " << stall_without / 1e6 << "ms)";
+}
+
+TEST(RtRuntime, PreserveModePersistsEveryBlock) {
+  TempDirs dirs;
+  Config cfg = base_config(dirs);
+  cfg.mode = Mode::kPreserve;
+  cfg.network_bandwidth = 8e6;  // force some blocks over both channels
+  cfg.producer_buffer_blocks = 4;
+  const int total = 24;
+  {
+    Runtime rt(1, 1, cfg);
+    std::thread consumer([&] {
+      while (rt.consumer(0).read()) {
+      }
+    });
+    const auto payload = make_payload(5, 32 * 1024);
+    for (int b = 0; b < total; ++b) rt.producer(0).write(BlockId{0, 0, b}, payload);
+    rt.producer(0).finish();
+    consumer.join();
+    rt.wait_idle();
+    EXPECT_EQ(rt.consumer(0).stats().blocks_preserved, static_cast<std::uint64_t>(total));
+  }
+  // Every block must exist in the preserve dir, with full payload.
+  int files = 0;
+  for (const auto& e : fs::directory_iterator(dirs.preserve)) {
+    EXPECT_EQ(fs::file_size(e.path()), 32u * 1024u);
+    ++files;
+  }
+  EXPECT_EQ(files, total);
+}
+
+TEST(RtRuntime, NoPreserveLeavesNoSpillFilesBehind) {
+  TempDirs dirs;
+  Config cfg = base_config(dirs);
+  cfg.network_bandwidth = 4e6;
+  cfg.producer_buffer_blocks = 4;
+  {
+    Runtime rt(1, 1, cfg);
+    std::thread consumer([&] {
+      while (rt.consumer(0).read()) {
+      }
+    });
+    const auto payload = make_payload(9, 64 * 1024);
+    for (int b = 0; b < 24; ++b) rt.producer(0).write(BlockId{0, 0, b}, payload);
+    rt.producer(0).finish();
+    consumer.join();
+    EXPECT_GT(rt.producer(0).stats().blocks_stolen, 0u);  // spill happened
+  }
+  EXPECT_TRUE(fs::is_empty(dirs.spill)) << "spill files leaked in No-Preserve mode";
+}
+
+TEST(RtRuntime, BlockMetadataSurvivesBothChannels) {
+  TempDirs dirs;
+  Config cfg = base_config(dirs);
+  cfg.network_bandwidth = 4e6;
+  cfg.producer_buffer_blocks = 4;
+  Runtime rt(1, 1, cfg);
+  std::thread producer([&] {
+    const auto payload = make_payload(2, 16 * 1024);
+    for (int b = 0; b < 16; ++b) {
+      rt.producer(0).write(BlockId{7, 0, b}, payload, /*offset=*/b * 16384ull);
+    }
+    rt.producer(0).finish();
+  });
+  std::map<int, std::uint64_t> offsets;
+  while (auto block = rt.consumer(0).read()) {
+    EXPECT_EQ(block->header.id.step, 7);
+    offsets[block->header.id.index] = block->header.offset;
+  }
+  producer.join();
+  ASSERT_EQ(offsets.size(), 16u);
+  for (int b = 0; b < 16; ++b) EXPECT_EQ(offsets[b], b * 16384ull);
+}
+
+TEST(RtRuntime, DestructorHandlesAbandonedConsumers) {
+  // A consumer that never reads must not deadlock the destructor.
+  TempDirs dirs;
+  Config cfg = base_config(dirs);
+  cfg.consumer_buffer_blocks = 2;
+  cfg.net_channel_blocks = 2;
+  Runtime rt(1, 1, cfg);
+  const auto payload = make_payload(4, 1024);
+  for (int b = 0; b < 4; ++b) rt.producer(0).write(BlockId{0, 0, b}, payload);
+  // No finish(), no reads: destructor must shut everything down cleanly.
+}
+
+TEST(RtRuntime, StressRandomSizesManyThreads) {
+  TempDirs dirs;
+  Config cfg = base_config(dirs);
+  cfg.producer_buffer_blocks = 6;
+  cfg.network_bandwidth = 50e6;
+  const int P = 6, Q = 3;
+  Runtime rt(P, Q, cfg);
+
+  std::atomic<std::uint64_t> bytes_written{0}, bytes_read{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < P; ++p) {
+    threads.emplace_back([&, p] {
+      zipper::common::Xoshiro256 rng(static_cast<std::uint64_t>(p) + 99);
+      for (int s = 0; s < 8; ++s) {
+        for (int b = 0; b < 6; ++b) {
+          const std::size_t n = 512 + rng.below(32 * 1024);
+          auto payload = make_payload(rng(), n);
+          bytes_written += n;
+          rt.producer(p).write(BlockId{s, p, b}, payload);
+        }
+      }
+      rt.producer(p).finish();
+    });
+  }
+  for (int c = 0; c < Q; ++c) {
+    threads.emplace_back([&, c] {
+      while (auto block = rt.consumer(c).read()) {
+        bytes_read += block->payload.size();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(bytes_read.load(), bytes_written.load());
+}

@@ -1,0 +1,116 @@
+// Tests for the analytic performance model and pipeline schedules (§4.4,
+// Figures 3 & 11).
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "model/perf_model.hpp"
+
+using namespace zipper::model;
+using zipper::common::MiB;
+
+namespace {
+ModelInput basic() {
+  ModelInput in;
+  in.total_bytes = 1024 * MiB;
+  in.block_bytes = MiB;
+  in.producers = 8;
+  in.consumers = 4;
+  in.tc_s = 0.004;
+  in.tm_s = 0.002;
+  in.ta_s = 0.003;
+  return in;
+}
+}  // namespace
+
+TEST(Model, BlockCount) {
+  const auto p = predict(basic());
+  EXPECT_EQ(p.num_blocks, 1024u);
+}
+
+TEST(Model, EndToEndIsMaxStage) {
+  const auto p = predict(basic());
+  EXPECT_DOUBLE_EQ(p.t_comp, 0.004 * 1024 / 8);
+  EXPECT_DOUBLE_EQ(p.t_transfer, 0.002 * 1024 / 8);
+  EXPECT_DOUBLE_EQ(p.t_analysis, 0.003 * 1024 / 4);
+  EXPECT_DOUBLE_EQ(p.t_end_to_end,
+                   std::max({p.t_comp, p.t_transfer, p.t_analysis}));
+  EXPECT_EQ(p.dominant, "analysis");
+}
+
+TEST(Model, DominantSwitchesWithComputeTime) {
+  auto in = basic();
+  in.tc_s = 0.1;
+  const auto p = predict(in);
+  EXPECT_EQ(p.dominant, "simulation");
+  EXPECT_DOUBLE_EQ(p.t_end_to_end, p.t_comp);
+}
+
+TEST(Model, PreserveAddsStoreStage) {
+  auto in = basic();
+  in.preserve = true;
+  in.pfs_write_bandwidth = 1e6;  // absurdly slow PFS dominates
+  const auto p = predict(in);
+  EXPECT_EQ(p.dominant, "store");
+  EXPECT_DOUBLE_EQ(p.t_store, static_cast<double>(in.total_bytes) / 1e6);
+}
+
+TEST(Model, NoPreserveHasNoStoreTime) {
+  const auto p = predict(basic());
+  EXPECT_DOUBLE_EQ(p.t_store, 0.0);
+}
+
+TEST(Model, PartialLastBlockRoundsUp) {
+  auto in = basic();
+  in.total_bytes = 10 * MiB + 1;
+  const auto p = predict(in);
+  EXPECT_EQ(p.num_blocks, 11u);
+}
+
+TEST(Schedule, NonIntegratedIsSumOfStages) {
+  const double stages[4] = {1, 2, 3, 4};
+  const auto s = schedule_non_integrated(7, stages);
+  EXPECT_DOUBLE_EQ(makespan(s), 7 * (1 + 2 + 3 + 4));
+  EXPECT_EQ(s.size(), 4u * 7u);
+}
+
+TEST(Schedule, IntegratedApproachesMaxStageBound) {
+  // Fig 11: with pipelining, makespan -> blocks * max_stage + fill.
+  const double stages[4] = {1, 1, 1, 1};
+  const auto s = schedule_integrated(100, stages);
+  EXPECT_DOUBLE_EQ(makespan(s), 100 + 3);  // nb * max + (stages-1) fill
+  const auto n = schedule_non_integrated(100, stages);
+  EXPECT_GT(makespan(n) / makespan(s), 3.5);
+}
+
+TEST(Schedule, IntegratedRespectsDependencies) {
+  const double stages[4] = {2, 1, 3, 1};
+  const auto s = schedule_integrated(10, stages);
+  // Block b's stage k must start after block b's stage k-1 ends.
+  double end_prev[10][4] = {};
+  for (const auto& span : s) end_prev[span.block][span.stage] = span.t1;
+  for (const auto& span : s) {
+    if (span.stage > 0) {
+      EXPECT_GE(span.t0, end_prev[span.block][span.stage - 1] - 1e-12);
+    }
+  }
+}
+
+TEST(Schedule, IntegratedStageUnitsNeverOverlap) {
+  const double stages[4] = {2, 3, 1, 2};
+  const auto s = schedule_integrated(20, stages);
+  // Within one stage, spans must be disjoint (one functional unit per stage).
+  for (int stage = 0; stage < 4; ++stage) {
+    double last_end = -1;
+    for (const auto& span : s) {
+      if (span.stage != stage) continue;
+      EXPECT_GE(span.t0, last_end - 1e-12);
+      last_end = span.t1;
+    }
+  }
+}
+
+TEST(Schedule, SingleBlockDegeneratesToSum) {
+  const double stages[4] = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(makespan(schedule_integrated(1, stages)), 10.0);
+  EXPECT_DOUBLE_EQ(makespan(schedule_non_integrated(1, stages)), 10.0);
+}

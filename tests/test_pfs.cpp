@@ -1,0 +1,205 @@
+// Tests for the striped parallel file system model.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/units.hpp"
+#include "net/fabric.hpp"
+#include "pfs/pfs.hpp"
+#include "sim/simulation.hpp"
+
+using namespace zipper;
+using zipper::common::MiB;
+using zipper::sim::Simulation;
+using zipper::sim::Task;
+using zipper::sim::Time;
+
+namespace {
+
+struct Rig {
+  Simulation sim;
+  net::Fabric fabric;
+  pfs::ParallelFileSystem fs;
+
+  static net::FabricConfig fabric_cfg() {
+    net::FabricConfig cfg;
+    cfg.num_hosts = 12;  // 8 compute + 4 gateways
+    cfg.hosts_per_leaf = 12;
+    cfg.num_core_switches = 2;
+    cfg.nic_bandwidth = 10e9;
+    cfg.port_bandwidth = 10e9;
+    cfg.hop_latency = 100;
+    cfg.software_overhead = 0;
+    return cfg;
+  }
+  static pfs::PfsConfig pfs_cfg() {
+    pfs::PfsConfig cfg;
+    cfg.num_osts = 8;
+    cfg.ost_bandwidth = 1e9;
+    cfg.stripe_size = MiB;
+    cfg.metadata_latency = 1000;
+    cfg.num_io_gateways = 4;
+    cfg.first_gateway_host = 8;
+    return cfg;
+  }
+
+  Rig() : fabric(sim, fabric_cfg()), fs(sim, fabric, pfs_cfg()) {}
+};
+
+}  // namespace
+
+TEST(Pfs, CreateRegistersFile) {
+  Rig r;
+  pfs::FileId id = 999;
+  r.sim.spawn([](Rig& rg, pfs::FileId& out) -> Task {
+    co_await rg.fs.create(0, "out.bp", out);
+  }(r, id));
+  r.sim.run();
+  EXPECT_EQ(id, 0u);
+  EXPECT_TRUE(r.fs.exists_now("out.bp"));
+  EXPECT_FALSE(r.fs.exists_now("other"));
+  EXPECT_EQ(r.sim.now(), 1000);  // one metadata op
+}
+
+TEST(Pfs, WriteExtendsSizeAndCountsBytes) {
+  Rig r;
+  r.sim.spawn([](Rig& rg) -> Task {
+    pfs::FileId id;
+    co_await rg.fs.create(0, "f", id);
+    co_await rg.fs.write(0, id, 0, 3 * MiB);
+    co_await rg.fs.write(0, id, 3 * MiB, MiB);
+  }(r));
+  r.sim.run();
+  EXPECT_EQ(r.fs.size_now(r.fs.id_of("f")), 4 * MiB);
+  EXPECT_EQ(r.fs.total_bytes_written(), 4 * MiB);
+}
+
+TEST(Pfs, StatSeesFileAfterCreate) {
+  Rig r;
+  bool exists = true;
+  std::uint64_t size = 1;
+  r.sim.spawn([](Rig& rg, bool& e, std::uint64_t& s) -> Task {
+    co_await rg.fs.stat(0, "nope", e, s);
+  }(r, exists, size));
+  r.sim.run();
+  EXPECT_FALSE(exists);
+  EXPECT_EQ(size, 0u);
+
+  bool exists2 = false;
+  std::uint64_t size2 = 0;
+  r.sim.spawn([](Rig& rg, bool& e, std::uint64_t& s) -> Task {
+    pfs::FileId id;
+    co_await rg.fs.create(1, "yes", id);
+    co_await rg.fs.write(1, id, 0, 2 * MiB);
+    co_await rg.fs.stat(2, "yes", e, s);
+  }(r, exists2, size2));
+  r.sim.run();
+  EXPECT_TRUE(exists2);
+  EXPECT_EQ(size2, 2 * MiB);
+}
+
+TEST(Pfs, StripingUsesMultipleOsts) {
+  Rig r;
+  r.sim.spawn([](Rig& rg) -> Task {
+    pfs::FileId id;
+    co_await rg.fs.create(0, "striped", id);
+    co_await rg.fs.write(0, id, 0, 8 * MiB);
+  }(r));
+  r.sim.run();
+  int used = 0;
+  for (int i = 0; i < 8; ++i) used += (r.fs.ost(i).stats().bytes > 0);
+  EXPECT_EQ(used, 8);  // 8 stripes over 8 OSTs, round-robin hits all
+}
+
+TEST(Pfs, ParallelStripesBeatSerialBound) {
+  // 8 MiB over 8 OSTs at 1 GB/s each must take much less than 8 MiB at a
+  // single OST's speed (stripes are issued concurrently).
+  Rig r;
+  Time done = -1;
+  r.sim.spawn([](Rig& rg, Time& d) -> Task {
+    pfs::FileId id;
+    co_await rg.fs.create(0, "par", id);
+    co_await rg.fs.write(0, id, 0, 8 * MiB);
+    d = rg.sim.now();
+  }(r, done));
+  r.sim.run();
+  const Time serial_at_one_ost = static_cast<Time>(8.0 * MiB / 1.0);  // 1 byte/ns
+  EXPECT_LT(done, serial_at_one_ost);
+}
+
+TEST(Pfs, ReadMovesBytesBackThroughFabric) {
+  Rig r;
+  r.sim.spawn([](Rig& rg) -> Task {
+    pfs::FileId id;
+    co_await rg.fs.create(0, "rd", id);
+    co_await rg.fs.write(0, id, 0, 2 * MiB);
+    co_await rg.fs.read(5, id, 0, 2 * MiB);
+  }(r));
+  r.sim.run();
+  EXPECT_EQ(r.fs.total_bytes_read(), 2 * MiB);
+  EXPECT_EQ(r.fabric.counters(5).rcv_data, 2 * MiB);  // client host got them
+}
+
+TEST(Pfs, IoTrafficDoesNotInflateXmitWait) {
+  Rig r;
+  r.sim.spawn([](Rig& rg) -> Task {
+    pfs::FileId id;
+    co_await rg.fs.create(0, "io", id);
+    co_await rg.fs.write(0, id, 0, 16 * MiB);
+  }(r));
+  r.sim.run();
+  EXPECT_EQ(r.fabric.counters(0).xmit_wait, 0u);
+}
+
+TEST(Pfs, BackgroundLoadConsumesOstBandwidth) {
+  Rig r;
+  r.sim.spawn(r.fs.background_load(0.5, /*seed=*/7));
+  r.sim.run_until(zipper::sim::kSecond / 100);  // 10 ms
+  std::uint64_t background_bytes = 0;
+  for (int i = 0; i < 8; ++i) background_bytes += r.fs.ost(i).stats().bytes;
+  EXPECT_GT(background_bytes, 0u);
+}
+
+TEST(Pfs, BackgroundLoadSlowsForegroundWrites) {
+  auto write_time = [](bool with_load) {
+    Rig r;
+    if (with_load) {
+      r.sim.spawn(r.fs.background_load(0.8, 100));
+    }
+    Time done = -1;
+    r.sim.spawn([](Rig& rg, Time& d) -> Task {
+      co_await rg.sim.delay(1000);  // let background queue up first
+      pfs::FileId id;
+      co_await rg.fs.create(0, "fg", id);
+      for (int i = 0; i < 16; ++i) {
+        co_await rg.fs.write(0, id, static_cast<std::uint64_t>(i) * 4 * MiB, 4 * MiB);
+      }
+      d = rg.sim.now();
+    }(r, done));
+    r.sim.run_until(10 * zipper::sim::kSecond);
+    return done;
+  };
+  const Time quiet = write_time(false);
+  const Time noisy = write_time(true);
+  ASSERT_GT(quiet, 0);
+  ASSERT_GT(noisy, 0);
+  EXPECT_GT(noisy, quiet * 3 / 2);  // contention must hurt visibly
+}
+
+TEST(Pfs, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    Rig r;
+    r.sim.spawn(r.fs.background_load(0.4, 42));
+    Time done = -1;
+    r.sim.spawn([](Rig& rg, Time& d) -> Task {
+      pfs::FileId id;
+      co_await rg.fs.create(0, "det", id);
+      co_await rg.fs.write(0, id, 0, 32 * MiB);
+      co_await rg.fs.read(3, id, 0, 32 * MiB);
+      d = rg.sim.now();
+    }(r, done));
+    r.sim.run_until(10 * zipper::sim::kSecond);
+    return done;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}

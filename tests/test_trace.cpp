@@ -1,0 +1,115 @@
+// Tests for the trace recorder and Gantt renderer.
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "trace/recorder.hpp"
+
+using namespace zipper;
+using trace::Cat;
+using trace::Recorder;
+using trace::ScopedSpan;
+using zipper::sim::Simulation;
+using zipper::sim::Task;
+
+TEST(Trace, RecordAndTotal) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 100);
+  rec.record(0, Cat::kCompute, 200, 250);
+  rec.record(1, Cat::kCompute, 0, 10);
+  rec.record(0, Cat::kStall, 100, 200);
+  EXPECT_EQ(rec.total(Cat::kCompute, 0), 150);
+  EXPECT_EQ(rec.total(Cat::kCompute, 1), 10);
+  EXPECT_EQ(rec.total(Cat::kCompute), 160);
+  EXPECT_EQ(rec.total(Cat::kStall), 100);
+  EXPECT_EQ(rec.total(Cat::kAnalysis), 0);
+}
+
+TEST(Trace, ZeroLengthSpansDropped) {
+  Recorder rec;
+  rec.record(0, Cat::kPut, 5, 5);
+  EXPECT_TRUE(rec.spans().empty());
+}
+
+TEST(Trace, DisabledRecorderRecordsNothing) {
+  Recorder rec(false);
+  rec.record(0, Cat::kPut, 0, 10);
+  EXPECT_TRUE(rec.spans().empty());
+  rec.set_enabled(true);
+  rec.record(0, Cat::kPut, 0, 10);
+  EXPECT_EQ(rec.spans().size(), 1u);
+}
+
+TEST(Trace, WindowClipsAndSorts) {
+  Recorder rec;
+  rec.record(3, Cat::kCompute, 100, 300);
+  rec.record(3, Cat::kStall, 0, 50);
+  rec.record(3, Cat::kPut, 250, 400);
+  rec.record(4, Cat::kCompute, 100, 300);  // other rank: excluded
+  auto w = rec.window(3, 150, 350);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].cat, Cat::kCompute);
+  EXPECT_EQ(w[0].t0, 150);
+  EXPECT_EQ(w[0].t1, 300);
+  EXPECT_EQ(w[1].cat, Cat::kPut);
+  EXPECT_EQ(w[1].t0, 250);
+  EXPECT_EQ(w[1].t1, 350);
+}
+
+TEST(Trace, ScopedSpanCoversSimulatedInterval) {
+  Simulation sim;
+  Recorder rec;
+  sim.spawn([](Simulation& s, Recorder& r) -> Task {
+    co_await s.delay(100);
+    {
+      ScopedSpan span(r, s, 7, Cat::kAnalysis);
+      co_await s.delay(250);
+    }
+    co_await s.delay(50);
+  }(sim, rec));
+  sim.run();
+  ASSERT_EQ(rec.spans().size(), 1u);
+  EXPECT_EQ(rec.spans()[0].rank, 7);
+  EXPECT_EQ(rec.spans()[0].t0, 100);
+  EXPECT_EQ(rec.spans()[0].t1, 350);
+}
+
+TEST(Trace, GanttRendersGlyphsAndIdle) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 50);
+  rec.record(0, Cat::kStall, 50, 100);
+  const std::string g = trace::render_gantt(rec, {0}, 0, 100, 10);
+  // 5 cells of 'C' then 5 cells of '#'.
+  EXPECT_NE(g.find("CCCCC#####"), std::string::npos);
+  EXPECT_NE(g.find("rank"), std::string::npos);
+}
+
+TEST(Trace, GanttIdleCellsAreDots) {
+  Recorder rec;
+  rec.record(1, Cat::kPut, 80, 100);
+  const std::string g = trace::render_gantt(rec, {1}, 0, 100, 10);
+  EXPECT_NE(g.find("........PP"), std::string::npos);
+}
+
+TEST(Trace, GanttMultipleRanksOneRowEach) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 100);
+  rec.record(1, Cat::kAnalysis, 0, 100);
+  const std::string g = trace::render_gantt(rec, {0, 1}, 0, 100, 4);
+  EXPECT_NE(g.find("CCCC"), std::string::npos);
+  EXPECT_NE(g.find("AAAA"), std::string::npos);
+  EXPECT_EQ(std::count(g.begin(), g.end(), '\n'), 2);
+}
+
+TEST(Trace, LegendNamesCategories) {
+  const std::string legend = trace::gantt_legend({Cat::kCompute, Cat::kStall});
+  EXPECT_NE(legend.find("C=Compute"), std::string::npos);
+  EXPECT_NE(legend.find("#=Stall"), std::string::npos);
+}
+
+TEST(Trace, GlyphsAreUniqueAcrossCategories) {
+  std::set<char> glyphs;
+  for (int c = 0; c <= static_cast<int>(Cat::kSteal); ++c) {
+    glyphs.insert(trace::cat_glyph(static_cast<Cat>(c)));
+  }
+  EXPECT_EQ(glyphs.size(), static_cast<std::size_t>(Cat::kSteal) + 1);
+}
