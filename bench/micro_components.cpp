@@ -14,6 +14,8 @@
 #include "common/rng.hpp"
 #include "core/rt/producer_buffer.hpp"
 #include "net/fabric.hpp"
+#include "sim/channel.hpp"
+#include "sim/latch.hpp"
 #include "sim/simulation.hpp"
 
 using namespace zipper;
@@ -35,6 +37,102 @@ static void BM_SimEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n_processes * 100);
 }
 BENCHMARK(BM_SimEventThroughput)->Arg(64)->Arg(1024)->Arg(8192);
+
+// Mixed-horizon schedule: half the processes use short (in-ring) delays, half
+// use long (overflow-heap) delays, exercising both tiers of the event queue.
+static void BM_SimEventThroughputFarHorizon(benchmark::State& state) {
+  const int n_processes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (int i = 0; i < n_processes; ++i) {
+      s.spawn([](sim::Simulation& sim, sim::Time d) -> sim::Task {
+        for (int k = 0; k < 100; ++k) co_await sim.delay(d);
+      }(s, i % 2 ? 10 : 100000));
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * n_processes * 100);
+}
+BENCHMARK(BM_SimEventThroughputFarHorizon)->Arg(1024);
+
+// Request/reply round trips between a client and a server coroutine over a
+// ping and a pong channel. After the first round, every transfer in either
+// direction finds its peer parked, so each round is two park/wake handoffs
+// through the scheduler — the waiter-list and wakeup cost end to end.
+static void BM_ChannelPingPong(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  constexpr int kRounds = 100;
+  struct Duo {
+    sim::Channel<int> ping, pong;
+    explicit Duo(sim::Simulation& s) : ping(s), pong(s) {}
+  };
+  for (auto _ : state) {
+    sim::Simulation s;
+    std::vector<std::unique_ptr<Duo>> duos;
+    for (int i = 0; i < pairs; ++i) duos.push_back(std::make_unique<Duo>(s));
+    for (int i = 0; i < pairs; ++i) {
+      Duo& d = *duos[static_cast<std::size_t>(i)];
+      s.spawn([](Duo& du) -> sim::Task {  // client
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.send(k);
+          co_await du.pong.recv();
+        }
+      }(d));
+      s.spawn([](Duo& du) -> sim::Task {  // server
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.recv();
+          co_await du.pong.send(k);
+        }
+      }(d));
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * pairs * kRounds);
+}
+BENCHMARK(BM_ChannelPingPong)->Arg(64)->Arg(1024);
+
+// Bounded-channel backpressure: senders park on a full buffer and are promoted
+// one slot at a time — stresses the sender waiter list and buffer slots.
+static void BM_ChannelBoundedBackpressure(benchmark::State& state) {
+  const int senders = static_cast<int>(state.range(0));
+  constexpr int kPerSender = 50;
+  for (auto _ : state) {
+    sim::Simulation s;
+    sim::Channel<int> ch(s, 4);
+    for (int i = 0; i < senders; ++i) {
+      s.spawn([](sim::Channel<int>& c) -> sim::Task {
+        for (int k = 0; k < kPerSender; ++k) co_await c.send(k);
+      }(ch));
+    }
+    s.spawn([](sim::Channel<int>& c, int total) -> sim::Task {
+      for (int k = 0; k < total; ++k) co_await c.recv();
+    }(ch, senders * kPerSender));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * senders * kPerSender);
+}
+BENCHMARK(BM_ChannelBoundedBackpressure)->Arg(64)->Arg(512);
+
+// when_all over a wide fan-out: stresses Latch wakeups and spawn scheduling.
+static void BM_LatchFanOut(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    std::vector<sim::Task> tasks;
+    tasks.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      tasks.push_back([](sim::Simulation& sim, sim::Time d) -> sim::Task {
+        co_await sim.delay(d);
+      }(s, i % 97));
+    }
+    s.spawn(sim::when_all(s, std::move(tasks)));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_LatchFanOut)->Arg(4096);
 
 static void BM_FabricTransfer(benchmark::State& state) {
   const int messages = static_cast<int>(state.range(0));

@@ -2,9 +2,10 @@
 
 #include <any>
 #include <cassert>
-#include <deque>
 #include <map>
 #include <optional>
+
+#include "common/ring_buffer.hpp"
 
 #include "sim/channel.hpp"
 #include "sim/latch.hpp"
@@ -37,11 +38,11 @@ std::string spill_name(const BlockId& id) { return "zspill_" + id.to_string(); }
 /// Coroutine analog of core/rt's ProducerBuffer (same Algorithm-1 policy).
 struct SimZipper::Producer {
   Producer(sim::Simulation& s, StealPolicy pol)
-      : policy(pol), m(s), not_full(s), not_empty(s), above_threshold(s),
-        writer_done(s, pol.enabled ? 1 : 0) {}
+      : policy(pol), q(pol.capacity), m(s), not_full(s), not_empty(s),
+        above_threshold(s), writer_done(s, pol.enabled ? 1 : 0) {}
 
   StealPolicy policy;
-  std::deque<BlockHeader> q;
+  common::RingBuffer<BlockHeader> q;
   bool closed = false;
   sim::SimMutex m;  // protects q/closed across coroutine suspension points
   sim::SimCondVar not_full, not_empty, above_threshold;
@@ -151,8 +152,7 @@ sim::Task SimZipper::sender_main(int p) {
       pm.m.unlock();
       break;
     }
-    BlockHeader h = pm.q.front();
-    pm.q.pop_front();
+    BlockHeader h = pm.q.take_front();
     pm.not_full.notify_one();
     pm.m.unlock();
 
@@ -216,8 +216,7 @@ sim::Task SimZipper::writer_main(int p) {
       pm.m.unlock();
       break;
     }
-    BlockHeader h = pm.q.front();  // Algorithm 1: steal the first block
-    pm.q.pop_front();
+    BlockHeader h = pm.q.take_front();  // Algorithm 1: steal the first block
     pm.not_full.notify_one();
     pm.m.unlock();
 

@@ -1,11 +1,15 @@
 // Bounded MPMC channel for the real (threaded) Zipper runtime.
+//
+// Values live in a recycled power-of-two ring (common/ring_buffer.hpp), so
+// steady-state push/pop never touches the allocator.
 #pragma once
 
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/ring_buffer.hpp"
 
 namespace zipper::core::rt {
 
@@ -13,7 +17,8 @@ template <typename T>
 class RtChannel {
  public:
   /// capacity == 0 means unbounded.
-  explicit RtChannel(std::size_t capacity = 0) : capacity_(capacity) {}
+  explicit RtChannel(std::size_t capacity = 0)
+      : q_(capacity), capacity_(capacity) {}
   RtChannel(const RtChannel&) = delete;
   RtChannel& operator=(const RtChannel&) = delete;
 
@@ -35,8 +40,7 @@ class RtChannel {
     std::unique_lock lk(m_);
     not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
     if (q_.empty()) return std::nullopt;
-    T v = std::move(q_.front());
-    q_.pop_front();
+    T v = q_.take_front();
     not_full_.notify_one();
     return v;
   }
@@ -45,8 +49,7 @@ class RtChannel {
   std::optional<T> try_pop() {
     std::lock_guard lk(m_);
     if (q_.empty()) return std::nullopt;
-    T v = std::move(q_.front());
-    q_.pop_front();
+    T v = q_.take_front();
     not_full_.notify_one();
     return v;
   }
@@ -72,7 +75,7 @@ class RtChannel {
   mutable std::mutex m_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> q_;
+  common::RingBuffer<T> q_;
   std::size_t capacity_;
   bool closed_ = false;
 };

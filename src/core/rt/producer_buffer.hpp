@@ -13,11 +13,11 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 
+#include "common/ring_buffer.hpp"
 #include "core/block.hpp"
 #include "core/policy.hpp"
 
@@ -25,7 +25,8 @@ namespace zipper::core::rt {
 
 class ProducerBuffer {
  public:
-  explicit ProducerBuffer(StealPolicy policy) : policy_(policy) {}
+  explicit ProducerBuffer(StealPolicy policy)
+      : q_(policy.capacity), policy_(policy) {}
   ProducerBuffer(const ProducerBuffer&) = delete;
   ProducerBuffer& operator=(const ProducerBuffer&) = delete;
 
@@ -95,8 +96,7 @@ class ProducerBuffer {
 
  private:
   std::shared_ptr<Block> take_front() {
-    auto b = std::move(q_.front());
-    q_.pop_front();
+    auto b = q_.take_front();
     not_full_.notify_one();
     return b;
   }
@@ -105,7 +105,7 @@ class ProducerBuffer {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::condition_variable above_threshold_;
-  std::deque<std::shared_ptr<Block>> q_;
+  common::RingBuffer<std::shared_ptr<Block>> q_;
   StealPolicy policy_;
   bool closed_ = false;
   std::uint64_t stall_ns_ = 0;

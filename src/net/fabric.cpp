@@ -11,21 +11,14 @@ Fabric::Fabric(sim::Simulation& sim, const FabricConfig& cfg)
   num_leaves_ = (cfg.num_hosts + cfg.hosts_per_leaf - 1) / cfg.hosts_per_leaf;
   flits_per_ns_ = cfg.port_bandwidth / 8.0 / 1e9;  // 8-byte FLITs
 
-  nic_tx_.reserve(cfg.num_hosts);
-  nic_rx_.reserve(cfg.num_hosts);
-  shm_.reserve(cfg.num_hosts);
   for (int h = 0; h < cfg.num_hosts; ++h) {
-    nic_tx_.push_back(std::make_unique<sim::Resource>(sim, cfg.nic_bandwidth,
-                                                      cfg.software_overhead));
-    nic_rx_.push_back(std::make_unique<sim::Resource>(sim, cfg.nic_bandwidth));
-    shm_.push_back(std::make_unique<sim::Resource>(sim, cfg.shm_bandwidth,
-                                                   cfg.software_overhead));
+    nic_tx_.emplace_back(sim, cfg.nic_bandwidth, cfg.software_overhead);
+    nic_rx_.emplace_back(sim, cfg.nic_bandwidth);
+    shm_.emplace_back(sim, cfg.shm_bandwidth, cfg.software_overhead);
   }
-  up_.reserve(static_cast<std::size_t>(num_leaves_) * cfg.num_core_switches);
-  down_.reserve(static_cast<std::size_t>(num_leaves_) * cfg.num_core_switches);
   for (int i = 0; i < num_leaves_ * cfg.num_core_switches; ++i) {
-    up_.push_back(std::make_unique<sim::Resource>(sim, cfg.port_bandwidth));
-    down_.push_back(std::make_unique<sim::Resource>(sim, cfg.port_bandwidth));
+    up_.emplace_back(sim, cfg.port_bandwidth);
+    down_.emplace_back(sim, cfg.port_bandwidth);
   }
   counters_.resize(cfg.num_hosts);
   core_rr_.assign(cfg.num_hosts, 0);
@@ -56,7 +49,7 @@ sim::Task Fabric::transfer(int src_host, int dst_host, std::uint64_t bytes,
 
   if (src_host == dst_host) {
     // Same-host: shared-memory copy engine, no NIC involvement.
-    co_await shm_[src_host]->transfer(bytes);
+    co_await shm_[src_host].transfer(bytes);
     src_ctr.xmit_pkts += 1;
     dst_ctr.rcv_pkts += 1;
     co_return;
@@ -65,7 +58,7 @@ sim::Task Fabric::transfer(int src_host, int dst_host, std::uint64_t bytes,
   src_ctr.xmit_data += bytes;
   src_ctr.xmit_pkts += 1;
 
-  sim::Time wait = co_await nic_tx_[src_host]->transfer(bytes);
+  sim::Time wait = co_await nic_tx_[src_host].transfer(bytes);
   charge_wait(src_host, wait, cls);
   co_await sim_->delay(cfg_.hop_latency);
 
@@ -73,15 +66,15 @@ sim::Task Fabric::transfer(int src_host, int dst_host, std::uint64_t bytes,
   const int dst_leaf = leaf_of(dst_host);
   if (src_leaf != dst_leaf) {
     const int core = pick_core(src_host, dst_host);
-    wait = co_await up_[src_leaf * cfg_.num_core_switches + core]->transfer(bytes);
+    wait = co_await up_[static_cast<std::size_t>(src_leaf * cfg_.num_core_switches + core)].transfer(bytes);
     charge_wait(src_host, wait, cls);
     co_await sim_->delay(cfg_.hop_latency);
-    wait = co_await down_[dst_leaf * cfg_.num_core_switches + core]->transfer(bytes);
+    wait = co_await down_[static_cast<std::size_t>(dst_leaf * cfg_.num_core_switches + core)].transfer(bytes);
     charge_wait(src_host, wait, cls);
     co_await sim_->delay(cfg_.hop_latency);
   }
 
-  wait = co_await nic_rx_[dst_host]->transfer(bytes);
+  wait = co_await nic_rx_[dst_host].transfer(bytes);
   charge_wait(src_host, wait, cls);
 
   dst_ctr.rcv_data += bytes;

@@ -22,7 +22,7 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <deque>
 #include <vector>
 
 #include "sim/resource.hpp"
@@ -91,9 +91,9 @@ class Fabric {
 
   /// Direct access for co-located models (e.g., PFS ingestion): the NIC
   /// resources of a host.
-  sim::Resource& nic_tx(int host) { return *nic_tx_[host]; }
-  sim::Resource& nic_rx(int host) { return *nic_rx_[host]; }
-  sim::Resource& shm(int host) { return *shm_[host]; }
+  sim::Resource& nic_tx(int host) { return nic_tx_[static_cast<std::size_t>(host)]; }
+  sim::Resource& nic_rx(int host) { return nic_rx_[static_cast<std::size_t>(host)]; }
+  sim::Resource& shm(int host) { return shm_[static_cast<std::size_t>(host)]; }
 
  private:
   // Charges a queueing delay back to the source host's XmitWait counter in
@@ -106,12 +106,14 @@ class Fabric {
   int num_leaves_;
   double flits_per_ns_;  // one 8-byte FLIT per this many ns at port rate
 
-  std::vector<std::unique_ptr<sim::Resource>> nic_tx_;
-  std::vector<std::unique_ptr<sim::Resource>> nic_rx_;
-  std::vector<std::unique_ptr<sim::Resource>> shm_;
+  // Resources are non-movable; a deque gives stable addresses without a
+  // per-port heap allocation + pointer chase.
+  std::deque<sim::Resource> nic_tx_;
+  std::deque<sim::Resource> nic_rx_;
+  std::deque<sim::Resource> shm_;
   // up_[leaf * num_cores + core], down_[leaf * num_cores + core]
-  std::vector<std::unique_ptr<sim::Resource>> up_;
-  std::vector<std::unique_ptr<sim::Resource>> down_;
+  std::deque<sim::Resource> up_;
+  std::deque<sim::Resource> down_;
   std::vector<HostCounters> counters_;
   std::vector<std::uint32_t> core_rr_;  // per-host round-robin core selector
 };

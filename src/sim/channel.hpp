@@ -3,6 +3,9 @@
 // Semantics mirror a Go-style channel adapted to the discrete-event world:
 //   * `co_await ch.send(v)` — completes immediately if a receiver is parked
 //     or buffer space exists; otherwise suspends the sender (backpressure).
+//     Yields `true` on delivery, `false` only if the channel was closed while
+//     the sender was parked (the value is dropped) — so a parked sender can
+//     never deadlock on close().
 //   * `co_await ch.recv()` — yields std::optional<T>; std::nullopt once the
 //     channel is closed *and* drained.
 //
@@ -10,14 +13,19 @@
 // directly into the receiver's awaiter slot (never through the buffer), so a
 // later same-timestamp recv() cannot steal it. FIFO order is preserved among
 // both senders and receivers.
+//
+// Hot-path note: waiters are intrusive singly-linked nodes embedded in the
+// awaiter (which lives in the suspended coroutine's frame), and buffered
+// values live in a recycled power-of-two ring — park, wake, and buffered
+// send/recv all run without heap allocation in steady state.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
-#include <deque>
 #include <optional>
 #include <utility>
 
+#include "common/ring_buffer.hpp"
 #include "sim/simulation.hpp"
 
 namespace zipper::sim {
@@ -27,7 +35,7 @@ class Channel {
  public:
   /// capacity == 0 means unbounded.
   explicit Channel(Simulation& sim, std::size_t capacity = 0)
-      : sim_(&sim), capacity_(capacity) {}
+      : sim_(&sim), capacity_(capacity), buffer_(capacity) {}
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
@@ -35,11 +43,12 @@ class Channel {
     Channel* ch;
     std::optional<T> slot;
     bool closed_signal = false;
+    RecvAwaiter* next_waiter = nullptr;
+    SchedNode node{};
 
     bool await_ready() {
       if (!ch->buffer_.empty()) {
-        slot = std::move(ch->buffer_.front());
-        ch->buffer_.pop_front();
+        slot = ch->buffer_.take_front();
         ch->promote_waiting_sender();
         return true;
       }
@@ -50,7 +59,8 @@ class Channel {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      ch->recv_waiters_.push_back(ParkedRecv{this, h});
+      node.h = h;
+      ch->recv_waiters_.push_back(this);
     }
     std::optional<T> await_resume() {
       if (closed_signal) return std::nullopt;
@@ -61,14 +71,15 @@ class Channel {
   struct SendAwaiter {
     Channel* ch;
     T value;
+    bool delivered = true;
+    SendAwaiter* next_waiter = nullptr;
+    SchedNode node{};
 
     bool await_ready() {
       assert(!ch->closed_ && "send on closed channel");
-      if (!ch->recv_waiters_.empty()) {
-        ParkedRecv r = ch->recv_waiters_.front();
-        ch->recv_waiters_.pop_front();
-        r.awaiter->slot = std::move(value);
-        ch->sim_->schedule_now(r.handle);
+      if (RecvAwaiter* r = ch->recv_waiters_.pop_front()) {
+        r->slot = std::move(value);
+        ch->sim_->schedule_node_now(&r->node);
         return true;
       }
       if (ch->capacity_ == 0 || ch->buffer_.size() < ch->capacity_) {
@@ -78,9 +89,12 @@ class Channel {
       return false;
     }
     void await_suspend(std::coroutine_handle<> h) {
-      ch->send_waiters_.push_back(ParkedSend{this, h});
+      node.h = h;
+      ch->send_waiters_.push_back(this);
     }
-    void await_resume() const noexcept {}
+    /// True if the value was delivered (or buffered); false if the channel
+    /// closed while this sender was parked.
+    bool await_resume() const noexcept { return delivered; }
   };
 
   /// Awaitable send; applies backpressure when the channel is bounded & full.
@@ -89,11 +103,9 @@ class Channel {
   /// Non-suspending send; returns false instead of blocking when full.
   bool try_send(T value) {
     assert(!closed_ && "send on closed channel");
-    if (!recv_waiters_.empty()) {
-      ParkedRecv r = recv_waiters_.front();
-      recv_waiters_.pop_front();
-      r.awaiter->slot = std::move(value);
-      sim_->schedule_now(r.handle);
+    if (RecvAwaiter* r = recv_waiters_.pop_front()) {
+      r->slot = std::move(value);
+      sim_->schedule_node_now(&r->node);
       return true;
     }
     if (capacity_ == 0 || buffer_.size() < capacity_) {
@@ -106,15 +118,22 @@ class Channel {
   /// Awaitable receive; std::nullopt after close() once drained.
   RecvAwaiter recv() { return RecvAwaiter{this, std::nullopt}; }
 
-  /// Closes the channel: parked receivers wake with std::nullopt; buffered
-  /// values remain receivable. Sends after close are a programming error.
+  /// Closes the channel: parked receivers wake with std::nullopt (buffered
+  /// values remain receivable first), and parked senders wake with their send
+  /// reporting failure — a bounded channel that is closed while full can no
+  /// longer strand its producers. Sends *initiated* after close are a
+  /// programming error.
   void close() {
     closed_ = true;
-    while (!recv_waiters_.empty() && buffer_.empty()) {
-      ParkedRecv r = recv_waiters_.front();
-      recv_waiters_.pop_front();
-      r.awaiter->closed_signal = true;
-      sim_->schedule_now(r.handle);
+    if (buffer_.empty()) {
+      while (RecvAwaiter* r = recv_waiters_.pop_front()) {
+        r->closed_signal = true;
+        sim_->schedule_node_now(&r->node);
+      }
+    }
+    while (SendAwaiter* s = send_waiters_.pop_front()) {
+      s->delivered = false;
+      sim_->schedule_node_now(&s->node);
     }
   }
 
@@ -124,31 +143,21 @@ class Channel {
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  struct ParkedRecv {
-    RecvAwaiter* awaiter;
-    std::coroutine_handle<> handle;
-  };
-  struct ParkedSend {
-    SendAwaiter* awaiter;
-    std::coroutine_handle<> handle;
-  };
-
   // Called after a buffered item was consumed: moves one parked sender's value
   // into the freed buffer slot and resumes that sender.
   void promote_waiting_sender() {
-    if (send_waiters_.empty()) return;
-    ParkedSend s = send_waiters_.front();
-    send_waiters_.pop_front();
-    buffer_.push_back(std::move(s.awaiter->value));
-    sim_->schedule_now(s.handle);
+    if (SendAwaiter* s = send_waiters_.pop_front()) {
+      buffer_.push_back(std::move(s->value));
+      sim_->schedule_node_now(&s->node);
+    }
   }
 
   Simulation* sim_;
   std::size_t capacity_;
   bool closed_ = false;
-  std::deque<T> buffer_;
-  std::deque<ParkedRecv> recv_waiters_;
-  std::deque<ParkedSend> send_waiters_;
+  common::RingBuffer<T> buffer_;
+  IntrusiveFifo<RecvAwaiter> recv_waiters_;
+  IntrusiveFifo<SendAwaiter> send_waiters_;
 };
 
 }  // namespace zipper::sim

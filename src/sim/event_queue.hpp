@@ -1,0 +1,257 @@
+// Two-tier bucketed event queue — the scheduling hot path of the DES kernel.
+//
+// Tier 1 (near horizon): a ring of `kRingSize` time buckets, one bucket per
+// nanosecond of simulated time in [now, now + kRingSize). Because every
+// queued event's time is >= now and the ring spans exactly kRingSize
+// nanoseconds, each bucket holds events of at most one distinct timestamp at
+// any moment; a bucket is an intrusive FIFO list, so same-timestamp events
+// pop in scheduling order — exactly the (time, seq) determinism contract —
+// with O(1) push and amortized O(1) pop (an occupancy bitmap plus
+// `countr_zero` finds the next non-empty bucket without scanning slots).
+//
+// Tier 2 (far horizon): events at or beyond now + kRingSize go to an overflow
+// binary heap ordered by (time, insertion-seq). No migration between tiers is
+// ever needed: a time t is heap-eligible only while t >= now + kRingSize and
+// ring-eligible only after now has advanced past that point, and now is
+// monotone — so for any timestamp, all heap entries were scheduled before all
+// ring entries. The pop path compares the heap top against the next ring
+// bucket and drains the heap first on ties, which preserves global
+// scheduling-order FIFO across the two tiers.
+//
+// Events are intrusive `SchedNode`s. Awaiters embed their node directly in
+// the coroutine frame (zero allocation on the park/wake path); the
+// handle-based `Simulation::schedule_*` API draws nodes from a free-list
+// pool. `WaitList` is the matching intrusive waiter list used by Channel,
+// SimMutex, SimCondVar, SimSemaphore, and Latch; a whole WaitList can be
+// spliced into the current bucket in O(1), so notify_all / count_down wake N
+// waiters with one list splice instead of N queue pushes.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace zipper::sim {
+
+/// Intrusive scheduling node. Embedded in awaiter frames (pooled == false) or
+/// drawn from the Simulation's free-list pool (pooled == true). The `next`
+/// pointer is reused: first as the waiter-list link while parked, then as the
+/// bucket link once scheduled.
+struct SchedNode {
+  std::coroutine_handle<> h = nullptr;
+  SchedNode* next = nullptr;
+  bool pooled = false;
+};
+
+/// Intrusive FIFO of parked waiters of type W, linked through W::next_waiter
+/// (O(1) push/pop). Used for typed waiter lists (e.g. channel awaiters) whose
+/// wake path needs the awaiter, not just its SchedNode.
+template <typename W>
+class IntrusiveFifo {
+ public:
+  bool empty() const noexcept { return head_ == nullptr; }
+
+  void push_back(W* w) noexcept {
+    w->next_waiter = nullptr;
+    if (tail_) {
+      tail_->next_waiter = w;
+    } else {
+      head_ = w;
+    }
+    tail_ = w;
+  }
+
+  W* pop_front() noexcept {
+    W* w = head_;
+    if (w) {
+      head_ = w->next_waiter;
+      if (!head_) tail_ = nullptr;
+    }
+    return w;
+  }
+
+ private:
+  W* head_ = nullptr;
+  W* tail_ = nullptr;
+};
+
+/// Intrusive FIFO list of parked SchedNodes (O(1) push/pop/splice).
+class WaitList {
+ public:
+  bool empty() const noexcept { return head_ == nullptr; }
+  std::size_t size() const noexcept { return n_; }
+
+  void push_back(SchedNode* n) noexcept {
+    n->next = nullptr;
+    if (tail_) {
+      tail_->next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+    ++n_;
+  }
+
+  SchedNode* pop_front() noexcept {
+    SchedNode* n = head_;
+    if (n) {
+      head_ = n->next;
+      if (!head_) tail_ = nullptr;
+      --n_;
+    }
+    return n;
+  }
+
+ private:
+  friend class BucketQueue;
+  SchedNode* head_ = nullptr;
+  SchedNode* tail_ = nullptr;
+  std::size_t n_ = 0;
+};
+
+class BucketQueue {
+ public:
+  static constexpr std::size_t kRingBits = 11;
+  static constexpr std::size_t kRingSize = std::size_t{1} << kRingBits;  // 2048 ns
+  static constexpr std::size_t kRingMask = kRingSize - 1;
+  static constexpr Time kNoDeadline = std::numeric_limits<Time>::max();
+
+  bool empty() const noexcept { return ring_count_ == 0 && heap_.empty(); }
+  std::size_t size() const noexcept { return ring_count_ + heap_.size(); }
+
+  /// Enqueues `n` to fire at absolute time `t` (requires now <= t).
+  void push(SchedNode* n, Time t, Time now) {
+    assert(t >= now && "cannot schedule into the simulated past");
+    if (static_cast<std::uint64_t>(t - now) < kRingSize) {
+      const std::size_t s = static_cast<std::uint64_t>(t) & kRingMask;
+      Bucket& b = buckets_[s];
+      n->next = nullptr;
+      if (b.tail) {
+        b.tail->next = n;
+      } else {
+        b.head = n;
+        bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
+      }
+      b.tail = n;
+      ++ring_count_;
+    } else {
+      heap_.push_back(HeapEntry{t, heap_seq_++, n});
+      std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+    }
+  }
+
+  /// Splices an entire WaitList into the bucket for time `now` in O(1): the
+  /// list's FIFO order becomes scheduling order. The list is left empty.
+  void splice_now(WaitList& l, Time now) {
+    if (!l.head_) return;
+    const std::size_t s = static_cast<std::uint64_t>(now) & kRingMask;
+    Bucket& b = buckets_[s];
+    if (b.tail) {
+      b.tail->next = l.head_;
+    } else {
+      b.head = l.head_;
+      bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
+    }
+    b.tail = l.tail_;
+    ring_count_ += l.n_;
+    l.head_ = l.tail_ = nullptr;
+    l.n_ = 0;
+  }
+
+  /// Pops the earliest event if its time is <= `deadline`; nullptr otherwise
+  /// (or when empty). On success stores the event's time in `t_out`.
+  SchedNode* pop(Time now, Time deadline, Time& t_out) {
+    Time ring_t = 0;
+    std::size_t slot = 0;
+    const bool have_ring = ring_count_ > 0;
+    if (have_ring) {
+      const std::size_t cur = static_cast<std::uint64_t>(now) & kRingMask;
+      slot = next_occupied(cur);
+      ring_t = now + static_cast<Time>((slot - cur) & kRingMask);
+    }
+    if (!heap_.empty() && (!have_ring || heap_.front().t <= ring_t)) {
+      if (heap_.front().t > deadline) return nullptr;
+      std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+      const HeapEntry e = heap_.back();
+      heap_.pop_back();
+      t_out = e.t;
+      return e.n;
+    }
+    if (!have_ring || ring_t > deadline) return nullptr;
+    Bucket& b = buckets_[slot];
+    SchedNode* n = b.head;
+    b.head = n->next;
+    if (!b.head) {
+      b.tail = nullptr;
+      bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
+    --ring_count_;
+    t_out = ring_t;
+    return n;
+  }
+
+  /// Drops every queued event (nodes are abandoned, not freed — pooled nodes'
+  /// storage is owned by the Simulation's pool, embedded nodes by their
+  /// coroutine frames).
+  void clear() noexcept {
+    if (ring_count_ > 0) {
+      buckets_.fill(Bucket{});
+      bits_.fill(0);
+      ring_count_ = 0;
+    }
+    heap_.clear();
+    heap_seq_ = 0;
+  }
+
+ private:
+  struct Bucket {
+    SchedNode* head = nullptr;
+    SchedNode* tail = nullptr;
+  };
+  struct HeapEntry {
+    Time t;
+    std::uint64_t seq;  // heap-local insertion order; FIFO tie-break at equal t
+    SchedNode* n;
+  };
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      return a.t != b.t ? a.t > b.t : a.seq > b.seq;
+    }
+  };
+
+  static constexpr std::size_t kWords = kRingSize / 64;
+
+  /// Index of the first occupied bucket at cyclic distance >= 0 from `start`
+  /// (requires ring_count_ > 0).
+  std::size_t next_occupied(std::size_t start) const noexcept {
+    const std::size_t w0 = start >> 6;
+    const std::uint64_t first = bits_[w0] >> (start & 63);
+    if (first) {
+      return start + static_cast<std::size_t>(std::countr_zero(first));
+    }
+    for (std::size_t k = 1; k <= kWords; ++k) {
+      const std::size_t w = (w0 + k) & (kWords - 1);
+      if (bits_[w]) {
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(bits_[w]));
+      }
+    }
+    assert(false && "next_occupied on empty ring");
+    return start;
+  }
+
+  std::array<Bucket, kRingSize> buckets_{};
+  std::array<std::uint64_t, kWords> bits_{};
+  std::size_t ring_count_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::uint64_t heap_seq_ = 0;
+};
+
+}  // namespace zipper::sim

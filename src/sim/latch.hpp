@@ -8,7 +8,6 @@
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -26,16 +25,19 @@ class Latch {
   void count_down(std::int64_t n = 1) {
     assert(count_ >= n && "latch underflow");
     count_ -= n;
-    if (count_ == 0) {
-      for (auto h : waiters_) sim_->schedule_now(h);
-      waiters_.clear();
-    }
+    // Waking everyone is a single O(1) splice of the intrusive waiter list
+    // into the current event bucket, regardless of waiter count.
+    if (count_ == 0) sim_->wake_all_now(waiters_);
   }
 
   struct WaitAwaiter {
     Latch* l;
+    SchedNode node{};
     bool await_ready() const noexcept { return l->count_ == 0; }
-    void await_suspend(std::coroutine_handle<> h) { l->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.h = h;
+      l->waiters_.push_back(&node);
+    }
     void await_resume() const noexcept {}
   };
 
@@ -45,7 +47,7 @@ class Latch {
  private:
   Simulation* sim_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaitList waiters_;
 };
 
 namespace detail {

@@ -46,6 +46,7 @@ class Resource {
     Resource* res;
     std::uint64_t bytes;
     Time wait = 0;
+    SchedNode node{};
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
@@ -58,7 +59,8 @@ class Resource {
       res->stats_.bytes += bytes;
       res->stats_.busy += service;
       res->stats_.queue_wait += wait;
-      res->sim_->schedule_at(start + service, h);
+      node.h = h;
+      res->sim_->schedule_node_at(start + service, &node);
     }
     /// Returns the queueing delay (time spent waiting behind earlier
     /// requests, excluding own service time).

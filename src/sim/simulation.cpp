@@ -9,15 +9,20 @@ namespace zipper::sim {
 Simulation::~Simulation() {
   // Drop any still-queued events first (their coroutines are owned by
   // roots_ or by parent frames reachable from roots_), then destroy roots.
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
   for (auto h : roots_) {
     if (h) h.destroy();
   }
 }
 
-void Simulation::schedule_at(Time t, std::coroutine_handle<> h) {
-  assert(t >= now_ && "cannot schedule into the simulated past");
-  queue_.push(Event{t, seq_++, h});
+void Simulation::refill_pool() {
+  auto chunk = std::make_unique<SchedNode[]>(kPoolChunk);
+  for (std::size_t i = 0; i < kPoolChunk; ++i) {
+    chunk[i].pooled = true;
+    chunk[i].next = free_;
+    free_ = &chunk[i];
+  }
+  pool_chunks_.push_back(std::move(chunk));
 }
 
 void Simulation::spawn(Task task) {
@@ -25,15 +30,6 @@ void Simulation::spawn(Task task) {
   assert(h && "spawn of an empty task");
   roots_.push_back(h);
   schedule_now(h);
-}
-
-void Simulation::dispatch(const Event& ev) {
-  now_ = ev.t;
-  ++dispatched_;
-  ev.h.resume();
-  // Lazily reap finished root frames so multi-million-process benches do not
-  // accumulate unbounded dead frames.
-  if ((dispatched_ & 0xFFFF) == 0) sweep_finished_roots();
 }
 
 void Simulation::sweep_finished_roots() {
@@ -53,25 +49,30 @@ void Simulation::sweep_finished_roots() {
                roots_.end());
 }
 
-Time Simulation::run() {
+void Simulation::run_loop(Time deadline) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+  Time t;
+  SchedNode* n;
+  while (!stop_requested_ && (n = queue_.pop(now_, deadline, t)) != nullptr) {
+    const std::coroutine_handle<> h = n->h;
+    if (n->pooled) release_node(n);
+    now_ = t;
+    ++dispatched_;
+    h.resume();
+    // Lazily reap finished root frames so multi-million-process benches do
+    // not accumulate unbounded dead frames.
+    if ((dispatched_ & 0xFFFF) == 0) sweep_finished_roots();
   }
   sweep_finished_roots();
+}
+
+Time Simulation::run() {
+  run_loop(BucketQueue::kNoDeadline);
   return now_;
 }
 
 Time Simulation::run_until(Time deadline) {
-  stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_ && queue_.top().t <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
-  }
-  sweep_finished_roots();
+  run_loop(deadline);
   if (queue_.empty() && now_ < deadline) now_ = deadline;
   return now_;
 }

@@ -4,14 +4,20 @@
 // sequence numbers are assigned at scheduling time. No wall-clock, no global
 // RNG. Two runs of the same program produce identical event orders and
 // identical simulated timestamps.
+//
+// Scheduling is a two-tier bucketed queue (see event_queue.hpp): near-horizon
+// events go to per-nanosecond FIFO buckets (O(1) push/pop), far-horizon
+// events to an overflow heap. Awaiters embed their SchedNode in the coroutine
+// frame, so the steady-state schedule/dispatch path performs no allocation.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -28,7 +34,13 @@ class Simulation {
   Time now() const noexcept { return now_; }
 
   /// Schedules `h` to resume at absolute time `t` (must be >= now()).
-  void schedule_at(Time t, std::coroutine_handle<> h);
+  /// Uses a pool-backed node; prefer the schedule_node_* overloads from
+  /// awaiters that can embed their own SchedNode.
+  void schedule_at(Time t, std::coroutine_handle<> h) {
+    SchedNode* n = acquire_node();
+    n->h = h;
+    queue_.push(n, t, now_);
+  }
 
   /// Schedules `h` to resume after `delay` nanoseconds.
   void schedule_after(Time delay, std::coroutine_handle<> h) {
@@ -39,6 +51,19 @@ class Simulation {
   /// at this timestamp.
   void schedule_now(std::coroutine_handle<> h) { schedule_at(now_, h); }
 
+  /// Zero-allocation variants: `n` is an externally-owned node (typically
+  /// embedded in the awaiter's coroutine frame) with n->h already set. The
+  /// node must stay alive until its event is dispatched.
+  void schedule_node_at(Time t, SchedNode* n) { queue_.push(n, t, now_); }
+  void schedule_node_after(Time delay, SchedNode* n) {
+    queue_.push(n, now_ + delay, now_);
+  }
+  void schedule_node_now(SchedNode* n) { queue_.push(n, now_, now_); }
+
+  /// Wakes every waiter parked on `l` at the current time with a single O(1)
+  /// list splice; FIFO park order becomes scheduling order.
+  void wake_all_now(WaitList& l) { queue_.splice_now(l, now_); }
+
   /// Detaches `task` as a root simulated process; its first resume is
   /// scheduled at the current simulated time.
   void spawn(Task task);
@@ -48,11 +73,15 @@ class Simulation {
     struct Awaiter {
       Simulation* sim;
       Time d;
+      SchedNode node{};
       bool await_ready() const noexcept { return d <= 0; }
-      void await_suspend(std::coroutine_handle<> h) { sim->schedule_after(d, h); }
+      void await_suspend(std::coroutine_handle<> h) {
+        node.h = h;
+        sim->schedule_node_after(d, &node);
+      }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this, d};
+    return Awaiter{this, d, {}};
   }
 
   /// Runs until the event queue drains. Returns the final simulated time.
@@ -76,23 +105,31 @@ class Simulation {
   /// Total number of events dispatched so far.
   std::uint64_t events_dispatched() const noexcept { return dispatched_; }
 
- private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-    bool operator>(const Event& o) const noexcept {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
-  };
+  /// Number of events currently queued (both tiers).
+  std::size_t events_queued() const noexcept { return queue_.size(); }
 
-  void dispatch(const Event& ev);
+ private:
+  static constexpr std::size_t kPoolChunk = 256;
+
+  SchedNode* acquire_node() {
+    if (!free_) refill_pool();
+    SchedNode* n = free_;
+    free_ = n->next;
+    return n;
+  }
+  void release_node(SchedNode* n) noexcept {
+    n->next = free_;
+    free_ = n;
+  }
+  void refill_pool();
+  void run_loop(Time deadline);
   void sweep_finished_roots();
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  BucketQueue queue_;
+  SchedNode* free_ = nullptr;  // free list of pooled nodes
+  std::vector<std::unique_ptr<SchedNode[]>> pool_chunks_;
   std::vector<Task::Handle> roots_;
   Time now_ = 0;
-  std::uint64_t seq_ = 0;
   std::uint64_t dispatched_ = 0;
   bool stop_requested_ = false;
 };

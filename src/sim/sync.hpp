@@ -1,12 +1,15 @@
 // Simulated synchronization primitives: FIFO mutex, condition variable, and
 // counting semaphore. All are single-"OS-thread" objects living inside one
 // Simulation; fairness is strict FIFO to keep runs deterministic.
+//
+// Waiters are intrusive SchedNodes embedded in the awaiter frames (see
+// event_queue.hpp): parking and waking never allocate, and notify_all splices
+// the whole waiter list into the event queue in O(1).
 #pragma once
 
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 
 #include "sim/simulation.hpp"
 #include "sim/task.hpp"
@@ -21,6 +24,7 @@ class SimMutex {
 
   struct LockAwaiter {
     SimMutex* m;
+    SchedNode node{};
     bool await_ready() {
       if (!m->locked_) {
         m->locked_ = true;
@@ -28,7 +32,10 @@ class SimMutex {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { m->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.h = h;
+      m->waiters_.push_back(&node);
+    }
     void await_resume() const noexcept {}
   };
 
@@ -43,11 +50,9 @@ class SimMutex {
 
   void unlock() {
     assert(locked_ && "unlock of unlocked SimMutex");
-    if (!waiters_.empty()) {
+    if (SchedNode* n = waiters_.pop_front()) {
       // Ownership passes directly to the first waiter; locked_ stays true.
-      auto h = waiters_.front();
-      waiters_.pop_front();
-      sim_->schedule_now(h);
+      sim_->schedule_node_now(n);
     } else {
       locked_ = false;
     }
@@ -59,7 +64,7 @@ class SimMutex {
   friend class SimCondVar;
   Simulation* sim_;
   bool locked_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaitList waiters_;
 };
 
 /// RAII guard usable inside coroutines:  auto g = co_await ScopedSimLock::acquire(m);
@@ -93,28 +98,27 @@ class SimCondVar {
   }
 
   void notify_one() {
-    if (waiters_.empty()) return;
-    auto h = waiters_.front();
-    waiters_.pop_front();
-    sim_->schedule_now(h);
+    if (SchedNode* n = waiters_.pop_front()) sim_->schedule_node_now(n);
   }
 
-  void notify_all() {
-    while (!waiters_.empty()) notify_one();
-  }
+  void notify_all() { sim_->wake_all_now(waiters_); }
 
   std::size_t waiter_count() const noexcept { return waiters_.size(); }
 
  private:
   struct Park {
     SimCondVar* cv;
+    SchedNode node{};
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) { cv->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.h = h;
+      cv->waiters_.push_back(&node);
+    }
     void await_resume() const noexcept {}
   };
 
   Simulation* sim_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaitList waiters_;
 };
 
 class SimSemaphore {
@@ -125,6 +129,7 @@ class SimSemaphore {
 
   struct AcquireAwaiter {
     SimSemaphore* s;
+    SchedNode node{};
     bool await_ready() {
       if (s->count_ > 0) {
         --s->count_;
@@ -132,7 +137,10 @@ class SimSemaphore {
       }
       return false;
     }
-    void await_suspend(std::coroutine_handle<> h) { s->waiters_.push_back(h); }
+    void await_suspend(std::coroutine_handle<> h) {
+      node.h = h;
+      s->waiters_.push_back(&node);
+    }
     void await_resume() const noexcept {}
   };
 
@@ -142,9 +150,7 @@ class SimSemaphore {
     count_ += n;
     while (count_ > 0 && !waiters_.empty()) {
       --count_;
-      auto h = waiters_.front();
-      waiters_.pop_front();
-      sim_->schedule_now(h);
+      sim_->schedule_node_now(waiters_.pop_front());
     }
   }
 
@@ -153,7 +159,7 @@ class SimSemaphore {
  private:
   Simulation* sim_;
   std::int64_t count_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  WaitList waiters_;
 };
 
 }  // namespace zipper::sim
