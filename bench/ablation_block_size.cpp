@@ -1,63 +1,7 @@
-// Ablation: Zipper's fine-grain block size (§4's design choice).
-//
-// The paper uses 1-8 MB blocks and argues fine-grain, asynchronous transfers
-// (a) pipeline across the fabric and (b) interfere less with the
-// application's own MPI traffic than one whole-step burst (Decaf ships
-// 16-20 MB slabs). This sweep runs the CFD workload with Zipper block sizes
-// from 256 KiB to whole-step (16 MiB) and reports end-to-end time, producer
-// stall, and the halo-exchange (MPI_Sendrecv) inflation.
-#include <cstdio>
-
-#include "bench_util.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
+// Ablation: Zipper's fine-grain block size. Thin driver over the scenario
+// lab (see src/exp/figures.cpp; `zipper_lab run ablation-block-size`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 20 : 8;
-  const int cores = full ? 816 : 204;
-
-  title("Ablation: Zipper block size (fine-grain pipelining vs bursts)",
-        "CFD workload; smaller blocks pipeline across hops and smooth the "
-        "injection; 16 MiB = one block per step (Decaf-like bursts).");
-
-  auto profile = apps::cfd_stampede2(steps);
-
-  // Simulation-only halo time for the interference baseline.
-  RunSpec solo_spec;
-  solo_spec.cluster = workflow::ClusterSpec::stampede2();
-  solo_spec.producers = cores * 2 / 3;
-  solo_spec.consumers = cores / 3;
-  solo_spec.profile = profile;
-  solo_spec.record_traces = true;  // halo_s comes from the trace recorder
-  const auto solo = run_one(solo_spec, std::nullopt);
-  const double halo_solo = solo.result.halo_s;
-
-  std::printf("\n%10s %12s %12s %12s %14s\n", "block", "end2end(s)", "stall(s)",
-              "halo infl.", "blocks/step");
-  for (std::uint64_t kib : {256ull, 512ull, 1024ull, 2048ull, 4096ull, 8192ull,
-                            16384ull}) {
-    RunSpec spec = solo_spec;
-    spec.zipper.block_bytes = kib * common::KiB;
-    spec.zipper.producer_buffer_blocks =
-        std::max(4, static_cast<int>(32768 / kib));
-
-    workflow::Layout layout{spec.producers, spec.consumers, 0};
-    workflow::Cluster cluster(spec.cluster, layout);
-    cluster.recorder.set_enabled(true);
-    workflow::ZipperCoupling coupling(cluster, spec.profile, spec.zipper);
-    const auto r = workflow::run_workflow(cluster, spec.profile, &coupling);
-
-    std::printf("%8lluKB %12.1f %12.2f %11.2fx %14d\n", kib, r.end_to_end_s,
-                sim::to_seconds(coupling.stats().producer_stall) / spec.producers,
-                r.halo_s / halo_solo,
-                static_cast<int>((profile.bytes_per_rank_per_step +
-                                  spec.zipper.block_bytes - 1) /
-                                 spec.zipper.block_bytes));
-  }
-  std::printf("\nExpected shape: fine blocks keep halo inflation near 1x and "
-              "end-to-end near the simulation bound; whole-step blocks "
-              "behave like Decaf's bursts.\n");
-  return 0;
+  return zipper::exp::figure_main("ablation-block-size", argc, argv);
 }

@@ -1,58 +1,8 @@
-// Ablation: dedicated staging servers (DataSpaces) vs serverless designs
-// (DIMES keeps data in producer-node RDMA buffers; Zipper talks directly to
-// the consumers). Sweeps the number of staging-server ranks for the
-// DataSpaces coupling and compares the serverless alternatives on the same
-// workload — the paper's §4 claim: "There is no server overhead involved".
-#include <cstdio>
-
-#include "bench_util.hpp"
-#include "transports/staging.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using transports::Method;
+// Ablation: dedicated staging servers vs serverless coupling. Thin driver
+// over the scenario lab (see src/exp/figures.cpp;
+// `zipper_lab run ablation-servers`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 25 : 10;
-  const int P = full ? 256 : 64;
-  const int Q = P / 2;
-
-  title("Ablation: dedicated staging servers vs serverless coupling",
-        "CFD workload on Bridges; DataSpaces with varying server counts vs "
-        "DIMES (serverless puts) vs Zipper (no staging at all).");
-
-  auto profile = apps::cfd_bridges(steps);
-
-  std::printf("\nDataSpaces, server-count sweep:\n");
-  std::printf("%10s %12s %14s\n", "servers", "end2end(s)", "lock+query(s)");
-  for (int servers : {P / 32, P / 16, P / 8, P / 4, P / 2}) {
-    if (servers < 1) continue;
-    workflow::Layout layout{P, Q, servers};
-    workflow::Cluster cluster(workflow::ClusterSpec::bridges(), layout);
-    cluster.recorder.set_enabled(false);
-    transports::StagingCoupling coupling(cluster, profile,
-                                         transports::StagingKind::kDataSpaces,
-                                         /*adios=*/false);
-    const auto r = workflow::run_workflow(cluster, profile, &coupling);
-    std::printf("%10d %12.1f %14.2f\n", servers, r.end_to_end_s,
-                r.metrics.at("lock_wait_s") / P);
-  }
-
-  std::printf("\nServerless alternatives on the same workload:\n");
-  std::printf("%24s %12s\n", "method", "end2end(s)");
-  for (Method m : {Method::kNativeDimes, Method::kZipper}) {
-    RunSpec spec;
-    spec.cluster = workflow::ClusterSpec::bridges();
-    spec.producers = P;
-    spec.consumers = Q;
-    spec.profile = profile;
-    const auto r = run_one(spec, m);
-    std::printf("%24s %12.1f\n", transports::method_name(m).c_str(),
-                r.result.end_to_end_s);
-  }
-  std::printf("\nExpected shape: DataSpaces improves with more servers but "
-              "never reaches the serverless designs; Zipper needs no staging "
-              "ranks at all (they are free cores for the applications).\n");
-  return 0;
+  return zipper::exp::figure_main("ablation-servers", argc, argv);
 }

@@ -1,77 +1,8 @@
-// Ablation: the writer thread's high-water mark (Algorithm 1's Threshold)
-// and buffer capacity.
-//
-// Low thresholds spill eagerly (more PFS traffic than necessary, stealing
-// even when the network would keep up); high thresholds only engage the
-// second channel under real pressure; threshold = capacity disables stealing
-// in practice. The paper picks the adaptive middle: "lends a hand only if
-// there exist appropriate opportunities to steal".
-#include <cstdio>
-
-#include "bench_util.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
+// Ablation: the writer thread's high-water mark and buffer capacity. Thin
+// driver over the scenario lab (see src/exp/figures.cpp;
+// `zipper_lab run ablation-steal-threshold`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 50 : 15;
-  const int cores = full ? 588 : 168;
-
-  title("Ablation: work-stealing high-water mark and buffer capacity",
-        "O(n) synthetic producer (transfer-bound): the regime where the "
-        "concurrent channel matters most (fig 14a).");
-
-  auto profile = apps::synthetic_profile(apps::Complexity::kLinear, common::MiB,
-                                         steps);
-
-  std::printf("\n%12s %12s %12s %12s %14s\n", "high-water", "wallclock(s)",
-              "stall(s)", "stolen", "bytes via PFS");
-  for (double hw : {0.0, 0.125, 0.25, 0.5, 0.75, 0.875, 1.0}) {
-    RunSpec spec;
-    spec.cluster = workflow::ClusterSpec::bridges();
-    spec.cluster.pfs.num_osts = std::max(2, static_cast<int>(24.0 * (cores * 2 / 3) / 1568.0 + 0.5));
-    spec.producers = cores * 2 / 3;
-    spec.consumers = cores / 3;
-    spec.profile = profile;
-    spec.zipper.block_bytes = common::MiB;
-    spec.zipper.producer_buffer_blocks = 32;
-    spec.zipper.high_water = hw;
-
-    workflow::Layout layout{spec.producers, spec.consumers, 0};
-    workflow::Cluster cluster(spec.cluster, layout);
-    cluster.recorder.set_enabled(false);
-    workflow::ZipperCoupling coupling(cluster, spec.profile, spec.zipper);
-    const auto r = workflow::run_workflow(cluster, spec.profile, &coupling);
-
-    const auto& zs = coupling.stats();
-    std::printf("%12.3f %12.1f %12.2f %11.1f%% %11.2f GiB\n", hw,
-                r.producers_done_s,
-                sim::to_seconds(zs.producer_stall) / spec.producers,
-                100.0 * zs.blocks_stolen / std::max<std::uint64_t>(1, zs.blocks_total),
-                static_cast<double>(zs.bytes_via_pfs) / common::GiB);
-  }
-
-  std::printf("\n%12s %12s %12s\n", "capacity", "wallclock(s)", "stall(s)");
-  for (int cap : {4, 8, 16, 32, 64, 128}) {
-    RunSpec spec;
-    spec.cluster = workflow::ClusterSpec::bridges();
-    spec.producers = cores * 2 / 3;
-    spec.consumers = cores / 3;
-    spec.profile = profile;
-    spec.zipper.block_bytes = common::MiB;
-    spec.zipper.producer_buffer_blocks = cap;
-
-    workflow::Layout layout{spec.producers, spec.consumers, 0};
-    workflow::Cluster cluster(spec.cluster, layout);
-    cluster.recorder.set_enabled(false);
-    workflow::ZipperCoupling coupling(cluster, spec.profile, spec.zipper);
-    const auto r = workflow::run_workflow(cluster, spec.profile, &coupling);
-    std::printf("%12d %12.1f %12.2f\n", cap, r.producers_done_s,
-                sim::to_seconds(coupling.stats().producer_stall) / spec.producers);
-  }
-  std::printf("\nExpected shape: wallclock is flat-to-improving as the "
-              "threshold drops until PFS contention bites; tiny buffers "
-              "stall the producer regardless of stealing.\n");
-  return 0;
+  return zipper::exp::figure_main("ablation-steal-threshold", argc, argv);
 }

@@ -1,126 +1,9 @@
-// Figure 2 + Tables 1/2: end-to-end time of the CFD workflow implemented
-// with the seven I/O transport libraries, against the simulation-only and
-// analysis-only baselines.
-//
-// Paper (Bridges, 256 sim + 128 analysis ranks, 100 steps, 400 GB moved):
-//   MPI-IO 281.6 s (worst & most variable)  | ADIOS/DataSpaces 176.9 s
-//   ADIOS/DIMES 157.2 s | native DataSpaces 140.9 s | native DIMES 104.9 s
-//   Flexpath 96.1 s | Decaf 83.4 s (best)   | sim-only 39.2 s
-//   analysis-only 48.4 s
-// Shape to reproduce: the full ordering; native/ADIOS speedups ~1.3x/1.5x;
-// MPI-IO slow and variable (we run it with three background-load seeds).
-#include <cstdio>
-#include <map>
-
-#include "bench_util.hpp"
-#include "common/stats.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using transports::Method;
+// Figure 2 + Tables 1/2: end-to-end time of the CFD workflow under the seven
+// I/O transport libraries. Thin driver over the scenario lab — the scenario
+// set and presenter live in src/exp/figures.cpp; `zipper_lab run fig02`
+// runs the same registration with artifact output.
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 100 : 25;
-  const double step_scale = 100.0 / steps;  // report 100-step-equivalent
-
-  RunSpec spec;
-  spec.cluster = workflow::ClusterSpec::bridges();
-  spec.producers = full ? 256 : 128;
-  spec.consumers = spec.producers / 2;
-  spec.profile = apps::cfd_bridges(steps);
-  const double rank_scale = 256.0 / spec.producers;
-  (void)rank_scale;  // weak-scaled workload: per-rank time is scale-free
-
-  title("Figure 2: CFD workflow end-to-end time, 7 I/O transport libraries",
-        "Paper setup (Table 1): 16384x64x256 grid, 256 sim procs / 16 nodes, "
-        "128 analysis procs / 8 nodes,\n100 steps, n=4 moment analysis, 400 GB "
-        "moved. Bridges: 28-core Haswell, Omni-Path, Lustre.");
-  std::printf("This run: %d sim + %d analysis ranks, %d steps "
-              "(reported scaled to 100 steps)%s\n\n",
-              spec.producers, spec.consumers, steps,
-              full ? "" : "  [pass --full for the paper-size run]");
-
-  struct Entry {
-    std::string label;
-    double measured;
-    double paper;
-  };
-  std::vector<Entry> rows;
-
-  // --- simulation-only and analysis-only bounds ---------------------------
-  const auto sim_only = run_one(spec, std::nullopt);
-  rows.push_back({"Simulation-only", sim_only.result.end_to_end_s * step_scale, 39.2});
-  const double analysis_only =
-      steps * sim::to_seconds(spec.profile.analysis_time(
-                  2 * spec.profile.bytes_per_rank_per_step)) * step_scale;
-  rows.push_back({"Analysis-only", analysis_only, 48.4});
-
-  // --- the seven transports ------------------------------------------------
-  const std::vector<std::pair<Method, double>> methods = {
-      {Method::kMpiIo, 281.6},          {Method::kAdiosDataSpaces, 176.9},
-      {Method::kAdiosDimes, 157.2},     {Method::kNativeDataSpaces, 140.9},
-      {Method::kNativeDimes, 104.9},    {Method::kFlexpath, 96.1},
-      {Method::kDecaf, 83.4},
-  };
-
-  common::RunningStats mpiio_spread;
-  for (const auto& [method, paper] : methods) {
-    if (method == Method::kMpiIo) {
-      // MPI-IO shares the file system with other users: vary the background
-      // load seed to expose the paper's "most variational" behaviour.
-      int variant = 0;
-      for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
-        // Other users' load on the shared Lustre varies between runs: light,
-        // medium, heavy -- the source of MPI-IO's run-to-run spread.
-        const double intensity = 0.2 + 0.2 * variant++;
-        RunSpec s = spec;
-        workflow::Layout layout{s.producers, s.consumers, 0};
-        workflow::Cluster cluster(s.cluster, layout);
-        cluster.recorder.set_enabled(false);
-        cluster.sim.spawn(cluster.fs->background_load(intensity, seed));
-        auto coupling = transports::make_coupling(method, cluster, s.profile,
-                                                  s.params, s.zipper);
-        const auto r = workflow::run_workflow(cluster, s.profile, coupling.get());
-        mpiio_spread.add(r.end_to_end_s * step_scale);
-      }
-      rows.push_back({"MPI-IO (mean of 3 seeds)", mpiio_spread.mean(), paper});
-      continue;
-    }
-    const auto out = run_one(spec, method);
-    rows.push_back({transports::method_name(method),
-                    out.result.end_to_end_s * step_scale, paper});
-  }
-
-  // --- report --------------------------------------------------------------
-  double vmax = 0;
-  for (const auto& r : rows) vmax = std::max(vmax, r.measured);
-  std::printf("%-26s %12s %12s   %s\n", "method", "measured(s)", "paper(s)",
-              "measured profile");
-  for (const auto& r : rows) {
-    std::printf("%-26s %12.1f %12.1f   |%s\n", r.label.c_str(), r.measured,
-                r.paper, bar(r.measured, vmax).c_str());
-  }
-  std::printf("\nMPI-IO run-to-run spread across seeds: min %.1f s, max %.1f s "
-              "(paper: 'longest and most variational')\n",
-              mpiio_spread.min(), mpiio_spread.max());
-
-  const double adios_ds = rows[3].measured, native_ds = rows[5].measured;
-  const double adios_di = rows[4].measured, native_di = rows[6].measured;
-  std::printf("native DataSpaces speedup over ADIOS/DataSpaces: %.2fx (paper 1.3x)\n",
-              adios_ds / native_ds);
-  std::printf("native DIMES speedup over ADIOS/DIMES:           %.2fx (paper 1.5x)\n",
-              adios_di / native_di);
-
-  const transports::TransportParams tp;
-  std::printf("\nTable 2 analog (model parameters): staging num_slots native=%d "
-              "adios=%d, lock RPC %.1f ms,\nserver ingest %.0f MB/s, ADIOS copy "
-              "%.0f MB/s, socket stack %.0f MB/s/host,\nDecaf serialize %.0f MB/s + "
-              "links P/4, MPI-IO write/read amplification %.0fx/%.0fx.\n",
-              tp.num_slots_native, tp.num_slots_adios,
-              tp.lock_service / 1e6, tp.server_memory_bandwidth / 1e6,
-              tp.adios_copy_bandwidth / 1e6, tp.socket_stack_bandwidth / 1e6,
-              tp.decaf_serialize_bandwidth / 1e6, tp.mpiio_write_amplification,
-              tp.mpiio_read_amplification);
-  return 0;
+  return zipper::exp::figure_main("fig02", argc, argv);
 }

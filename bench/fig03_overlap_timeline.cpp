@@ -1,45 +1,7 @@
-// Figure 3: how a workflow implementation overlaps simulation with analysis
-// time steps (analysis faster than simulation in the paper's example).
-//
-// Regenerated from the pipeline-schedule model: step k's analysis runs
-// concurrently with step k+1's simulation, so the analysis time is fully
-// hidden and the workflow's span equals the simulation span plus one trailing
-// analysis step.
-#include <cstdio>
+// Figure 3: overlapping simulation and analysis time steps. Thin driver over
+// the scenario lab (see src/exp/figures.cpp; `zipper_lab run fig03`).
+#include "exp/lab.hpp"
 
-#include "bench_util.hpp"
-#include "model/perf_model.hpp"
-
-using namespace zipper;
-
-int main() {
-  bench::title("Figure 3: overlapping simulation and analysis time steps",
-               "Illustration regenerated from the schedule model: 6 steps, "
-               "analysis faster than simulation.");
-
-  const int steps = 6;
-  const double t_sim = 1.0, t_ana = 0.6;
-  // Simulation of step k: [k*t_sim, (k+1)*t_sim); analysis of step k starts
-  // when its data exists and the analysis unit is free.
-  double ana_free = 0.0;
-  std::printf("%-6s %-22s %-22s\n", "step", "simulation [t0,t1)", "analysis [t0,t1)");
-  double ana_end = 0.0;
-  for (int k = 0; k < steps; ++k) {
-    const double s0 = k * t_sim, s1 = (k + 1) * t_sim;
-    const double a0 = std::max(s1, ana_free);
-    const double a1 = a0 + t_ana;
-    ana_free = a1;
-    ana_end = a1;
-    std::printf("%-6d [%5.2f, %5.2f)        [%5.2f, %5.2f)\n", k + 1, s0, s1, a0, a1);
-  }
-  const double span = ana_end;
-  std::printf("\nworkflow span = %.2f, pure simulation span = %.2f, "
-              "pure analysis total = %.2f\n", span, steps * t_sim, steps * t_ana);
-  std::printf("hidden analysis time = %.2f of %.2f (%.0f%%) -- the analysis is "
-              "fully overlapped except the trailing step,\nmatching the "
-              "paper's claim that either the simulation or the analysis time "
-              "can be totally hidden.\n",
-              steps * t_ana - (span - steps * t_sim), steps * t_ana,
-              100.0 * (steps * t_ana - (span - steps * t_sim)) / (steps * t_ana));
-  return 0;
+int main(int argc, char** argv) {
+  return zipper::exp::figure_main("fig03", argc, argv);
 }

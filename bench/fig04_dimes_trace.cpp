@@ -1,47 +1,7 @@
-// Figure 4: trace of the native-DIMES CFD workflow (2-second snapshot).
-//
-// Paper's observations to reproduce: a lengthy lock_on_write period while the
-// simulation inserts results; the `step % num_slots` circular lock queue
-// stalls the producer for roughly one step once the (slower) analysis lags
-// and the slot must be recycled before it can be overwritten.
-#include <cstdio>
-
-#include "trace_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
+// Figure 4: native-DIMES trace with the slot-wrap lock stall. Thin driver
+// over the scenario lab (see src/exp/figures.cpp; `zipper_lab run fig04`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-
-  RunSpec spec;
-  spec.cluster = workflow::ClusterSpec::bridges();
-  spec.producers = full ? 256 : 56;
-  spec.consumers = spec.producers / 2;
-  spec.profile = apps::cfd_bridges(10);
-  spec.record_traces = true;
-
-  title("Figure 4: native DIMES trace (CFD workflow)",
-        "Paper: lock_on_write dominates the PUT; application stall ~ one step "
-        "once the circular slot queue (step % num_slots) wraps onto unread data.");
-
-  auto out = run_one(spec, transports::Method::kNativeDimes);
-  print_phase_summary(*out.cluster, spec.producers, spec.profile.steps);
-
-  // 2-second window starting mid-run, like the paper's screenshot.
-  print_gantt_window(*out.cluster, {0, 1, 2, 3}, 2.0, 4.0);
-
-  const double lock_s =
-      sim::to_seconds(out.cluster->recorder.total(trace::Cat::kLock)) /
-      spec.producers;
-  const double step_s = sim::to_seconds(spec.profile.compute_per_step());
-  std::printf("\nlock wait per step: %.3f s on top of %.3f s of compute\n",
-              lock_s / spec.profile.steps, step_s);
-  std::printf("end-to-end: %.1f s for %d steps -> %.2f s/step = %.2fx the "
-              "simulation-only step (paper: the slot-recycle stall 'nearly "
-              "doubles' the end-to-end time)\n",
-              out.result.end_to_end_s, spec.profile.steps,
-              out.result.end_to_end_s / spec.profile.steps,
-              out.result.end_to_end_s / spec.profile.steps / step_s);
-  return 0;
+  return zipper::exp::figure_main("fig04", argc, argv);
 }

@@ -1,58 +1,7 @@
-// Figure 5: CFD-only vs Flexpath-workflow traces (3-second snapshot).
-//
-// Paper's observation to reproduce: after adding Flexpath data staging, the
-// LBM simulation's MPI_Sendrecv (streaming phase) takes much longer, because
-// Flexpath's event-channel traffic competes with the simulation's own
-// communication — especially when staging a large slab (16 MB/step/process).
-#include <cstdio>
-
-#include "trace_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
+// Figure 5: CFD-only vs Flexpath traces (MPI_Sendrecv inflation). Thin
+// driver over the scenario lab (see src/exp/figures.cpp; `zipper_lab run fig05`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-
-  RunSpec spec;
-  spec.cluster = workflow::ClusterSpec::bridges();
-  spec.producers = full ? 256 : 56;
-  spec.consumers = spec.producers / 2;
-  spec.profile = apps::cfd_bridges(10);
-  spec.record_traces = true;
-
-  title("Figure 5: CFD-only vs Flexpath-based workflow traces",
-        "Paper: the orange MPI_Sendrecv stripes (LBM streaming) lengthen "
-        "visibly under Flexpath's staging traffic.");
-
-  // Baseline: simulation alone. The streaming phase is compute + the actual
-  // MPI_Sendrecv; isolate the message part by subtracting the (known)
-  // compute component.
-  const double stream_compute =
-      spec.profile.steps * sim::to_seconds(spec.profile.t_streaming);
-  auto solo = run_one(spec, std::nullopt);
-  const double sendrecv_solo =
-      (solo.result.halo_s - stream_compute) / spec.profile.steps;
-
-  // With Flexpath.
-  auto flex = run_one(spec, transports::Method::kFlexpath);
-  const double sendrecv_flex =
-      (flex.result.halo_s - stream_compute) / spec.profile.steps;
-
-  std::printf("\nCFD-only trace:\n");
-  print_gantt_window(*solo.cluster, {0, 1}, 1.0, 4.0);
-  std::printf("\nFlexpath workflow trace:\n");
-  print_gantt_window(*flex.cluster, {0, 1}, 1.0, 4.0);
-
-  std::printf("\npure MPI_Sendrecv per step (streaming phase minus compute):\n");
-  std::printf("  CFD-only:  %.4f s/step\n", sendrecv_solo);
-  std::printf("  Flexpath:  %.4f s/step  (%.2fx longer; paper: 'takes much "
-              "longer, which results in increased end-to-end time')\n",
-              sendrecv_flex, sendrecv_flex / std::max(1e-9, sendrecv_solo));
-  std::printf("\nsteps completed in the 3 s window: CFD-only %.1f, Flexpath %.1f\n",
-              3.0 / (solo.result.end_to_end_s / spec.profile.steps),
-              3.0 / (flex.result.end_to_end_s / spec.profile.steps));
-  std::printf("end-to-end: CFD-only %.1f s, Flexpath workflow %.1f s\n",
-              solo.result.end_to_end_s, flex.result.end_to_end_s);
-  return 0;
+  return zipper::exp::figure_main("fig05", argc, argv);
 }

@@ -1,50 +1,7 @@
-// Figure 6: CFD-only vs Decaf-workflow traces (0.9-second snapshot).
-//
-// Paper's observations to reproduce: the CFD-only trace fits ~3 steps into
-// 0.9 s (collision/streaming/update pattern); the Decaf trace adds a PUT with
-// a collective MPI_Waitall during which all simulation processes stall, and
-// the MPI_Sendrecv time inside the streaming phase grows.
-#include <cstdio>
-
-#include "trace_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
+// Figure 6: CFD-only vs Decaf traces (collective Waitall stall). Thin driver
+// over the scenario lab (see src/exp/figures.cpp; `zipper_lab run fig06`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-
-  RunSpec spec;
-  spec.cluster = workflow::ClusterSpec::bridges();
-  spec.producers = full ? 256 : 56;
-  spec.consumers = spec.producers / 2;
-  spec.profile = apps::cfd_bridges(10);
-  spec.record_traces = true;
-
-  title("Figure 6: CFD-only vs Decaf-based workflow traces",
-        "Paper: Decaf's PUT uses a collective MPI_Waitall during which all "
-        "simulation processes stall; MPI_Sendrecv also grows.");
-
-  auto solo = run_one(spec, std::nullopt);
-  auto decaf = run_one(spec, transports::Method::kDecaf);
-
-  std::printf("\nCFD-only trace (0.9 s window):\n");
-  print_gantt_window(*solo.cluster, {0, 1}, 1.0, 1.9);
-  std::printf("\nDecaf workflow trace (same window):\n");
-  print_gantt_window(*decaf.cluster, {0, 1}, 1.0, 1.9);
-  print_phase_summary(*decaf.cluster, spec.producers, spec.profile.steps);
-
-  const double step_solo = solo.result.end_to_end_s / spec.profile.steps;
-  const double step_decaf = decaf.result.end_to_end_s / spec.profile.steps;
-  std::printf("\nsteps per 0.9 s: CFD-only %.1f (paper: 3), Decaf %.1f\n",
-              0.9 / step_solo, 0.9 / step_decaf);
-  std::printf("MPI_Waitall stall per step per producer: %.3f s (paper: 'all "
-              "simulation processes stall' during PUT)\n",
-              decaf.result.metrics.at("waitall_s") / spec.profile.steps /
-                  spec.producers);
-  std::printf("streaming per step: CFD-only %.4f s, Decaf %.4f s (%.2fx)\n",
-              solo.result.halo_s / spec.profile.steps,
-              decaf.result.halo_s / spec.profile.steps,
-              decaf.result.halo_s / std::max(1e-12, solo.result.halo_s));
-  return 0;
+  return zipper::exp::figure_main("fig06", argc, argv);
 }

@@ -1,52 +1,7 @@
-// Figure 11: non-integrated design vs Zipper's integrated (pipelined) design.
-//
-// Four stages (Compute, Output, Input, Analysis) over 7 data blocks, as in
-// the paper's diagram. The integrated schedule keeps all four stages busy on
-// four distinct blocks at any time; its makespan approaches
-// max-stage x blocks, which is the basis of Tt2s = max(...) in §4.4.
-#include <cstdio>
+// Figure 11: non-integrated vs integrated (pipelined) schedules. Thin driver
+// over the scenario lab (see src/exp/figures.cpp; `zipper_lab run fig11`).
+#include "exp/lab.hpp"
 
-#include "bench_util.hpp"
-#include "model/perf_model.hpp"
-
-using namespace zipper;
-using namespace zipper::model;
-
-namespace {
-
-void render(const char* name, const std::vector<StageSpan>& sched, double scale) {
-  std::printf("\n%s (makespan %.1f):\n", name, makespan(sched));
-  for (int stage = 0; stage < 4; ++stage) {
-    std::string row(static_cast<std::size_t>(makespan(sched) * scale) + 1, '.');
-    for (const auto& s : sched) {
-      if (s.stage != stage) continue;
-      for (int c = static_cast<int>(s.t0 * scale); c < static_cast<int>(s.t1 * scale);
-           ++c) {
-        row[static_cast<std::size_t>(c)] = static_cast<char>('1' + s.block);
-      }
-    }
-    std::printf("  %-8s |%s|\n", kStageNames[stage], row.c_str());
-  }
-}
-
-}  // namespace
-
-int main() {
-  bench::title("Figure 11: non-integrated vs integrated (pipelined) design",
-               "7 data blocks through Compute -> Output -> Input -> Analysis; "
-               "digits mark which block occupies each stage.");
-
-  const double stages[4] = {1.0, 1.0, 1.0, 1.0};
-  const auto non_integrated = schedule_non_integrated(7, stages);
-  const auto integrated = schedule_integrated(7, stages);
-
-  render("Non-integrated design (upper diagram)", non_integrated, 1.0);
-  render("Integrated design (lower diagram)", integrated, 1.0);
-
-  std::printf("\nintegrated/non-integrated makespan: %.2fx faster "
-              "(asymptotically #stages = 4x)\n",
-              makespan(non_integrated) / makespan(integrated));
-  std::printf("At any instant of the integrated steady state, 4 stages work on "
-              "4 distinct (sequentially dependent) blocks.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return zipper::exp::figure_main("fig11", argc, argv);
 }

@@ -1,87 +1,8 @@
-// Figure 12 (+ Table 3): time breakdown for the three synthetic applications
-// in No-Preserve mode, block sizes 1 MB and 8 MB — validation of the
-// performance model Tt2s = max(Tcomp, Ttransfer, Tanalysis).
-//
-// Paper (Bridges, 1568 sim + 784 analysis cores, 3136 GB total):
-//   blocks  app        sim     transfer  analysis  end-to-end
-//   1MB     O(n)        2.1      38.2      23.6       40.7
-//   1MB     O(nlgn)    22.2      38.2      23.2       41.6
-//   1MB     O(n^3/2)   64.0      14.9      28.9       69.8
-//   8MB     O(n)        1.8      37.9      22.2       38.8
-//   8MB     O(nlgn)    34.6      37.9      30.5       38.7
-//   8MB     O(n^3/2)   99.1       3.1      20.5       99.1
-// Shape: E2E ~ max(stage) everywhere; dominant stage flips from transfer to
-// simulation as the producer's complexity grows.
-#include <cstdio>
-
-#include "bench_util.hpp"
-#include "model/perf_model.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using apps::Complexity;
+// Figure 12 (+ Table 3): synthetic-application breakdown, No-Preserve mode.
+// Thin driver over the scenario lab (see src/exp/figures.cpp;
+// `zipper_lab run fig12`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 100 : 20;
-  const double scale = 100.0 / steps;
-  const int P = full ? 1568 : 392;  // keep the paper's 2:1 producer:consumer
-  const int Q = P / 2;
-
-  title("Figure 12: synthetic-application time breakdown, No-Preserve mode",
-        "Paper setup: Bridges, 1568 sim + 784 analysis cores, 2 GiB per "
-        "producer rank (3,136 GB total), standard-variance analysis.");
-  std::printf("This run: %d+%d ranks, %d steps (reported scaled to 100 steps)%s\n\n",
-              P, Q, steps, full ? "" : "  [--full for paper size]");
-  std::printf("Table 3 (applications): O(n) linear | O(nlgn) divide&conquer | "
-              "O(n^3/2) matrix-like; analysis = standard variance.\n\n");
-
-  struct PaperRow { double sim, xfer, ana, e2e; };
-  const std::map<std::pair<int, int>, PaperRow> paper = {
-      {{1, 0}, {2.1, 38.2, 23.6, 40.7}},  {{1, 1}, {22.2, 38.2, 23.2, 41.6}},
-      {{1, 2}, {64.0, 14.9, 28.9, 69.8}}, {{8, 0}, {1.8, 37.9, 22.2, 38.8}},
-      {{8, 1}, {34.6, 37.9, 30.5, 38.7}}, {{8, 2}, {99.1, 3.1, 20.5, 99.1}},
-  };
-
-  std::printf("%-22s %10s %10s %10s %12s   %s\n", "config", "sim(s)", "xfer(s)",
-              "analysis(s)", "end2end(s)", "paper e2e / max-stage check");
-  for (std::uint64_t mb : {1ull, 8ull}) {
-    for (int ci = 0; ci < 3; ++ci) {
-      const auto c = static_cast<Complexity>(ci);
-      RunSpec spec;
-      spec.cluster = workflow::ClusterSpec::bridges();
-      // Weak-scaled PFS slice (as in figs 13/14) so the quick run sees the
-      // same per-rank steal capacity as the paper-size run.
-      spec.cluster.pfs.num_osts =
-          std::max(2, static_cast<int>(24.0 * P / 1568.0 + 0.5));
-      spec.producers = P;
-      spec.consumers = Q;
-      spec.profile = apps::synthetic_profile(c, mb * common::MiB, steps);
-      spec.zipper.block_bytes = mb * common::MiB;
-      spec.zipper.producer_buffer_blocks = static_cast<int>(64 / mb);
-
-      workflow::Layout layout{P, Q, 0};
-      workflow::Cluster cluster(spec.cluster, layout);
-      cluster.recorder.set_enabled(false);
-      workflow::ZipperCoupling coupling(cluster, spec.profile, spec.zipper);
-      const auto r = workflow::run_workflow(cluster, spec.profile, &coupling);
-
-      const auto& zs = coupling.stats();
-      const double sim_s = steps * sim::to_seconds(spec.profile.compute_per_step()) * scale;
-      const double xfer_s = sim::to_seconds(zs.sender_busy) / P * scale;
-      const double ana_s = sim::to_seconds(zs.analysis_busy) / Q * scale;
-      const double e2e = r.end_to_end_s * scale;
-      const auto& pr = paper.at({static_cast<int>(mb), ci});
-      const double max_stage = std::max({sim_s, xfer_s, ana_s});
-
-      char label[64];
-      std::snprintf(label, sizeof label, "%lluMB %s", mb,
-                    std::string(apps::complexity_name(c)).c_str());
-      std::printf("%-22s %10.1f %10.1f %10.1f %12.1f   paper %.1f | e2e/max = %.2f\n",
-                  label, sim_s, xfer_s, ana_s, e2e, pr.e2e, e2e / max_stage);
-    }
-  }
-  std::printf("\nModel check: every e2e/max-stage ratio should be ~1 (paper: "
-              "'end-to-end time is always close to the maximum stage time').\n");
-  return 0;
+  return zipper::exp::figure_main("fig12", argc, argv);
 }

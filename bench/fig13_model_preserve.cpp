@@ -1,74 +1,7 @@
-// Figure 13: the same synthetic-application breakdown in Preserve mode.
-//
-// Paper: storing the full 3,136 GB dominates every configuration — the store
-// stage is ~131-140 s (i.e., total bytes / aggregate PFS write bandwidth of
-// ~24 GB/s) and the end-to-end time is 139-145 s regardless of the producer's
-// complexity or the block size.
-#include <cstdio>
-
-#include "bench_util.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using apps::Complexity;
+// Figure 13: synthetic-application breakdown, Preserve mode. Thin driver
+// over the scenario lab (see src/exp/figures.cpp; `zipper_lab run fig13`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 100 : 20;
-  const double scale = 100.0 / steps;
-  const int P = full ? 1568 : 392;
-  const int Q = P / 2;
-  // Weak-scaled PFS: the paper's 24 GB/s serves 1568 producers; a reduced run
-  // gets a proportional slice so the store-stage time is scale-free.
-  const double pfs_frac = static_cast<double>(P) / 1568.0;
-
-  title("Figure 13: synthetic-application time breakdown, Preserve mode",
-        "Paper: storing all computed results dominates: store ~131-140 s "
-        "= 3,136 GB / ~24 GB/s Lustre write bandwidth; e2e 139-145 s.");
-  std::printf("This run: %d+%d ranks, %d steps (reported scaled to 100 steps)%s\n\n",
-              P, Q, steps, full ? "" : "  [--full for paper size]");
-
-  const double paper_e2e[2][3] = {{139.0, 140.4, 141.8}, {144.8, 144.1, 139.6}};
-
-  std::printf("%-22s %10s %10s %10s %10s %12s   %s\n", "config", "sim(s)",
-              "xfer(s)", "store(s)", "analysis(s)", "end2end(s)", "paper e2e");
-  int mi = 0;
-  for (std::uint64_t mb : {1ull, 8ull}) {
-    for (int ci = 0; ci < 3; ++ci) {
-      const auto c = static_cast<Complexity>(ci);
-      RunSpec spec;
-      spec.cluster = workflow::ClusterSpec::bridges();
-      spec.cluster.pfs.num_osts =
-          std::max(2, static_cast<int>(24 * pfs_frac + 0.5));
-      spec.producers = P;
-      spec.consumers = Q;
-      spec.profile = apps::synthetic_profile(c, mb * common::MiB, steps);
-      spec.zipper.block_bytes = mb * common::MiB;
-      spec.zipper.producer_buffer_blocks = static_cast<int>(64 / mb);
-      spec.zipper.preserve = true;
-
-      workflow::Layout layout{P, Q, 0};
-      workflow::Cluster cluster(spec.cluster, layout);
-      cluster.recorder.set_enabled(false);
-      workflow::ZipperCoupling coupling(cluster, spec.profile, spec.zipper);
-      const auto r = workflow::run_workflow(cluster, spec.profile, &coupling);
-
-      const auto& zs = coupling.stats();
-      const double sim_s = steps * sim::to_seconds(spec.profile.compute_per_step()) * scale;
-      const double xfer_s = sim::to_seconds(zs.sender_busy) / P * scale;
-      const double store_s = sim::to_seconds(zs.store_busy) / Q * scale;
-      const double ana_s = sim::to_seconds(zs.analysis_busy) / Q * scale;
-
-      char label[64];
-      std::snprintf(label, sizeof label, "%lluMB %s", mb,
-                    std::string(apps::complexity_name(c)).c_str());
-      std::printf("%-22s %10.1f %10.1f %10.1f %10.1f %12.1f   %.1f\n", label,
-                  sim_s, xfer_s, store_s, ana_s, r.end_to_end_s * scale,
-                  paper_e2e[mi][ci]);
-    }
-    ++mi;
-  }
-  std::printf("\nModel check: e2e tracks the store stage (total bytes / PFS "
-              "bandwidth), nearly flat across apps and block sizes.\n");
-  return 0;
+  return zipper::exp::figure_main("fig13", argc, argv);
 }

@@ -1,53 +1,8 @@
-// Figure 14: effect of the concurrent message+file data transfer
-// optimization, weak scaling from 84 to 2,352 cores, for the three synthetic
-// applications. Stacked columns per configuration: computation thread
-// (simulation + stall) and sender thread (data transfer).
-//
-// Paper's shape to reproduce:
-//  (a) O(n): wallclock reduced 16-32% across scales; writer steals 47-62% of
-//      the blocks (fast producer, buffer constantly full).
-//  (b) O(n log n): no gain at 84/168 cores (buffer mostly empty), gains of
-//      8-23% from 336 cores on as congestion rises.
-//  (c) O(n^{3/2}): buffer always near-empty, stealing never activates, the
-//      concurrent method falls back to message-passing (identical columns).
-#include <cstdio>
-
-#include "concurrent_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using apps::Complexity;
+// Figure 14: concurrent message+file transfer optimization, weak scaling.
+// Thin driver over the scenario lab (see src/exp/figures.cpp;
+// `zipper_lab run fig14`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 100 : 20;
-
-  title("Figure 14: concurrent message+file transfer optimization",
-        "Weak scaling, 3 synthetic apps; columns = message-passing-only vs "
-        "concurrent (work-stealing writer thread).");
-  if (!full) std::printf("[quick mode: 84..588 cores, %d steps; --full for 84..2352, 100 steps]\n", steps);
-
-  for (int ci = 0; ci < 3; ++ci) {
-    const auto c = static_cast<Complexity>(ci);
-    std::printf("\n(%c) %s application\n", 'a' + ci,
-                std::string(apps::complexity_name(c)).c_str());
-    std::printf("%7s | %28s | %28s | %8s %8s\n", "cores",
-                "message-passing only", "concurrent opt.", "reduct.", "stolen");
-    std::printf("%7s | %8s %8s %9s | %8s %8s %9s |\n", "", "sim", "stall",
-                "transfer", "sim", "stall", "transfer");
-    for (int cores : concurrent_core_counts(full)) {
-      const auto mp = run_concurrent_point(c, cores, false, steps, common::MiB);
-      const auto cc = run_concurrent_point(c, cores, true, steps, common::MiB);
-      const double reduction =
-          (mp.wallclock_s - cc.wallclock_s) / mp.wallclock_s * 100.0;
-      std::printf("%7d | %8.1f %8.1f %9.1f | %8.1f %8.1f %9.1f | %6.1f%% %6.1f%%\n",
-                  cores, mp.sim_s, mp.stall_s, mp.transfer_s, cc.sim_s,
-                  cc.stall_s, cc.transfer_s, reduction,
-                  cc.steal_fraction * 100.0);
-    }
-  }
-  std::printf(
-      "\npaper: (a) wallclock cut 16.1-32.4%%, 47-62%% of blocks stolen; "
-      "(b) gains only from 336 cores; (c) no stealing, identical columns.\n");
-  return 0;
+  return zipper::exp::figure_main("fig14", argc, argv);
 }

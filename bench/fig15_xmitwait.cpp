@@ -1,50 +1,8 @@
-// Figure 15: network congestion (XmitWait counters) for the same runs as
-// Figure 14. XmitWait counts FLIT-times during which traffic was ready but
-// could not transmit — the Omni-Path congestion signal the paper reads with
-// `opapmaquery -o getportstatus` via PAPI.
-//
-// Paper's shape to reproduce:
-//  (a) O(n): message-passing-only XmitWait exceeds the concurrent method's by
-//      13-80%; both in the 1e9 range at scale.
-//  (b) O(n log n): counters low (<0.5e9) at 84/168 cores, rising 3-12x from
-//      336 cores; stealing eases them again.
-//  (c) O(n^{3/2}): ~1e6 — three orders of magnitude below the fast apps —
-//      and stealing changes nothing.
-#include <cstdio>
-
-#include "concurrent_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using apps::Complexity;
+// Figure 15: XmitWait congestion counters for the Figure 14 runs. Thin
+// driver over the scenario lab (see src/exp/figures.cpp;
+// `zipper_lab run fig15`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 100 : 20;
-
-  title("Figure 15: XmitWait congestion counters (message-only vs concurrent)",
-        "Counter semantics: FLIT-times with data ready but unable to "
-        "transmit, charged to the source host (credit backpressure).");
-  if (!full) std::printf("[quick mode: 84..588 cores, %d steps; --full for 84..2352, 100 steps]\n", steps);
-
-  for (int ci = 0; ci < 3; ++ci) {
-    const auto c = static_cast<Complexity>(ci);
-    std::printf("\n(%c) %s application\n", 'a' + ci,
-                std::string(apps::complexity_name(c)).c_str());
-    std::printf("%7s %18s %18s %10s\n", "cores", "message-passing", "concurrent",
-                "mp/cc");
-    for (int cores : concurrent_core_counts(full)) {
-      const auto mp = run_concurrent_point(c, cores, false, steps, common::MiB);
-      const auto cc = run_concurrent_point(c, cores, true, steps, common::MiB);
-      std::printf("%7d %18.3e %18.3e %10.2f\n", cores,
-                  static_cast<double>(mp.xmit_wait),
-                  static_cast<double>(cc.xmit_wait),
-                  static_cast<double>(mp.xmit_wait) /
-                      std::max<double>(1.0, static_cast<double>(cc.xmit_wait)));
-    }
-  }
-  std::printf("\npaper: O(n) message-only exceeds concurrent by 13-80%%; "
-              "O(n^{3/2}) sits ~3 orders of magnitude lower and is unaffected "
-              "by the optimization.\n");
-  return 0;
+  return zipper::exp::figure_main("fig15", argc, argv);
 }

@@ -1,80 +1,7 @@
-// Figure 16: weak-scaling of the CFD workflow on Stampede2, 204 -> 13,056
-// cores, using MPI-IO, Flexpath, Decaf, Zipper, and the simulation-only
-// lower bound.
-//
-// Paper's shape to reproduce:
-//   * Zipper's end-to-end time almost equals simulation-only at every scale;
-//   * Decaf trails Zipper by ~1.4x at 204 cores, growing to ~1.7x;
-//   * Flexpath is ~11.5x slower (no per-node socket-stack scaling on KNL);
-//   * MPI-IO does not scale (largest runs too slow to finish);
-//   * Decaf segfaults from 32-bit count overflow at 6,528 and 13,056 cores.
-#include <cstdio>
-
-#include "scaling_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using transports::Method;
+// Figure 16: CFD workflow weak scaling on Stampede2. Thin driver over the
+// scenario lab (see src/exp/figures.cpp; `zipper_lab run fig16`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 20 : 6;
-
-  auto profile = apps::cfd_stampede2(steps);
-
-  transports::TransportParams params;
-  params.decaf_emulate_count_overflow = true;  // 16-byte lattice records
-  params.socket_stack_bandwidth = 120e6;       // KNL single-thread socket stack
-
-  core::dsim::SimZipperConfig zcfg;
-  zcfg.block_bytes = common::MiB;
-
-  title("Figure 16: CFD workflow weak scaling on Stampede2 (KNL)",
-        "2/3 simulation + 1/3 analysis cores; 64x64x256 subgrid "
-        "(16 MiB/step/rank); Zipper blocks = 1 MiB.");
-  std::printf("steps per run: %d%s\n\n", steps,
-              full ? "" : "  [--full runs 20 steps and up to 13,056 cores]");
-
-  const auto& cores = scaling_core_counts(full);
-  std::vector<std::pair<std::string, std::vector<ScalingPoint>>> series;
-  const std::vector<std::pair<std::string, std::optional<Method>>> methods = {
-      {"MPI-IO", Method::kMpiIo},   {"Flexpath", Method::kFlexpath},
-      {"Decaf", Method::kDecaf},    {"Zipper", Method::kZipper},
-      {"Simulation-only", std::nullopt},
-  };
-  for (const auto& [name, method] : methods) {
-    std::vector<ScalingPoint> pts;
-    for (int c : cores) {
-      // The paper could not finish the largest MPI-IO runs ("take too long"):
-      // we cap MPI-IO at 3,264 cores in quick mode for the same reason.
-      if (name == "MPI-IO" && !full && c > 3264) {
-        pts.push_back(ScalingPoint{0, true, "not run (too slow)"});
-        continue;
-      }
-      pts.push_back(run_scaling_point(profile, c, method, params, zcfg));
-    }
-    series.emplace_back(name, std::move(pts));
-  }
-
-  print_scaling_table(cores, series);
-
-  const auto& zipper = series[3].second;
-  const auto& decaf = series[2].second;
-  const auto& flex = series[1].second;
-  const auto& solo = series[4].second;
-  const std::size_t last = cores.size() - 1;
-  std::printf("\nZipper / simulation-only at %d cores: %.2fx (paper: ~1.0x)\n",
-              cores[last], zipper[last].end_to_end_s / solo[last].end_to_end_s);
-  // Largest scale where Decaf survived:
-  for (std::size_t i = cores.size(); i-- > 0;) {
-    if (!decaf[i].crashed) {
-      std::printf("Decaf / Zipper at %d cores: %.2fx (paper: 1.4x at 204 -> "
-                  "1.7x at scale; crashes at >= 6,528 cores)\n",
-                  cores[i], decaf[i].end_to_end_s / zipper[i].end_to_end_s);
-      break;
-    }
-  }
-  std::printf("Flexpath / Zipper at %d cores: %.2fx (paper: up to 11.5x)\n",
-              cores[last], flex[last].end_to_end_s / zipper[last].end_to_end_s);
-  return 0;
+  return zipper::exp::figure_main("fig16", argc, argv);
 }

@@ -1,58 +1,7 @@
-// Figure 17: Zipper vs Decaf traces for the CFD workflow at 204 cores
-// (1.3-second snapshot from the Figure 16 experiment).
-//
-// Paper: in the same interval Zipper runs 3 simulation steps while Decaf
-// runs 2 with significant stall — a 1.4x speedup consistent with Fig 16's
-// 204-core points.
-#include <cstdio>
-
-#include "scaling_common.hpp"
-#include "trace_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using transports::Method;
+// Figure 17: Zipper vs Decaf CFD traces at 204 cores. Thin driver over the
+// scenario lab (see src/exp/figures.cpp; `zipper_lab run fig17`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int cores = 204;
-  const int steps = full ? 20 : 8;
-
-  auto profile = apps::cfd_stampede2(steps);
-  transports::TransportParams params;
-
-  title("Figure 17: Zipper vs Decaf trace, CFD workflow at 204 cores",
-        "Snapshot from the Fig 16 experiment; paper: Zipper fits 3 steps "
-        "where Decaf fits 2 plus stalls (1.4x).");
-
-  auto run_traced = [&](std::optional<Method> m) {
-    RunSpec spec;
-    spec.cluster = workflow::ClusterSpec::stampede2();
-    spec.producers = cores * 2 / 3;
-    spec.consumers = cores / 3;
-    spec.profile = profile;
-    spec.params = params;
-    spec.zipper.block_bytes = common::MiB;
-    spec.record_traces = true;
-    return run_one(spec, m);
-  };
-
-  auto zipper = run_traced(Method::kZipper);
-  auto decaf = run_traced(Method::kDecaf);
-
-  const double w0 = 2.0, w1 = 2.0 + 4 * 1.3;  // 4 paper-windows wide
-  std::printf("\nZipper trace:\n");
-  print_gantt_window(*zipper.cluster, {0, 1}, w0, w1);
-  std::printf("\nDecaf trace:\n");
-  print_gantt_window(*decaf.cluster, {0, 1}, w0, w1);
-
-  const double zipper_step = zipper.result.end_to_end_s / steps;
-  const double decaf_step = decaf.result.end_to_end_s / steps;
-  std::printf("\nsteps per 1.3 s: Zipper %.2f, Decaf %.2f (paper: 3 vs 2)\n",
-              1.3 / zipper_step, 1.3 / decaf_step);
-  std::printf("Decaf / Zipper end-to-end: %.2fx (paper: ~1.4x at 204 cores)\n",
-              decaf.result.end_to_end_s / zipper.result.end_to_end_s);
-  std::printf("Decaf MPI_Waitall per step per producer: %.3f s\n",
-              decaf.result.metrics.at("waitall_s") / steps / (cores * 2 / 3));
-  return 0;
+  return zipper::exp::figure_main("fig17", argc, argv);
 }

@@ -1,78 +1,7 @@
-// Figure 18: weak-scaling of the LAMMPS (Lennard-Jones melt + MSD) workflow
-// on Stampede2, 204 -> 13,056 cores.
-//
-// Paper's shape to reproduce:
-//   * Zipper tracks simulation-only throughout;
-//   * Flexpath scales but sits ~7.1x above Zipper;
-//   * Decaf scales well to 1,632 cores, then degrades (+128% to 6,528,
-//     +177% more to 13,056), ending up 2.2x slower than Zipper;
-//   * no Decaf overflow here (LAMMPS indexes per-rank chunks).
-#include <cstdio>
-
-#include "scaling_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using transports::Method;
+// Figure 18: LAMMPS workflow weak scaling on Stampede2. Thin driver over the
+// scenario lab (see src/exp/figures.cpp; `zipper_lab run fig18`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  const int steps = full ? 20 : 5;
-
-  auto profile = apps::lammps_stampede2(steps);
-
-  transports::TransportParams params;
-  params.socket_stack_bandwidth = 120e6;  // KNL socket stack
-
-  core::dsim::SimZipperConfig zcfg;
-  zcfg.block_bytes = static_cast<std::uint64_t>(1.2 * common::MiB);  // paper: 1.2 MB
-
-  title("Figure 18: LAMMPS workflow weak scaling on Stampede2 (KNL)",
-        "2/3 simulation + 1/3 analysis; ~20 MB/step/rank of atom positions; "
-        "Zipper splits each step into 1.2 MB blocks, Decaf ships 20 MB slabs.");
-  std::printf("steps per run: %d%s\n\n", steps,
-              full ? "" : "  [--full runs 20 steps and up to 13,056 cores]");
-
-  const auto& cores = scaling_core_counts(full);
-  std::vector<std::pair<std::string, std::vector<ScalingPoint>>> series;
-  const std::vector<std::pair<std::string, std::optional<Method>>> methods = {
-      {"MPI-IO", Method::kMpiIo},   {"Flexpath", Method::kFlexpath},
-      {"Decaf", Method::kDecaf},    {"Zipper", Method::kZipper},
-      {"Simulation-only", std::nullopt},
-  };
-  for (const auto& [name, method] : methods) {
-    std::vector<ScalingPoint> pts;
-    for (int c : cores) {
-      if (name == "MPI-IO" && !full && c > 3264) {
-        pts.push_back(ScalingPoint{0, true, "not run (too slow)"});
-        continue;
-      }
-      pts.push_back(run_scaling_point(profile, c, method, params, zcfg));
-    }
-    series.emplace_back(name, std::move(pts));
-  }
-
-  print_scaling_table(cores, series);
-
-  const auto& flex = series[1].second;
-  const auto& decaf = series[2].second;
-  const auto& zipper = series[3].second;
-  const auto& solo = series[4].second;
-  const std::size_t last = cores.size() - 1;
-  std::printf("\nZipper / simulation-only at %d cores: %.2fx (paper ~1.0x)\n",
-              cores[last], zipper[last].end_to_end_s / solo[last].end_to_end_s);
-  std::printf("Decaf / Zipper at %d cores: %.2fx (paper: 2.2x at 13,056)\n",
-              cores[last], decaf[last].end_to_end_s / zipper[last].end_to_end_s);
-  std::printf("Flexpath / Zipper at %d cores: %.2fx (paper: 7.1x)\n",
-              cores[last], flex[last].end_to_end_s / zipper[last].end_to_end_s);
-  // Decaf degradation beyond 1,632 cores:
-  for (std::size_t i = 0; i + 1 < cores.size(); ++i) {
-    if (cores[i] >= 1632 && !decaf[i].crashed && !decaf[i + 1].crashed) {
-      std::printf("Decaf growth %d -> %d cores: +%.0f%% (paper: +128%% / "
-                  "+177%% beyond 1,632)\n",
-                  cores[i], cores[i + 1],
-                  (decaf[i + 1].end_to_end_s / decaf[i].end_to_end_s - 1) * 100);
-    }
-  }
-  return 0;
+  return zipper::exp::figure_main("fig18", argc, argv);
 }

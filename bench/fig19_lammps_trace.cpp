@@ -1,59 +1,7 @@
-// Figure 19: Zipper vs Decaf traces for the LAMMPS workflow (9.1-second
-// snapshot; the paper took it at 13,056 cores).
-//
-// Paper: Zipper runs ~4.4 steps in the window, Decaf ~2 with a large stall
-// at the end of each step; Decaf's 20 MB whole-step messages also lengthen
-// the simulation phases, while Zipper's 1.2 MB blocks keep traffic balanced.
-#include <cstdio>
-
-#include "scaling_common.hpp"
-#include "trace_common.hpp"
-
-using namespace zipper;
-using namespace zipper::bench;
-using transports::Method;
+// Figure 19: Zipper vs Decaf LAMMPS traces. Thin driver over the scenario
+// lab (see src/exp/figures.cpp; `zipper_lab run fig19`).
+#include "exp/lab.hpp"
 
 int main(int argc, char** argv) {
-  const bool full = full_mode(argc, argv);
-  // Tracing at the paper's 13,056 cores is possible but produces enormous
-  // span tables (the paper needed a dedicated node and 2 hours to visualize
-  // theirs); the stall pattern is scale-free, so default to 816 cores.
-  const int cores = full ? 3264 : 816;
-  const int steps = full ? 10 : 5;
-
-  auto profile = apps::lammps_stampede2(steps);
-  transports::TransportParams params;
-
-  title("Figure 19: Zipper vs Decaf trace, LAMMPS workflow",
-        "Paper snapshot: 9.1 s at 13,056 cores; Zipper ~4.4 steps vs Decaf "
-        "~2 steps with per-step stalls.");
-  std::printf("this run: %d cores, %d steps\n", cores, steps);
-
-  auto run_traced = [&](std::optional<Method> m) {
-    RunSpec spec;
-    spec.cluster = workflow::ClusterSpec::stampede2();
-    spec.producers = cores * 2 / 3;
-    spec.consumers = cores / 3;
-    spec.profile = profile;
-    spec.params = params;
-    spec.zipper.block_bytes = static_cast<std::uint64_t>(1.2 * common::MiB);
-    spec.record_traces = true;
-    return run_one(spec, m);
-  };
-
-  auto zipper = run_traced(Method::kZipper);
-  auto decaf = run_traced(Method::kDecaf);
-
-  std::printf("\nZipper trace (9.1 s window):\n");
-  print_gantt_window(*zipper.cluster, {0, 1}, 1.0, 10.1);
-  std::printf("\nDecaf trace (same window):\n");
-  print_gantt_window(*decaf.cluster, {0, 1}, 1.0, 10.1);
-
-  const double zipper_step = zipper.result.end_to_end_s / steps;
-  const double decaf_step = decaf.result.end_to_end_s / steps;
-  std::printf("\nsteps per 9.1 s: Zipper %.1f, Decaf %.1f (paper: 4.4 vs 2)\n",
-              9.1 / zipper_step, 9.1 / decaf_step);
-  std::printf("Decaf / Zipper end-to-end: %.2fx (paper: 2.2x at 13,056 cores)\n",
-              decaf.result.end_to_end_s / zipper.result.end_to_end_s);
-  return 0;
+  return zipper::exp::figure_main("fig19", argc, argv);
 }

@@ -3,22 +3,20 @@
 // paper's analytic model Tt2s = max(Tcomp, Ttransfer, Tanalysis).
 //
 //   scaling_explorer [method] [cores] [steps] [block_KiB]
-//   methods: zipper decaf flexpath mpiio dataspaces dimes
+//   methods: zipper decaf flexpath mpiio dataspaces dimes ... sim-only
 //
 // Example:  ./scaling_explorer zipper 816 10 1024
+//
+// This is the one-scenario view of the lab; `zipper_lab sweep` runs whole
+// grids of these concurrently.
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <string>
 
-#include "apps/profiles.hpp"
-#include "common/units.hpp"
-#include "model/perf_model.hpp"
-#include "transports/factory.hpp"
-#include "workflow/runner.hpp"
-#include "workflow/zipper_coupling.hpp"
+#include "exp/scenario.hpp"
 
 using namespace zipper;
-using transports::Method;
 
 int main(int argc, char** argv) {
   const std::string method_name = argc > 1 ? argv[1] : "zipper";
@@ -26,65 +24,58 @@ int main(int argc, char** argv) {
   const int steps = argc > 3 ? std::atoi(argv[3]) : 8;
   const std::uint64_t block_kib = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1024;
 
-  Method method = Method::kZipper;
-  if (method_name == "decaf") method = Method::kDecaf;
-  else if (method_name == "flexpath") method = Method::kFlexpath;
-  else if (method_name == "mpiio") method = Method::kMpiIo;
-  else if (method_name == "dataspaces") method = Method::kNativeDataSpaces;
-  else if (method_name == "dimes") method = Method::kNativeDimes;
-  else if (method_name != "zipper") {
-    std::printf("unknown method '%s'\n", method_name.c_str());
-    return 1;
+  exp::ScenarioSpec spec;
+  spec.cluster = "stampede2";
+  spec.workload = exp::Workload::kCfdStampede2;
+  spec.steps = steps;
+  spec.producers = cores * 2 / 3;
+  spec.consumers = cores / 3;
+  spec.zipper.block_bytes = block_kib * common::KiB;
+  spec.label = "explore/" + method_name;
+
+  if (method_name != "sim-only") {
+    const auto m = transports::parse_method(method_name);
+    if (!m) {
+      std::printf("unknown method '%s'\n", method_name.c_str());
+      return 1;
+    }
+    spec.method = *m;
   }
 
-  const int P = cores * 2 / 3;
-  const int Q = cores / 3;
-  auto profile = apps::cfd_stampede2(steps);
+  const auto r = exp::run_scenario(spec);
 
-  workflow::Layout layout{P, Q, transports::servers_for(method, P)};
-  workflow::Cluster cluster(workflow::ClusterSpec::stampede2(), layout);
-  cluster.recorder.set_enabled(false);
+  // Simulation-only bound for the overhead ratio.
+  exp::ScenarioSpec solo = spec;
+  solo.method = std::nullopt;
+  solo.label = "explore/sim-only";
+  const auto solo_r = exp::run_scenario(solo);
 
-  core::dsim::SimZipperConfig zcfg;
-  zcfg.block_bytes = block_kib * common::KiB;
-  auto coupling = transports::make_coupling(method, cluster, profile, {}, zcfg);
-  const auto r = workflow::run_workflow(cluster, profile, coupling.get());
+  const auto profile = exp::make_profile(spec);
+  const auto pred = model::predict(exp::model_input_for(spec));
 
-  // Simulation-only bound.
-  workflow::Cluster solo_cluster(workflow::ClusterSpec::stampede2(),
-                                 workflow::Layout{P, 0, 0});
-  solo_cluster.recorder.set_enabled(false);
-  const auto solo = workflow::run_workflow(solo_cluster, profile, nullptr);
-
-  // Analytic model prediction (for the Zipper pipeline).
-  model::ModelInput in;
-  in.total_bytes = static_cast<std::uint64_t>(P) * steps * profile.bytes_per_rank_per_step;
-  in.block_bytes = zcfg.block_bytes;
-  in.producers = P;
-  in.consumers = Q;
-  const double blocks_per_step =
-      static_cast<double>(profile.bytes_per_rank_per_step) / static_cast<double>(in.block_bytes);
-  in.tc_s = sim::to_seconds(profile.compute_per_step()) / blocks_per_step;
-  in.tm_s = static_cast<double>(in.block_bytes) / zcfg.sender_bandwidth;
-  in.ta_s = profile.analysis_ns_per_byte * static_cast<double>(in.block_bytes) / 1e9;
-  const auto pred = model::predict(in);
-
-  std::printf("method            : %s\n", coupling->name().c_str());
-  std::printf("cluster           : %s, %d cores (%d sim + %d analysis + %d aux)\n",
-              cluster.spec().name.c_str(), cores, P, Q, layout.servers);
+  std::printf("method            : %s\n",
+              spec.method ? transports::method_name(*spec.method).c_str()
+                          : "Simulation-only");
+  std::printf("cluster           : Stampede2, %d cores (%d sim + %d analysis + %d aux)\n",
+              cores, spec.producers, spec.consumers,
+              static_cast<int>(r.get("servers")));
   std::printf("workload          : %s, %d steps, %.1f MiB/rank/step, %llu KiB blocks\n",
               profile.name.c_str(), steps,
               static_cast<double>(profile.bytes_per_rank_per_step) / common::MiB,
               static_cast<unsigned long long>(block_kib));
-  std::printf("end-to-end        : %8.2f s\n", r.end_to_end_s);
-  std::printf("simulation-only   : %8.2f s  (x%.2f overhead)\n", solo.end_to_end_s,
-              r.end_to_end_s / solo.end_to_end_s);
-  std::printf("model (Zipper)    : %8.2f s  (dominant stage: %s)\n",
-              pred.t_end_to_end, pred.dominant.c_str());
-  std::printf("producer XmitWait : %.3e flit-times\n",
-              static_cast<double>(r.producer_xmit_wait));
+  std::printf("end-to-end        : %8.2f s\n", r.get("end_to_end_s"));
+  std::printf("simulation-only   : %8.2f s  (x%.2f overhead)\n",
+              solo_r.get("end_to_end_s"),
+              r.get("end_to_end_s") / solo_r.get("end_to_end_s"));
+  std::printf("model (Zipper)    : %s\n", model::summary(pred).c_str());
+  std::printf("producer XmitWait : %.3e flit-times\n", r.get("xmit_wait"));
+  // Coupling-specific counters only; the standard columns are printed above.
+  const std::set<std::string> headline = {
+      "steps",   "producers",        "consumers",  "servers",
+      "end_to_end_s", "producers_done_s", "compute_s", "halo_s",
+      "put_s",   "analysis_s",       "xmit_wait"};
   for (const auto& [k, v] : r.metrics) {
-    std::printf("  metric %-18s %.4g\n", k.c_str(), v);
+    if (!headline.count(k)) std::printf("  metric %-18s %.4g\n", k.c_str(), v);
   }
   return 0;
 }

@@ -1,0 +1,124 @@
+#include "exp/artifacts.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace zipper::exp {
+
+namespace {
+
+std::string format_double(double v) {
+  // Non-finite values would be invalid JSON (and UB to cast below); emit an
+  // explicit null so parsers fail loudly on the cell, not the whole file.
+  if (!std::isfinite(v)) return "null";
+  // %.17g round-trips IEEE doubles; trim to a clean integer form when exact.
+  if (v > -1e15 && v < 1e15 &&
+      v == static_cast<double>(static_cast<long long>(v))) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> metric_columns(const std::vector<ScenarioResult>& rs) {
+  std::vector<std::string> cols;
+  for (const auto& r : rs) {
+    for (const auto& [k, v] : r.metrics) {
+      bool seen = false;
+      for (const auto& c : cols) {
+        if (c == k) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) cols.push_back(k);
+    }
+  }
+  return cols;
+}
+
+std::string to_csv(const std::vector<ScenarioResult>& rs) {
+  const auto cols = metric_columns(rs);
+  std::string out = "label,crashed,note";
+  for (const auto& c : cols) out += "," + csv_escape(c);
+  out += '\n';
+  for (const auto& r : rs) {
+    out += csv_escape(r.label);
+    out += r.crashed ? ",1," : ",0,";
+    out += csv_escape(r.note);
+    for (const auto& c : cols) {
+      out += ',';
+      if (r.has(c)) out += format_double(r.get(c));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<ScenarioResult>& rs) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    out += "  {\"label\": \"" + json_escape(r.label) + "\", \"crashed\": ";
+    out += r.crashed ? "true" : "false";
+    out += ", \"note\": \"" + json_escape(r.note) + "\", \"metrics\": {";
+    for (std::size_t j = 0; j < r.metrics.size(); ++j) {
+      if (j) out += ", ";
+      out += "\"" + json_escape(r.metrics[j].first) +
+             "\": " + format_double(r.metrics[j].second);
+    }
+    out += "}}";
+    if (i + 1 < rs.size()) out += ',';
+    out += '\n';
+  }
+  out += "]\n";
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace zipper::exp

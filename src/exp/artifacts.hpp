@@ -1,0 +1,30 @@
+// CSV / JSON artifact writers for sweep results.
+//
+// Both formats are deterministic functions of the result vector: columns are
+// the union of metric keys in first-appearance order, numbers are printed
+// with enough digits to round-trip (%.17g), rows keep sweep order. The
+// determinism test compares these strings byte-for-byte across thread
+// counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace zipper::exp {
+
+/// Union of metric keys across results, in first-appearance order.
+std::vector<std::string> metric_columns(const std::vector<ScenarioResult>& rs);
+
+/// label,crashed,note,<metric columns>; absent metrics are empty cells.
+std::string to_csv(const std::vector<ScenarioResult>& rs);
+
+/// Array of {"label":…, "crashed":…, "note":…, "metrics":{…}} objects.
+std::string to_json(const std::vector<ScenarioResult>& rs);
+
+/// Writes content to path (creating parent directories is the caller's
+/// concern); returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace zipper::exp

@@ -1,0 +1,65 @@
+#include "exp/engine.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace zipper::exp {
+
+namespace {
+
+ScenarioResult run_guarded(const ScenarioSpec& spec) {
+  try {
+    return run_scenario(spec);
+  } catch (const std::exception& e) {
+    ScenarioResult r;
+    r.label = spec.label;
+    r.crashed = true;
+    r.note = e.what();
+    return r;
+  }
+}
+
+}  // namespace
+
+std::vector<ScenarioResult> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                      const SweepOptions& opts) {
+  std::vector<ScenarioResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  if (opts.jobs <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i] = run_guarded(specs[i]);
+      if (opts.on_done) opts.on_done(specs[i], results[i], i + 1, specs.size());
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mu;
+  const std::size_t workers = std::min<std::size_t>(
+      static_cast<std::size_t>(opts.jobs), specs.size());
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size()) return;
+      results[i] = run_guarded(specs[i]);
+      const std::size_t done = completed.fetch_add(1) + 1;
+      if (opts.on_done) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        opts.on_done(specs[i], results[i], done, specs.size());
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  return results;
+}
+
+}  // namespace zipper::exp

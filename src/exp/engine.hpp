@@ -1,0 +1,32 @@
+// Thread-pool sweep engine: runs independent scenarios concurrently.
+//
+// Each scenario builds its own Cluster/Simulation universe, and the DES is
+// single-threaded and deterministic, so scenarios parallelize perfectly
+// across hardware threads with byte-identical per-scenario results — the
+// result vector at jobs=N is exactly the result vector at jobs=1
+// (tests/test_exp.cpp pins this down). Only the wall-clock changes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace zipper::exp {
+
+struct SweepOptions {
+  int jobs = 1;  // <= 1: run serially on the calling thread
+  // Progress hook, serialized by the engine (safe to printf from). Called
+  // after each scenario with (spec, result, completed count, total).
+  std::function<void(const ScenarioSpec&, const ScenarioResult&, std::size_t,
+                     std::size_t)>
+      on_done;
+};
+
+/// Runs every spec and returns results in spec order. A scenario that throws
+/// is reported as crashed (note = exception message) rather than aborting
+/// the sweep.
+std::vector<ScenarioResult> run_sweep(const std::vector<ScenarioSpec>& specs,
+                                      const SweepOptions& opts = {});
+
+}  // namespace zipper::exp

@@ -1,0 +1,112 @@
+#include "exp/grid.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace zipper::exp {
+
+namespace {
+
+// Wraps an axis so empty means "one point: keep the base value, no tag".
+template <typename T>
+struct Axis {
+  const std::vector<T>& values;
+  std::size_t size() const { return values.empty() ? 1 : values.size(); }
+  const T* at(std::size_t i) const {
+    return values.empty() ? nullptr : &values[i];
+  }
+};
+
+}  // namespace
+
+std::size_t SweepGrid::size() const {
+  if (!cores.empty() && !ranks.empty()) {
+    throw std::invalid_argument("SweepGrid: set either cores or ranks, not both");
+  }
+  std::size_t n = 1;
+  n *= std::max<std::size_t>(1, methods.size());
+  n *= std::max<std::size_t>(1, workloads.size());
+  n *= std::max<std::size_t>(1, cores.size());
+  n *= std::max<std::size_t>(1, ranks.size());
+  n *= std::max<std::size_t>(1, steps.size());
+  n *= std::max<std::size_t>(1, block_kib.size());
+  n *= std::max<std::size_t>(1, steal_thresholds.size());
+  n *= std::max<std::size_t>(1, preserve.size());
+  n *= std::max<std::size_t>(1, seeds.size());
+  return n;
+}
+
+std::vector<ScenarioSpec> SweepGrid::expand() const {
+  if (!cores.empty() && !ranks.empty()) {
+    throw std::invalid_argument("SweepGrid: set either cores or ranks, not both");
+  }
+  const Axis<std::optional<transports::Method>> a_method{methods};
+  const Axis<Workload> a_workload{workloads};
+  const Axis<int> a_cores{cores};
+  const Axis<std::pair<int, int>> a_ranks{ranks};
+  const Axis<int> a_steps{steps};
+  const Axis<std::uint64_t> a_block{block_kib};
+  const Axis<double> a_steal{steal_thresholds};
+  const Axis<int> a_preserve{preserve};
+  const Axis<std::uint64_t> a_seed{seeds};
+
+  std::vector<ScenarioSpec> out;
+  out.reserve(size());
+  for (std::size_t im = 0; im < a_method.size(); ++im)
+  for (std::size_t iw = 0; iw < a_workload.size(); ++iw)
+  for (std::size_t ic = 0; ic < a_cores.size(); ++ic)
+  for (std::size_t ir = 0; ir < a_ranks.size(); ++ir)
+  for (std::size_t is = 0; is < a_steps.size(); ++is)
+  for (std::size_t ib = 0; ib < a_block.size(); ++ib)
+  for (std::size_t ih = 0; ih < a_steal.size(); ++ih)
+  for (std::size_t ip = 0; ip < a_preserve.size(); ++ip)
+  for (std::size_t ix = 0; ix < a_seed.size(); ++ix) {
+    ScenarioSpec s = base;
+    std::string label = label_prefix;
+    if (const auto* m = a_method.at(im)) {
+      s.method = *m;
+      label += "/" + (*m ? transports::method_token(**m) : std::string("sim-only"));
+    }
+    if (const auto* w = a_workload.at(iw)) {
+      s.workload = *w;
+      label += "/" + workload_token(*w);
+    }
+    if (const auto* c = a_cores.at(ic)) {
+      s.producers = *c * 2 / 3;
+      s.consumers = *c / 3;
+      label += "/c" + std::to_string(*c);
+    }
+    if (const auto* pq = a_ranks.at(ir)) {
+      s.producers = pq->first;
+      s.consumers = pq->second;
+      label += "/p" + std::to_string(pq->first) + "q" + std::to_string(pq->second);
+    }
+    if (const auto* st = a_steps.at(is)) {
+      s.steps = *st;
+      label += "/s" + std::to_string(*st);
+    }
+    if (const auto* b = a_block.at(ib)) {
+      s.zipper.block_bytes = *b * common::KiB;
+      label += "/b" + std::to_string(*b) + "k";
+    }
+    if (const auto* hw = a_steal.at(ih)) {
+      s.zipper.high_water = *hw;
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "/hw%.3g", *hw);
+      label += buf;
+    }
+    if (const auto* pv = a_preserve.at(ip)) {
+      s.zipper.preserve = *pv != 0;
+      label += *pv ? "/preserve" : "/no-preserve";
+    }
+    if (const auto* sd = a_seed.at(ix)) {
+      s.background_load_seed = *sd;
+      label += "/seed" + std::to_string(*sd);
+    }
+    s.label = label;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace zipper::exp

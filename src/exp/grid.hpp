@@ -1,0 +1,45 @@
+// Sweep-grid expander: axis lists -> the cartesian scenario set.
+//
+// A SweepGrid is a base ScenarioSpec plus optional axis vectors. expand()
+// produces one spec per point of the cartesian product, with a composed,
+// collision-free label per point. Empty axes contribute the base spec's
+// value and no label tag — so a grid with no axes expands to exactly the
+// base spec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace zipper::exp {
+
+struct SweepGrid {
+  ScenarioSpec base;
+  std::string label_prefix = "sweep";
+
+  // Axes of the paper's experiment matrix. "methods" may contain nullopt
+  // for the Simulation-only baseline series.
+  std::vector<std::optional<transports::Method>> methods;
+  std::vector<Workload> workloads;
+  // Total core counts, split 2/3 producers + 1/3 consumers as in the paper's
+  // job layouts. Mutually exclusive with `ranks`.
+  std::vector<int> cores;
+  std::vector<std::pair<int, int>> ranks;  // explicit (producers, consumers)
+  std::vector<int> steps;
+  std::vector<std::uint64_t> block_kib;      // zipper.block_bytes
+  std::vector<double> steal_thresholds;      // zipper.high_water
+  std::vector<int> preserve;                 // zipper.preserve (0/1)
+  std::vector<std::uint64_t> seeds;          // background_load_seed replication
+
+  /// Number of scenarios expand() will produce.
+  std::size_t size() const;
+
+  /// The cartesian product, row-major in the axis order declared above.
+  std::vector<ScenarioSpec> expand() const;
+};
+
+}  // namespace zipper::exp

@@ -1,0 +1,80 @@
+#include "exp/lab.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "exp/artifacts.hpp"
+#include "exp/engine.hpp"
+
+namespace zipper::exp {
+
+int run_figure(const FigureDef& fig, const LabOptions& opts) {
+  const auto specs = fig.scenarios(opts.full);
+
+  SweepOptions sweep;
+  sweep.jobs = opts.jobs;
+  if (opts.progress) {
+    sweep.on_done = [](const ScenarioSpec& spec, const ScenarioResult& r,
+                       std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "[%zu/%zu] %s%s\n", done, total, spec.label.c_str(),
+                   r.crashed ? "  (crashed)" : "");
+    };
+  }
+  const auto results = run_sweep(specs, sweep);
+
+  const FigureContext ctx{specs, results, opts.full};
+  fig.present(ctx);
+
+  if (opts.write_artifacts) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.artifacts_dir, ec);
+    const std::string stem = opts.artifacts_dir + "/" + fig.name;
+    const bool csv_ok = write_file(stem + ".csv", to_csv(results));
+    const bool json_ok = write_file(stem + ".json", to_json(results));
+    if (!csv_ok || !json_ok) {
+      std::fprintf(stderr, "error: failed to write artifacts under %s\n",
+                   opts.artifacts_dir.c_str());
+      return 1;
+    }
+    std::printf("\nartifacts: %s.csv, %s.json\n", stem.c_str(), stem.c_str());
+  }
+  return 0;
+}
+
+int figure_main(const char* figure_name, int argc, char** argv) {
+  const FigureDef* fig = find_figure(figure_name);
+  if (!fig) {
+    std::fprintf(stderr, "unknown figure '%s'\n", figure_name);
+    return 1;
+  }
+  LabOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      opts.full = true;
+    } else if (arg == "--artifacts") {
+      opts.write_artifacts = true;
+    } else if (arg.rfind("--artifacts-dir=", 0) == 0) {
+      opts.write_artifacts = true;
+      opts.artifacts_dir = arg.substr(std::strlen("--artifacts-dir="));
+    } else if (arg == "-j" && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      opts.jobs = std::atoi(arg.c_str() + 2);
+    } else if (arg == "--progress") {
+      opts.progress = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--full] [-j N] [--artifacts[-dir=DIR]] "
+                   "[--progress]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (opts.jobs < 1) opts.jobs = 1;
+  return run_figure(*fig, opts);
+}
+
+}  // namespace zipper::exp

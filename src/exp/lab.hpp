@@ -1,0 +1,29 @@
+// Shared driver behind the zipper_lab CLI and the thin bench/fig* stubs:
+// expand a registered figure's scenarios, run them through the SweepEngine,
+// present the narrative tables, and optionally write CSV/JSON artifacts.
+#pragma once
+
+#include <string>
+
+#include "exp/registry.hpp"
+
+namespace zipper::exp {
+
+struct LabOptions {
+  bool full = false;           // paper-size matrix instead of quick mode
+  int jobs = 1;                // sweep threads
+  bool write_artifacts = false;
+  std::string artifacts_dir = "artifacts";
+  bool progress = false;       // per-scenario progress lines to stderr
+};
+
+/// Runs one registered figure end to end. Returns a process exit code.
+int run_figure(const FigureDef& fig, const LabOptions& opts);
+
+/// Entry point for the thin bench/fig* drivers: parses --full, -j N,
+/// --artifacts[-dir=…] from argv and runs the named figure. Bench drivers
+/// default to no artifacts (matching the historical harnesses); zipper_lab
+/// layers its own defaults on top of run_figure directly.
+int figure_main(const char* figure_name, int argc, char** argv);
+
+}  // namespace zipper::exp

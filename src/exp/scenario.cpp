@@ -1,0 +1,222 @@
+#include "exp/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "transports/decaf.hpp"
+#include "workflow/runner.hpp"
+
+namespace zipper::exp {
+
+std::string workload_token(Workload w) {
+  switch (w) {
+    case Workload::kCfdBridges: return "cfd-bridges";
+    case Workload::kCfdStampede2: return "cfd-stampede2";
+    case Workload::kLammpsStampede2: return "lammps";
+    case Workload::kSyntheticLinear: return "synthetic-linear";
+    case Workload::kSyntheticNLogN: return "synthetic-nlogn";
+    case Workload::kSyntheticN32: return "synthetic-n32";
+  }
+  return "?";
+}
+
+std::optional<Workload> parse_workload(const std::string& token) {
+  std::string t;
+  t.reserve(token.size());
+  for (char c : token) {
+    if (c == ' ' || c == '_') c = '-';
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (Workload w : {Workload::kCfdBridges, Workload::kCfdStampede2,
+                     Workload::kLammpsStampede2, Workload::kSyntheticLinear,
+                     Workload::kSyntheticNLogN, Workload::kSyntheticN32}) {
+    if (t == workload_token(w)) return w;
+  }
+  if (t == "cfd") return Workload::kCfdBridges;
+  if (t == "lammps-stampede2") return Workload::kLammpsStampede2;
+  return std::nullopt;
+}
+
+bool ScenarioResult::has(const std::string& key) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double ScenarioResult::get(const std::string& key, double fallback) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+void ScenarioResult::put(const std::string& key, double value) {
+  for (auto& [k, v] : metrics) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  metrics.emplace_back(key, value);
+}
+
+apps::WorkloadProfile make_profile(const ScenarioSpec& spec) {
+  apps::WorkloadProfile p;
+  switch (spec.workload) {
+    case Workload::kCfdBridges:
+      p = apps::cfd_bridges(spec.steps);
+      break;
+    case Workload::kCfdStampede2:
+      p = apps::cfd_stampede2(spec.steps);
+      break;
+    case Workload::kLammpsStampede2:
+      p = apps::lammps_stampede2(spec.steps);
+      break;
+    case Workload::kSyntheticLinear:
+    case Workload::kSyntheticNLogN:
+    case Workload::kSyntheticN32: {
+      const auto c = spec.workload == Workload::kSyntheticLinear
+                         ? apps::Complexity::kLinear
+                         : spec.workload == Workload::kSyntheticNLogN
+                               ? apps::Complexity::kNLogN
+                               : apps::Complexity::kN32;
+      p = spec.bytes_per_rank_per_step
+              ? apps::synthetic_profile(c, spec.synthetic_block_bytes, spec.steps,
+                                        spec.bytes_per_rank_per_step)
+              : apps::synthetic_profile(c, spec.synthetic_block_bytes, spec.steps);
+      return p;
+    }
+  }
+  if (spec.bytes_per_rank_per_step) {
+    p.bytes_per_rank_per_step = spec.bytes_per_rank_per_step;
+  }
+  return p;
+}
+
+workflow::ClusterSpec make_cluster_spec(const ScenarioSpec& spec) {
+  auto cs = workflow::ClusterSpec::by_name(spec.cluster);
+  if (!cs) {
+    throw std::invalid_argument("unknown cluster '" + spec.cluster + "'");
+  }
+  if (spec.pfs_osts_base > 0 && spec.pfs_osts_ref_producers > 0) {
+    cs->pfs.num_osts = std::max(
+        2, static_cast<int>(spec.pfs_osts_base * spec.producers /
+                                spec.pfs_osts_ref_producers +
+                            0.5));
+  }
+  return *cs;
+}
+
+model::ModelInput model_input_for(const ScenarioSpec& spec) {
+  const auto profile = make_profile(spec);
+  const auto cs = make_cluster_spec(spec);
+  const int P = spec.producers;
+  const int Q = std::max(1, spec.effective_consumers());
+  model::ModelInput in;
+  in.total_bytes = static_cast<std::uint64_t>(P) * profile.steps *
+                   profile.bytes_per_rank_per_step;
+  in.block_bytes = spec.zipper.block_bytes;
+  in.producers = P;
+  in.consumers = Q;
+  const double blocks_per_step =
+      static_cast<double>(profile.bytes_per_rank_per_step) /
+      static_cast<double>(in.block_bytes);
+  in.tc_s = sim::to_seconds(profile.compute_per_step()) / blocks_per_step;
+  in.tm_s = static_cast<double>(in.block_bytes) / spec.zipper.sender_bandwidth;
+  in.ta_s = profile.analysis_ns_per_byte * static_cast<double>(in.block_bytes) / 1e9;
+  in.preserve = spec.zipper.preserve;
+  in.pfs_write_bandwidth = cs.pfs.num_osts * cs.pfs.ost_bandwidth;
+  return in;
+}
+
+namespace {
+
+ScenarioResult run_schedule_scenario(const ScenarioSpec& spec) {
+  ScenarioResult out;
+  out.label = spec.label;
+  const auto non = model::schedule_non_integrated(spec.schedule_blocks,
+                                                  spec.schedule_stage_s.data());
+  const auto integ = model::schedule_integrated(spec.schedule_blocks,
+                                                spec.schedule_stage_s.data());
+  const double m_non = model::makespan(non);
+  const double m_int = model::makespan(integ);
+  out.put("blocks", spec.schedule_blocks);
+  out.put("makespan_non_integrated", m_non);
+  out.put("makespan_integrated", m_int);
+  out.put("speedup", m_int > 0 ? m_non / m_int : 0);
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  if (spec.kind == ScenarioKind::kPipelineSchedule) {
+    return run_schedule_scenario(spec);
+  }
+
+  ScenarioResult out;
+  out.label = spec.label;
+
+  const auto profile = make_profile(spec);
+  const auto cspec = make_cluster_spec(spec);
+  const int P = spec.producers;
+  const int Q = spec.effective_consumers();
+  const int servers =
+      spec.servers ? *spec.servers
+                   : (spec.method ? transports::servers_for(*spec.method, P) : 0);
+  // Simulation-only runs drop the analysis ranks, like the paper's baseline.
+  workflow::Layout layout{P, spec.method ? Q : 0, servers};
+
+  auto cluster = std::make_shared<workflow::Cluster>(cspec, layout);
+  cluster->recorder.set_enabled(spec.record_traces);
+  if (spec.background_load_intensity > 0) {
+    cluster->sim.spawn(cluster->fs->background_load(
+        spec.background_load_intensity, spec.background_load_seed));
+  }
+  std::unique_ptr<workflow::Coupling> coupling;
+  if (spec.method) {
+    coupling = transports::make_coupling(*spec.method, *cluster, profile,
+                                         spec.params, spec.zipper);
+  }
+
+  out.put("steps", profile.steps);
+  out.put("producers", P);
+  out.put("consumers", layout.consumers);
+  out.put("servers", servers);
+
+  workflow::RunResult r;
+  try {
+    r = workflow::run_workflow(*cluster, profile, coupling.get());
+  } catch (const transports::DecafCountOverflow& e) {
+    out.crashed = true;
+    out.note = e.what();
+    if (spec.record_traces) out.cluster = cluster;
+    return out;
+  }
+
+  out.put("end_to_end_s", r.end_to_end_s);
+  out.put("producers_done_s", r.producers_done_s);
+  out.put("compute_s", r.compute_s);
+  out.put("halo_s", r.halo_s);
+  out.put("put_s", r.put_s);
+  out.put("analysis_s", r.analysis_s);
+  out.put("xmit_wait", static_cast<double>(r.producer_xmit_wait));
+  for (const auto& [k, v] : r.metrics) out.put(k, v);
+
+  if (spec.with_model) {
+    const auto pred = model::predict(model_input_for(spec));
+    out.put("model_end_to_end_s", pred.t_end_to_end);
+    out.put("model_t_comp_s", pred.t_comp);
+    out.put("model_t_transfer_s", pred.t_transfer);
+    out.put("model_t_analysis_s", pred.t_analysis);
+    out.put("model_t_store_s", pred.t_store);
+    out.put("model_rel_error", model::relative_error(r.end_to_end_s, pred));
+  }
+
+  if (spec.record_traces) out.cluster = cluster;
+  return out;
+}
+
+}  // namespace zipper::exp

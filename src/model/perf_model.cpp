@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace zipper::model {
 
@@ -23,6 +24,20 @@ ModelPrediction predict(const ModelInput& in) {
   if (out.t_end_to_end == out.t_analysis) out.dominant = "analysis";
   if (in.preserve && out.t_end_to_end == out.t_store) out.dominant = "store";
   return out;
+}
+
+std::string summary(const ModelPrediction& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "Tt2s %.2f s (dominant: %s; comp %.2f xfer %.2f ana %.2f store %.2f)",
+                p.t_end_to_end, p.dominant.c_str(), p.t_comp, p.t_transfer,
+                p.t_analysis, p.t_store);
+  return buf;
+}
+
+double relative_error(double measured_s, const ModelPrediction& p) {
+  if (p.t_end_to_end <= 0) return 0;
+  return (measured_s - p.t_end_to_end) / p.t_end_to_end;
 }
 
 std::vector<StageSpan> schedule_non_integrated(int blocks, const double stage_s[4]) {

@@ -41,6 +41,13 @@ struct ModelPrediction {
 
 ModelPrediction predict(const ModelInput& in);
 
+/// One-line human summary of a prediction, for CLIs and sweep tables.
+std::string summary(const ModelPrediction& p);
+
+/// Signed relative error of a measurement against the model:
+/// (measured - predicted) / predicted. Returns 0 when the prediction is 0.
+double relative_error(double measured_s, const ModelPrediction& p);
+
 // ------------------------------------------------------------------ Fig 11 --
 
 /// One stage occupancy interval in a pipeline schedule.

@@ -1,5 +1,7 @@
 #include "transports/factory.hpp"
 
+#include <cctype>
+
 #include "transports/decaf.hpp"
 #include "transports/flexpath.hpp"
 #include "transports/mpiio.hpp"
@@ -20,6 +22,45 @@ std::string method_name(Method m) {
     case Method::kZipper: return "Zipper";
   }
   return "?";
+}
+
+std::string method_token(Method m) {
+  switch (m) {
+    case Method::kMpiIo: return "mpiio";
+    case Method::kAdiosDataSpaces: return "adios-dataspaces";
+    case Method::kAdiosDimes: return "adios-dimes";
+    case Method::kNativeDataSpaces: return "dataspaces";
+    case Method::kNativeDimes: return "dimes";
+    case Method::kFlexpath: return "flexpath";
+    case Method::kDecaf: return "decaf";
+    case Method::kZipper: return "zipper";
+  }
+  return "?";
+}
+
+std::optional<Method> parse_method(const std::string& token) {
+  std::string t;
+  t.reserve(token.size());
+  for (char c : token) {
+    if (c == ' ' || c == '_' || c == '/') c = '-';
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  for (Method m : all_methods()) {
+    if (t == method_token(m)) return m;
+  }
+  if (t == "mpi-io") return Method::kMpiIo;
+  if (t == "native-dataspaces") return Method::kNativeDataSpaces;
+  if (t == "native-dimes") return Method::kNativeDimes;
+  return std::nullopt;
+}
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> kAll{
+      Method::kMpiIo,           Method::kAdiosDataSpaces, Method::kAdiosDimes,
+      Method::kNativeDataSpaces, Method::kNativeDimes,     Method::kFlexpath,
+      Method::kDecaf,           Method::kZipper,
+  };
+  return kAll;
 }
 
 int servers_for(Method m, int producers) {

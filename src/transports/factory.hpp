@@ -3,7 +3,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/profiles.hpp"
 #include "core/dsim/sim_runtime.hpp"
@@ -26,6 +28,19 @@ enum class Method {
 
 /// Human-readable name matching the paper's Figure 2 labels.
 std::string method_name(Method m);
+
+/// Stable CLI/label token: "mpiio", "adios-dataspaces", "adios-dimes",
+/// "dataspaces", "dimes", "flexpath", "decaf", "zipper".
+std::string method_token(Method m);
+
+/// Inverse of method_token. Also accepts the paper's display names
+/// (case-insensitive) and a few common aliases ("mpi-io", "native dimes").
+/// Returns nullopt for unknown tokens — "sim-only" is deliberately not a
+/// Method; callers model it as an absent coupling.
+std::optional<Method> parse_method(const std::string& token);
+
+/// All eight methods in the paper's Figure 2 order.
+const std::vector<Method>& all_methods();
 
 /// Number of auxiliary server/link ranks a method wants for P producers,
 /// following Table 1 (DataSpaces/DIMES: 32 servers per 256 producers; Decaf:

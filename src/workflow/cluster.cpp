@@ -1,6 +1,7 @@
 #include "workflow/cluster.hpp"
 
 #include <cassert>
+#include <cctype>
 
 #include "common/units.hpp"
 
@@ -35,6 +36,17 @@ ClusterSpec ClusterSpec::stampede2() {
   s.pfs.num_osts = 32;                // 30 PB Lustre, a bit wider
   s.pfs.num_io_gateways = 8;
   return s;
+}
+
+std::optional<ClusterSpec> ClusterSpec::by_name(const std::string& name) {
+  std::string t;
+  t.reserve(name.size());
+  for (char c : name) {
+    t.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (t == "bridges") return bridges();
+  if (t == "stampede2" || t == "stampede") return stampede2();
+  return std::nullopt;
 }
 
 Cluster::Cluster(const ClusterSpec& spec, const Layout& layout)

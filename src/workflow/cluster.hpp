@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,10 @@ struct ClusterSpec {
 
   /// TACC Stampede2: 68-core KNL nodes, Omni-Path, 30 PB Lustre.
   static ClusterSpec stampede2();
+
+  /// Lookup by case-insensitive name ("bridges", "stampede2") for CLIs and
+  /// declarative scenario specs. nullopt for unknown names.
+  static std::optional<ClusterSpec> by_name(const std::string& name);
 };
 
 struct Layout {

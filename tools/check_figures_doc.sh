@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Cross-checks docs/figures.md against the zipper_lab scenario registry:
+#   1. every `zipper_lab run <name>` command in the doc must name a
+#      registered figure;
+#   2. every registered figure must be documented in the doc.
+#
+# usage: tools/check_figures_doc.sh <path-to-zipper_lab> [docs/figures.md]
+set -eu
+
+LAB="${1:?usage: check_figures_doc.sh <zipper_lab> [figures.md]}"
+DOC="${2:-docs/figures.md}"
+
+[ -x "$LAB" ] || { echo "error: '$LAB' is not executable" >&2; exit 2; }
+[ -f "$DOC" ] || { echo "error: '$DOC' not found" >&2; exit 2; }
+
+REGISTERED=$("$LAB" list --names)
+fail=0
+
+for name in $(grep -o 'zipper_lab run [a-z0-9-]*' "$DOC" | awk '{print $3}' | sort -u); do
+  if ! printf '%s\n' "$REGISTERED" | grep -qx "$name"; then
+    echo "FAIL: $DOC names unregistered scenario '$name'"
+    fail=1
+  fi
+done
+
+for name in $REGISTERED; do
+  if ! grep -q "zipper_lab run $name" "$DOC"; then
+    echo "FAIL: registered figure '$name' is not documented in $DOC"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "figures doc check: OK ($(printf '%s\n' "$REGISTERED" | wc -l) figures documented)"
+fi
+exit "$fail"

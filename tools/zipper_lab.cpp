@@ -1,0 +1,306 @@
+// zipper_lab — the scenario lab CLI.
+//
+//   zipper_lab list [--names]            registered figures and ablations
+//   zipper_lab run <name...> [--full] [-j N] [--no-artifacts]
+//                                        reproduce paper figures; writes
+//                                        CSV/JSON artifacts per figure
+//   zipper_lab sweep [axis flags] [-j N] run a custom experiment grid the
+//                                        paper never shipped
+//
+// Sweep axes (comma-separated lists; each optional):
+//   --method=zipper,decaf,flexpath,mpiio,dataspaces,dimes,
+//            adios-dataspaces,adios-dimes,sim-only
+//   --workload=cfd-bridges|cfd-stampede2|lammps|synthetic-{linear,nlogn,n32}
+//   --cores=204,408        (2/3 producers + 1/3 consumers)
+//   --producers=N --consumers=M   (explicit split; conflicts with --cores)
+//   --steps=8,20           --block-kib=256,1024
+//   --steal=0.25,0.5       (writer high-water threshold)
+//   --preserve=0,1         --seeds=11,22,33
+// Scalars: --cluster=bridges|stampede2, --servers=N,
+//   --bg-intensity=0.4 (shared-PFS interference, pairs with --seeds),
+//   --model (emit model::predict comparison columns), --trace
+// Output: -j N, --csv=FILE, --json=FILE, --quiet, --label=PREFIX
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/artifacts.hpp"
+#include "exp/engine.hpp"
+#include "exp/grid.hpp"
+#include "exp/lab.hpp"
+#include "exp/registry.hpp"
+
+using namespace zipper;
+using namespace zipper::exp;
+
+namespace {
+
+int usage(int code) {
+  std::printf(
+      "zipper_lab — declarative scenario lab for the zipper reproduction\n"
+      "\n"
+      "  zipper_lab list [--names]\n"
+      "  zipper_lab run <figure...> [--full] [-j N] [--no-artifacts]\n"
+      "                 [--artifacts-dir=DIR] [--progress]\n"
+      "  zipper_lab sweep [axis flags] [-j N] [--csv=F] [--json=F] [--quiet]\n"
+      "\n"
+      "Run `zipper_lab list` for the registered figures; see docs/figures.md\n"
+      "for the figure-by-figure map and README.md for sweep examples.\n");
+  return code;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string* value) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+int cmd_list(int argc, char** argv) {
+  bool names_only = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--names") names_only = true;
+  }
+  if (names_only) {
+    for (const auto& fig : registry()) std::printf("%s\n", fig.name.c_str());
+    return 0;
+  }
+  std::printf("%-26s %-10s %-4s %s\n", "name", "paper", "runs", "what it shows");
+  for (const auto& fig : registry()) {
+    std::printf("%-26s %-10s %4zu %s\n", fig.name.c_str(), fig.paper.c_str(),
+                fig.scenarios(false).size(), fig.title.c_str());
+    std::printf("%-26s %-10s %4s   expect: %s\n", "", "", "", fig.expect.c_str());
+  }
+  std::printf("\n%zu figures registered. `zipper_lab run <name>` reproduces "
+              "one; `zipper_lab sweep` goes beyond the paper.\n",
+              registry().size());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  LabOptions opts;
+  opts.write_artifacts = true;
+  std::vector<std::string> names;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (arg == "--full") {
+      opts.full = true;
+    } else if (arg == "--no-artifacts") {
+      opts.write_artifacts = false;
+    } else if (flag_value(arg, "--artifacts-dir", &v)) {
+      opts.artifacts_dir = v;
+    } else if (arg == "-j" && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      opts.jobs = std::atoi(arg.c_str() + 2);
+    } else if (arg == "--progress") {
+      opts.progress = true;
+    } else if (arg == "all") {
+      for (const auto& fig : registry()) names.push_back(fig.name);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return usage(2);
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "run: no figure named; try `zipper_lab list`\n");
+    return 2;
+  }
+  if (opts.jobs < 1) opts.jobs = 1;
+  for (const auto& name : names) {
+    const FigureDef* fig = find_figure(name);
+    if (!fig) {
+      std::fprintf(stderr, "unknown figure '%s'; try `zipper_lab list`\n",
+                   name.c_str());
+      return 2;
+    }
+    const int rc = run_figure(*fig, opts);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  SweepGrid grid;
+  grid.base.steps = 8;
+  grid.base.producers = 136;  // 204 cores at the 2:1 split
+  grid.base.consumers = 68;
+  grid.base.method = transports::Method::kZipper;
+
+  int jobs = 1;
+  bool quiet = false;
+  bool with_model = false;
+  bool explicit_ranks = false;
+  std::string csv_path, json_path;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (flag_value(arg, "--method", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        if (tok == "sim-only" || tok == "none") {
+          grid.methods.push_back(std::nullopt);
+          continue;
+        }
+        const auto m = transports::parse_method(tok);
+        if (!m) {
+          std::fprintf(stderr, "unknown method '%s'\n", tok.c_str());
+          return 2;
+        }
+        grid.methods.push_back(*m);
+      }
+    } else if (flag_value(arg, "--workload", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const auto w = parse_workload(tok);
+        if (!w) {
+          std::fprintf(stderr, "unknown workload '%s'\n", tok.c_str());
+          return 2;
+        }
+        grid.workloads.push_back(*w);
+      }
+    } else if (flag_value(arg, "--cores", &v)) {
+      for (const auto& tok : split_csv(v)) grid.cores.push_back(std::atoi(tok.c_str()));
+    } else if (flag_value(arg, "--producers", &v)) {
+      grid.base.producers = std::atoi(v.c_str());
+      explicit_ranks = true;
+    } else if (flag_value(arg, "--consumers", &v)) {
+      grid.base.consumers = std::atoi(v.c_str());
+      explicit_ranks = true;
+    } else if (flag_value(arg, "--servers", &v)) {
+      grid.base.servers = std::atoi(v.c_str());
+    } else if (flag_value(arg, "--steps", &v)) {
+      for (const auto& tok : split_csv(v)) grid.steps.push_back(std::atoi(tok.c_str()));
+    } else if (flag_value(arg, "--block-kib", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        grid.block_kib.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+      }
+    } else if (flag_value(arg, "--steal", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        grid.steal_thresholds.push_back(std::atof(tok.c_str()));
+      }
+    } else if (flag_value(arg, "--preserve", &v)) {
+      for (const auto& tok : split_csv(v)) grid.preserve.push_back(std::atoi(tok.c_str()));
+    } else if (flag_value(arg, "--seeds", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        grid.seeds.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+      }
+    } else if (flag_value(arg, "--cluster", &v)) {
+      grid.base.cluster = v;
+    } else if (flag_value(arg, "--bg-intensity", &v)) {
+      grid.base.background_load_intensity = std::atof(v.c_str());
+    } else if (flag_value(arg, "--label", &v)) {
+      grid.label_prefix = v;
+    } else if (arg == "--model") {
+      with_model = true;
+    } else if (arg == "--trace") {
+      grid.base.record_traces = true;
+    } else if (flag_value(arg, "--csv", &v)) {
+      csv_path = v;
+    } else if (flag_value(arg, "--json", &v)) {
+      json_path = v;
+    } else if (arg == "-j" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      jobs = std::atoi(arg.c_str() + 2);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown sweep flag '%s'\n", arg.c_str());
+      return usage(2);
+    }
+  }
+  if (jobs < 1) jobs = 1;
+  if (explicit_ranks && !grid.cores.empty()) {
+    // The --cores axis would silently overwrite the explicit split.
+    std::fprintf(stderr,
+                 "sweep: --producers/--consumers conflict with --cores; "
+                 "use one or the other\n");
+    return 2;
+  }
+  grid.base.with_model = with_model;
+
+  auto specs = grid.expand();
+  std::printf("sweep: %zu scenarios, %d thread%s\n", specs.size(), jobs,
+              jobs == 1 ? "" : "s");
+
+  SweepOptions sweep_opts;
+  sweep_opts.jobs = jobs;
+  if (!quiet) {
+    sweep_opts.on_done = [](const ScenarioSpec& spec, const ScenarioResult& r,
+                            std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "[%zu/%zu] %-48s %s\n", done, total,
+                   spec.label.c_str(),
+                   r.crashed ? ("CRASH: " + r.note).c_str() : "");
+    };
+  }
+  const auto results = run_sweep(specs, sweep_opts);
+
+  // Compact result table: the metrics every scenario has.
+  std::printf("\n%-48s %12s %12s %10s", "label", "end2end(s)", "stall(s)",
+              "xmitwait");
+  if (with_model) std::printf(" %12s %9s", "model(s)", "err");
+  std::printf("\n");
+  for (const auto& r : results) {
+    if (r.crashed) {
+      std::printf("%-48s %12s   %s\n", r.label.c_str(), "CRASH", r.note.c_str());
+      continue;
+    }
+    std::printf("%-48s %12.2f %12.2f %10.2e", r.label.c_str(),
+                r.get("end_to_end_s"), r.get("stall_s"), r.get("xmit_wait"));
+    if (with_model && r.has("model_end_to_end_s")) {
+      std::printf(" %12.2f %8.1f%%", r.get("model_end_to_end_s"),
+                  r.get("model_rel_error") * 100.0);
+    }
+    std::printf("\n");
+  }
+
+  if (!csv_path.empty()) {
+    if (!write_file(csv_path, to_csv(results))) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    std::printf("\ncsv: %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    if (!write_file(json_path, to_json(results))) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("json: %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmd_list(argc, argv);
+  if (cmd == "run") return cmd_run(argc, argv);
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(0);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return usage(2);
+}
