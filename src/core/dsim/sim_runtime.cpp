@@ -35,13 +35,17 @@ std::string spill_name(const BlockId& id) { return "zspill_" + id.to_string(); }
 
 // ----------------------------------------------------------- producer side --
 
-/// Coroutine analog of core/rt's ProducerBuffer (same Algorithm-1 policy).
+/// Coroutine analog of core/rt's ProducerBuffer (same Algorithm-1 default
+/// policy, now consulted through the pluggable sched layer).
 struct SimZipper::Producer {
-  Producer(sim::Simulation& s, StealPolicy pol)
-      : policy(pol), q(pol.capacity), m(s), not_full(s), not_empty(s),
-        above_threshold(s), writer_done(s, pol.enabled ? 1 : 0) {}
+  Producer(sim::Simulation& s, const sched::SchedConfig& sc, StealPolicy base,
+           std::uint64_t block_bytes)
+      : spill(sc, base), sizer(sc, block_bytes), q(base.capacity), m(s),
+        not_full(s), not_empty(s), above_threshold(s),
+        writer_done(s, base.enabled ? 1 : 0) {}
 
-  StealPolicy policy;
+  sched::SpillPolicy spill;
+  sched::BlockSizer sizer;
   common::RingBuffer<BlockHeader> q;
   bool closed = false;
   sim::SimMutex m;  // protects q/closed across coroutine suspension points
@@ -77,18 +81,19 @@ SimZipper::SimZipper(sim::Simulation& sim, mpi::World& world,
                      int num_producers, int num_consumers, int first_consumer_rank)
     : sim_(&sim), world_(&world), fs_(&fs), rec_(&rec), profile_(profile),
       cfg_(cfg), P_(num_producers), Q_(num_consumers),
-      first_consumer_rank_(first_consumer_rank) {
+      first_consumer_rank_(first_consumer_rank), ctx_(num_producers, num_consumers),
+      route_(cfg.sched, num_producers, num_consumers) {
   blocks_per_step_ = static_cast<int>(
       (profile.bytes_per_rank_per_step + cfg.block_bytes - 1) / cfg.block_bytes);
-  const StealPolicy pol{static_cast<std::size_t>(cfg.producer_buffer_blocks),
-                        cfg.high_water, cfg.enable_steal};
+  const StealPolicy base{static_cast<std::size_t>(cfg.producer_buffer_blocks),
+                         cfg.high_water, cfg.enable_steal};
   for (int p = 0; p < P_; ++p) {
-    producers_.push_back(std::make_unique<Producer>(sim, pol));
+    producers_.push_back(
+        std::make_unique<Producer>(sim, cfg.sched, base, cfg.block_bytes));
   }
   for (int c = 0; c < Q_; ++c) {
     auto cons = std::make_unique<Consumer>(sim, cfg.consumer_buffer_blocks);
-    cons->expected_producers =
-        P_ >= Q_ ? producers_of_consumer(c, P_, Q_) : P_;
+    cons->expected_producers = route_.expected_producers(c);
     consumers_.push_back(std::move(cons));
   }
 }
@@ -102,32 +107,62 @@ void SimZipper::spawn_services() {
   }
 }
 
-sim::Task SimZipper::producer_put_block(int p, int step, int b) {
+sim::Task SimZipper::put_header(int p, BlockHeader h) {
   Producer& pm = *producers_[static_cast<std::size_t>(p)];
-  const std::uint64_t last_block_bytes =
-      profile_.bytes_per_rank_per_step -
-      static_cast<std::uint64_t>(blocks_per_step_ - 1) * cfg_.block_bytes;
-  BlockHeader h;
-  h.id = BlockId{step, p, b};
-  h.offset = static_cast<std::uint64_t>(b) * cfg_.block_bytes;
-  h.bytes = (b == blocks_per_step_ - 1) ? last_block_bytes : cfg_.block_bytes;
   co_await pm.m.lock();
-  if (pm.q.size() >= pm.policy.capacity) {
+  if (pm.q.size() >= pm.spill.capacity()) {
     const Time t0 = sim_->now();
-    while (pm.q.size() >= pm.policy.capacity) co_await pm.not_full.wait(pm.m);
+    while (pm.q.size() >= pm.spill.capacity()) co_await pm.not_full.wait(pm.m);
     stats_.producer_stall += sim_->now() - t0;
+    ctx_.add_stall(p, static_cast<std::uint64_t>(sim_->now() - t0));
     rec_->record(p, trace::Cat::kStall, t0, sim_->now());
   }
   pm.q.push_back(h);
   ++stats_.blocks_total;
   pm.not_empty.notify_one();
-  if (pm.policy.should_steal(pm.q.size())) pm.above_threshold.notify_one();
+  if (pm.spill.wake_writer(pm.q.size())) pm.above_threshold.notify_one();
   pm.m.unlock();
 }
 
+sim::Task SimZipper::producer_put_block(int p, int step, int b, int num_blocks) {
+  assert(num_blocks > 0 && b < num_blocks);
+  BlockHeader h;
+  h.id = BlockId{step, p, b};
+  if (num_blocks == blocks_per_step_) {
+    // The runtime's own split: config-sized blocks, remainder in the last.
+    h.offset = static_cast<std::uint64_t>(b) * cfg_.block_bytes;
+    h.bytes = (b == num_blocks - 1)
+                  ? profile_.bytes_per_rank_per_step -
+                        static_cast<std::uint64_t>(num_blocks - 1) * cfg_.block_bytes
+                  : cfg_.block_bytes;
+  } else {
+    // Caller-chosen granularity: proportional split total*k/n boundaries,
+    // which balances to within one byte and cannot underflow the remainder
+    // however num_blocks relates to the step's bytes.
+    const std::uint64_t total = profile_.bytes_per_rank_per_step;
+    const std::uint64_t nb = static_cast<std::uint64_t>(num_blocks);
+    const std::uint64_t i = static_cast<std::uint64_t>(b);
+    h.offset = total * i / nb;
+    h.bytes = total * (i + 1) / nb - h.offset;
+  }
+  return put_header(p, h);
+}
+
 sim::Task SimZipper::producer_put(int p, int step) {
-  for (int b = 0; b < blocks_per_step_; ++b) {
-    co_await producer_put_block(p, step, b);
+  Producer& pm = *producers_[static_cast<std::size_t>(p)];
+  // One BlockSizer consultation per step: the whole-step put is the path
+  // where the runtime itself chooses the split granularity.
+  const std::uint64_t bsz = pm.sizer.next_block_bytes(ctx_.stall_ns(p));
+  const int nb = static_cast<int>(
+      (profile_.bytes_per_rank_per_step + bsz - 1) / bsz);
+  for (int b = 0; b < nb; ++b) {
+    BlockHeader h;
+    h.id = BlockId{step, p, b};
+    h.offset = static_cast<std::uint64_t>(b) * bsz;
+    h.bytes = (b == nb - 1) ? profile_.bytes_per_rank_per_step -
+                                  static_cast<std::uint64_t>(nb - 1) * bsz
+                            : bsz;
+    co_await put_header(p, h);
   }
 }
 
@@ -156,7 +191,8 @@ sim::Task SimZipper::sender_main(int p) {
     pm.not_full.notify_one();
     pm.m.unlock();
 
-    const int c = consumer_of(h.id, P_, Q_);
+    const int c = route_.consumer_for(h.id, ctx_);
+    ctx_.on_routed(c);
     MixedMsg msg;
     msg.has_block = true;
     msg.block = h;
@@ -189,13 +225,7 @@ sim::Task SimZipper::sender_main(int p) {
   // Wait for the writer to finish its in-flight spill before flushing the
   // final spilled-ID lists.
   co_await pm.writer_done.wait();
-  std::vector<int> fed;
-  if (P_ >= Q_) {
-    fed.push_back(consumer_of(BlockId{0, p, 0}, P_, Q_));
-  } else {
-    for (int c = 0; c < Q_; ++c) fed.push_back(c);
-  }
-  for (int c : fed) {
+  for (int c : route_.consumers_fed_by(p)) {
     MixedMsg msg;
     msg.done = true;
     msg.producer = p;
@@ -209,7 +239,7 @@ sim::Task SimZipper::writer_main(int p) {
   Producer& pm = *producers_[static_cast<std::size_t>(p)];
   while (true) {
     co_await pm.m.lock();
-    while (!pm.closed && !pm.policy.should_steal(pm.q.size())) {
+    while (!pm.closed && !pm.spill.should_spill(pm.q.size(), ctx_.stall_ns(p))) {
       co_await pm.above_threshold.wait(pm.m);
     }
     if (pm.closed) {
@@ -233,7 +263,9 @@ sim::Task SimZipper::writer_main(int p) {
     }
     ++stats_.blocks_stolen;
     h.on_disk = true;
-    pm.spilled[consumer_of(h.id, P_, Q_)].push_back(h);
+    const int c = route_.consumer_for(h.id, ctx_);
+    ctx_.on_routed(c);
+    pm.spilled[c].push_back(h);
   }
   pm.writer_done.count_down();
 }
@@ -295,6 +327,30 @@ sim::Task SimZipper::output_main(int c) {
   cm.output_done.count_down();
 }
 
+std::optional<std::pair<BlockHeader, int>> SimZipper::try_steal(int thief) {
+  int victim = -1;
+  std::size_t deepest = 0;
+  for (int v = 0; v < Q_; ++v) {
+    if (v == thief) continue;
+    const std::size_t n = consumers_[static_cast<std::size_t>(v)]->buffer.size();
+    if (n >= cfg_.sched.steal_min_queue && n > deepest) {
+      deepest = n;
+      victim = v;
+    }
+  }
+  if (victim < 0) return std::nullopt;
+  auto h = consumers_[static_cast<std::size_t>(victim)]->buffer.try_recv();
+  if (!h) return std::nullopt;
+  return std::make_pair(*h, victim);
+}
+
+bool SimZipper::all_consumer_buffers_drained() const {
+  for (const auto& cm : consumers_) {
+    if (!cm->buffer.closed() || !cm->buffer.empty()) return false;
+  }
+  return true;
+}
+
 sim::Task SimZipper::consumer_run(int c) {
   Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
   const int rank = consumer_rank(c);
@@ -306,9 +362,37 @@ sim::Task SimZipper::consumer_run(int c) {
     cm.output_done.count_down();
   }
 
+  // Nap length between steal probes while idle: short against any realistic
+  // per-block analysis time, so a freshly overloaded peer is noticed fast.
+  constexpr Time kStealPoll = 200 * sim::kMicrosecond;
+  const bool stealing = cfg_.sched.consumer_steal && Q_ > 1;
+
   while (true) {
-    auto h = co_await cm.buffer.recv();
-    if (!h) break;
+    std::optional<BlockHeader> h;
+    int routed_to = c;  // consumer whose outstanding count this block holds
+    if (!stealing) {
+      h = co_await cm.buffer.recv();
+      if (!h) break;
+    } else if (auto own = cm.buffer.try_recv()) {
+      h = *own;
+    } else if (auto stolen = try_steal(c)) {
+      // An idle consumer pulls a whole ready block from the deepest peer.
+      // Blocks are self-describing (§4.2), so delivery re-sequences cleanly:
+      // the thief analyzes and (in Preserve mode) persists it as its own.
+      h = stolen->first;
+      routed_to = stolen->second;
+      ++stats_.blocks_consumer_stolen;
+    } else if (cm.buffer.closed()) {
+      // Own stream drained: stay on as a thief until every peer drained too.
+      if (all_consumer_buffers_drained()) break;
+      co_await sim_->delay(kStealPoll);
+      continue;
+    } else {
+      co_await sim_->delay(kStealPoll);
+      continue;
+    }
+    ctx_.on_analyzed(routed_to);
+    if (cfg_.on_analyzed) cfg_.on_analyzed(c, *h);
     if (cfg_.preserve && !h->on_disk) co_await cm.output_q.send(*h);
     trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kAnalysis);
     const Time t0 = sim_->now();

@@ -11,13 +11,17 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "apps/profiles.hpp"
 #include "common/units.hpp"
 #include "core/block.hpp"
 #include "core/policy.hpp"
+#include "core/sched/sched.hpp"
 #include "mpi/mpi.hpp"
 #include "pfs/pfs.hpp"
 #include "trace/recorder.hpp"
@@ -47,6 +51,17 @@ struct SimZipperConfig {
   int sender_window = 4;
 
   int consumer_buffer_blocks = 256;
+
+  /// Scheduling-policy selection (routing, spill rule, block sizing,
+  /// consumer-side stealing). Defaults reproduce the paper's schedule
+  /// decision-for-decision; `high_water` / `enable_steal` above remain the
+  /// spill threshold and on/off switch whichever SpillPolicy runs.
+  sched::SchedConfig sched;
+
+  /// Test/diagnostic hook: called (synchronously, in deterministic DES
+  /// order) right before consumer `c` analyzes a block — including blocks
+  /// it stole from a peer. Null by default.
+  std::function<void(int c, const BlockHeader&)> on_analyzed;
 };
 
 struct SimZipperStats {
@@ -56,7 +71,8 @@ struct SimZipperStats {
   sim::Time analysis_busy = 0;
   sim::Time store_busy = 0;       // Preserve-mode output writes
   std::uint64_t blocks_total = 0;
-  std::uint64_t blocks_stolen = 0;
+  std::uint64_t blocks_stolen = 0;           // spilled to the PFS (writer path)
+  std::uint64_t blocks_consumer_stolen = 0;  // pulled by an idle peer consumer
   std::uint64_t blocks_analyzed = 0;
   std::uint64_t bytes_via_network = 0;
   std::uint64_t bytes_via_pfs = 0;
@@ -84,7 +100,11 @@ class SimZipper {
 
   /// Fine-grain variant: pushes a single block of the step (used by
   /// block-granular workloads where production interleaves with compute).
-  sim::Task producer_put_block(int p, int step, int block);
+  /// `num_blocks` is the caller's split of the step: with the default
+  /// (blocks_per_step()) the step splits into config-sized blocks with the
+  /// remainder in the last one; any other count splits the step's bytes
+  /// evenly across `num_blocks` blocks.
+  sim::Task producer_put_block(int p, int step, int block, int num_blocks);
 
   /// Ends producer p's stream: the sender drains, waits for the writer, and
   /// flushes the end-of-stream control message(s).
@@ -108,6 +128,15 @@ class SimZipper {
   sim::Task reader_main(int c);
   sim::Task output_main(int c);
 
+  /// Pushes one prepared header into producer p's buffer (the tail of the
+  /// old producer_put_block: stall accounting, push, writer wake).
+  sim::Task put_header(int p, BlockHeader h);
+  /// Consumer-steal victim selection + splice: a whole ready block from the
+  /// deepest peer buffer at/above steal_min_queue, with the victim's index
+  /// (for outstanding-count accounting). nullopt when no peer qualifies.
+  std::optional<std::pair<BlockHeader, int>> try_steal(int thief);
+  bool all_consumer_buffers_drained() const;
+
   int consumer_rank(int c) const noexcept { return first_consumer_rank_ + c; }
   static sim::Time cost(std::uint64_t bytes, double rate) {
     return static_cast<sim::Time>(static_cast<double>(bytes) / rate * 1e9);
@@ -121,6 +150,8 @@ class SimZipper {
   SimZipperConfig cfg_;
   int P_, Q_, first_consumer_rank_;
   int blocks_per_step_;
+  sched::SchedContext ctx_;
+  sched::RoutePolicy route_;
   std::vector<std::unique_ptr<Producer>> producers_;
   std::vector<std::unique_ptr<Consumer>> consumers_;
   SimZipperStats stats_;

@@ -4,6 +4,7 @@
 // steady-state push/pop never touches the allocator.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -39,6 +40,20 @@ class RtChannel {
   std::optional<T> pop() {
     std::unique_lock lk(m_);
     not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return std::nullopt;
+    T v = q_.take_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Pop with a bounded wait: blocks at most `d`, then gives up. Returns
+  /// std::nullopt on timeout *or* closed-and-drained — callers that need to
+  /// distinguish re-check closed()/size(). Lets a consumer wait on its own
+  /// buffer while periodically re-scanning peers for stealable work.
+  template <typename Rep, typename Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> d) {
+    std::unique_lock lk(m_);
+    not_empty_.wait_for(lk, d, [&] { return closed_ || !q_.empty(); });
     if (q_.empty()) return std::nullopt;
     T v = q_.take_front();
     not_full_.notify_one();

@@ -5,9 +5,9 @@
 //     the buffer is full — that stall is the quantity the concurrent
 //     dual-channel optimization exists to shrink, so we measure it;
 //   * the sender thread pops blocks FIFO for the network path;
-//   * the writer thread *steals* the front block, but only while the buffer
-//     holds more than the high-water-mark threshold (Algorithm 1 waits on a
-//     condition variable otherwise).
+//   * the writer thread *steals* the front block, but only when the
+//     configured SpillPolicy says so (Algorithm 1's high-water rule by
+//     default; it waits on a condition variable otherwise).
 #pragma once
 
 #include <chrono>
@@ -20,13 +20,14 @@
 #include "common/ring_buffer.hpp"
 #include "core/block.hpp"
 #include "core/policy.hpp"
+#include "core/sched/sched.hpp"
 
 namespace zipper::core::rt {
 
 class ProducerBuffer {
  public:
-  explicit ProducerBuffer(StealPolicy policy)
-      : q_(policy.capacity), policy_(policy) {}
+  explicit ProducerBuffer(sched::SpillPolicy policy)
+      : q_(policy.capacity()), policy_(std::move(policy)) {}
   ProducerBuffer(const ProducerBuffer&) = delete;
   ProducerBuffer& operator=(const ProducerBuffer&) = delete;
 
@@ -34,9 +35,9 @@ class ProducerBuffer {
   /// accumulates the blocked time in stall_ns().
   void push(std::shared_ptr<Block> b) {
     std::unique_lock lk(m_);
-    if (q_.size() >= policy_.capacity) {
+    if (q_.size() >= policy_.capacity()) {
       const auto t0 = std::chrono::steady_clock::now();
-      not_full_.wait(lk, [&] { return q_.size() < policy_.capacity; });
+      not_full_.wait(lk, [&] { return q_.size() < policy_.capacity(); });
       stall_ns_ += static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0)
@@ -45,7 +46,7 @@ class ProducerBuffer {
     q_.push_back(std::move(b));
     ++pushed_;
     not_empty_.notify_one();
-    if (policy_.should_steal(q_.size())) above_threshold_.notify_one();
+    if (policy_.wake_writer(q_.size())) above_threshold_.notify_one();
   }
 
   /// Sender thread: FIFO pop; std::nullopt once closed and drained.
@@ -56,13 +57,18 @@ class ProducerBuffer {
     return take_front();
   }
 
-  /// Writer thread (Algorithm 1's StealBlock): waits until the buffer rises
-  /// above the threshold, then steals the first block. Returns std::nullopt
-  /// once the buffer is closed (remaining blocks drain via the sender).
+  /// Writer thread (Algorithm 1's StealBlock): waits until the SpillPolicy
+  /// fires, then steals the first block. Returns std::nullopt once the
+  /// buffer is closed (remaining blocks drain via the sender).
   std::optional<std::shared_ptr<Block>> steal() {
     std::unique_lock lk(m_);
-    above_threshold_.wait(lk, [&] { return closed_ || policy_.should_steal(q_.size()); });
-    if (closed_ || !policy_.should_steal(q_.size())) return std::nullopt;
+    bool spill = false;
+    above_threshold_.wait(lk, [&] {
+      if (closed_) return true;
+      spill = policy_.should_spill(q_.size(), stall_ns_);
+      return spill;
+    });
+    if (closed_ || !spill) return std::nullopt;
     ++stolen_;
     return take_front();
   }
@@ -80,7 +86,7 @@ class ProducerBuffer {
     std::lock_guard lk(m_);
     return q_.size();
   }
-  const StealPolicy& policy() const noexcept { return policy_; }
+  const sched::SpillPolicy& policy() const noexcept { return policy_; }
   std::uint64_t stall_ns() const {
     std::lock_guard lk(m_);
     return stall_ns_;
@@ -106,7 +112,7 @@ class ProducerBuffer {
   std::condition_variable not_empty_;
   std::condition_variable above_threshold_;
   common::RingBuffer<std::shared_ptr<Block>> q_;
-  StealPolicy policy_;
+  sched::SpillPolicy policy_;
   bool closed_ = false;
   std::uint64_t stall_ns_ = 0;
   std::uint64_t pushed_ = 0;

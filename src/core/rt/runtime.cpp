@@ -78,11 +78,12 @@ struct NetMessage {
 namespace detail {
 
 struct ConsumerImpl {
-  ConsumerImpl(const Config& cfg, int expected_producers)
+  ConsumerImpl(const Config& cfg, int consumer_index, int expected_producers)
       : net(cfg.net_channel_blocks),
         buffer(cfg.consumer_buffer_blocks),
         reader_q(0),
         output_q(0),
+        index(consumer_index),
         expected(expected_producers) {}
 
   RtChannel<NetMessage> net;
@@ -90,16 +91,22 @@ struct ConsumerImpl {
   RtChannel<BlockHeader> reader_q;
   RtChannel<std::shared_ptr<Block>> output_q;
   std::thread receiver, reader, output;
+  int index;
   int expected;
   std::atomic<std::uint64_t> from_net{0}, from_disk{0}, read_count{0}, preserved{0};
+  std::atomic<std::uint64_t> stolen_from_peers{0};
 };
 
 struct ProducerImpl {
   ProducerImpl(const Config& cfg, int producer_index)
-      : buf(StealPolicy{cfg.producer_buffer_blocks, cfg.high_water, cfg.enable_steal}),
+      : buf(sched::SpillPolicy{
+            cfg.sched, StealPolicy{cfg.producer_buffer_blocks, cfg.high_water,
+                                   cfg.enable_steal}}),
+        sizer(cfg.sched, cfg.block_bytes),
         index(producer_index) {}
 
   ProducerBuffer buf;
+  sched::BlockSizer sizer;  // app thread only: suggested_block_bytes()
   int index;
   std::thread sender, writer;
   std::atomic<std::uint64_t> sent{0};
@@ -125,17 +132,26 @@ struct RuntimeShared {
   Config cfg;
   int P, Q;
   TokenBucket net_bw;
+  sched::SchedContext ctx;
+  sched::RoutePolicy route;
   std::vector<std::unique_ptr<ProducerImpl>> producers;
   std::vector<std::unique_ptr<ConsumerImpl>> consumers;
 
   RuntimeShared(const Config& c, int p, int q)
-      : cfg(c), P(p), Q(q), net_bw(c.network_bandwidth) {}
+      : cfg(c), P(p), Q(q), net_bw(c.network_bandwidth), ctx(p, q),
+        route(c.sched, p, q) {}
 
   std::vector<int> consumers_fed_by(int producer) const {
-    if (P >= Q) return {consumer_of(BlockId{0, producer, 0}, P, Q)};
-    std::vector<int> all(static_cast<std::size_t>(Q));
-    for (int c = 0; c < Q; ++c) all[static_cast<std::size_t>(c)] = c;
-    return all;
+    return route.consumers_fed_by(producer);
+  }
+
+  /// Every consumer's buffer closed and drained — the end-of-run condition a
+  /// stealing consumer waits for before reporting end-of-stream.
+  bool all_buffers_drained() const {
+    for (const auto& cm : consumers) {
+      if (!cm->buffer.closed() || cm->buffer.size() > 0) return false;
+    }
+    return true;
   }
 };
 
@@ -152,7 +168,8 @@ namespace {
 void sender_main(RuntimeShared& sh, ProducerImpl& pm) {
   while (auto popped = pm.buf.pop()) {
     std::shared_ptr<Block> block = std::move(*popped);
-    const int c = consumer_of(block->header.id, sh.P, sh.Q);
+    const int c = sh.route.consumer_for(block->header.id, sh.ctx);
+    sh.ctx.on_routed(c);
     NetMessage msg;
     msg.producer = pm.index;
     msg.ids_on_disk = pm.take_spilled(c);
@@ -169,7 +186,9 @@ void writer_main(RuntimeShared& sh, ProducerImpl& pm) {
     write_file(spill_path(sh.cfg.spill_dir, block->header.id), block->payload);
     BlockHeader h = block->header;
     h.on_disk = true;
-    pm.add_spilled(consumer_of(h.id, sh.P, sh.Q), h);
+    const int c = sh.route.consumer_for(h.id, sh.ctx);
+    sh.ctx.on_routed(c);
+    pm.add_spilled(c, h);
   }
 }
 
@@ -249,6 +268,10 @@ void ProducerEndpoint::finish() {
   }
 }
 
+std::uint64_t ProducerEndpoint::suggested_block_bytes() {
+  return impl_->sizer.next_block_bytes(impl_->buf.stall_ns());
+}
+
 ProducerStats ProducerEndpoint::stats() const {
   ProducerStats s;
   s.blocks_written = impl_->buf.pushed();
@@ -259,10 +282,59 @@ ProducerStats ProducerEndpoint::stats() const {
 }
 
 std::shared_ptr<const Block> ConsumerEndpoint::read() {
-  auto popped = impl_->buffer.pop();
-  if (!popped) return nullptr;
-  impl_->read_count.fetch_add(1, std::memory_order_relaxed);
-  return std::move(*popped);
+  ConsumerImpl& cm = *impl_;
+  RuntimeShared& sh = *shared_;
+  if (!sh.cfg.sched.consumer_steal || sh.Q <= 1) {
+    auto popped = cm.buffer.pop();
+    if (!popped) return nullptr;
+    cm.read_count.fetch_add(1, std::memory_order_relaxed);
+    sh.ctx.on_analyzed(cm.index);
+    return std::move(*popped);
+  }
+  // Consumer-side work stealing: prefer own blocks, then splice a whole
+  // ready block off the deepest-queued peer. Blocks are self-describing, so
+  // re-sequencing at delivery is just handing the thief the header+payload;
+  // Preserve-mode persistence already happened on the victim's receiver/
+  // reader threads before the block entered its buffer.
+  for (;;) {
+    if (auto own = cm.buffer.try_pop()) {
+      cm.read_count.fetch_add(1, std::memory_order_relaxed);
+      sh.ctx.on_analyzed(cm.index);
+      return std::move(*own);
+    }
+    int victim = -1;
+    std::size_t deepest = 0;
+    for (const auto& peer : sh.consumers) {
+      if (peer->index == cm.index) continue;
+      const std::size_t n = peer->buffer.size();
+      if (n >= sh.cfg.sched.steal_min_queue && n > deepest) {
+        deepest = n;
+        victim = peer->index;
+      }
+    }
+    if (victim >= 0) {
+      auto& vm = *sh.consumers[static_cast<std::size_t>(victim)];
+      if (auto stolen = vm.buffer.try_pop()) {
+        cm.read_count.fetch_add(1, std::memory_order_relaxed);
+        cm.stolen_from_peers.fetch_add(1, std::memory_order_relaxed);
+        sh.ctx.on_analyzed(victim);
+        return std::move(*stolen);
+      }
+    }
+    if (cm.buffer.closed()) {
+      if (cm.buffer.size() == 0 && sh.all_buffers_drained()) {
+        return nullptr;  // the whole run drained, not just this stream
+      }
+      // Own stream ended but a peer still holds blocks below the steal
+      // threshold: nap instead of spinning (pop_for returns immediately on
+      // a closed channel, so it cannot provide the wait here).
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    } else if (auto v = cm.buffer.pop_for(std::chrono::microseconds(500))) {
+      cm.read_count.fetch_add(1, std::memory_order_relaxed);
+      sh.ctx.on_analyzed(cm.index);
+      return std::move(*v);
+    }
+  }
 }
 
 ConsumerStats ConsumerEndpoint::stats() const {
@@ -271,6 +343,8 @@ ConsumerStats ConsumerEndpoint::stats() const {
   s.blocks_from_disk = impl_->from_disk.load(std::memory_order_relaxed);
   s.blocks_read = impl_->read_count.load(std::memory_order_relaxed);
   s.blocks_preserved = impl_->preserved.load(std::memory_order_relaxed);
+  s.blocks_stolen_from_peers =
+      impl_->stolen_from_peers.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -294,10 +368,8 @@ Runtime::Runtime(int num_producers, int num_consumers, Config config)
 
   consumers_.resize(static_cast<std::size_t>(num_consumers));
   for (int c = 0; c < num_consumers; ++c) {
-    const int expected = (num_producers >= num_consumers)
-                             ? producers_of_consumer(c, num_producers, num_consumers)
-                             : num_producers;
-    auto impl = std::make_unique<ConsumerImpl>(config_, expected);
+    auto impl = std::make_unique<ConsumerImpl>(config_, c,
+                                               shared_->route.expected_producers(c));
     auto& cm = *impl;
     cm.receiver = std::thread(receiver_main, std::ref(*shared_), std::ref(cm));
     cm.reader = std::thread(reader_main, std::ref(*shared_), std::ref(cm));
@@ -305,6 +377,7 @@ Runtime::Runtime(int num_producers, int num_consumers, Config config)
       cm.output = std::thread(output_main, std::ref(*shared_), std::ref(cm));
     }
     consumers_[static_cast<std::size_t>(c)].impl_ = impl.get();
+    consumers_[static_cast<std::size_t>(c)].shared_ = shared_.get();
     shared_->consumers.push_back(std::move(impl));
   }
 

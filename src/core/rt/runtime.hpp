@@ -39,6 +39,7 @@
 #include "core/policy.hpp"
 #include "core/rt/channel.hpp"
 #include "core/rt/producer_buffer.hpp"
+#include "core/sched/sched.hpp"
 
 namespace zipper::core::rt {
 
@@ -56,6 +57,13 @@ struct Config {
   double network_bandwidth = 0.0;
   std::size_t net_channel_blocks = 64;       // per-consumer in-flight bound
   std::size_t consumer_buffer_blocks = 256;  // per-consumer buffered blocks
+
+  /// Scheduling-policy selection (routing, spill rule, consumer stealing).
+  /// Defaults reproduce the original hard-coded schedule exactly.
+  sched::SchedConfig sched;
+  /// Advisory base block size for suggested_block_bytes() (the application
+  /// chooses its own write() sizes; the BlockSizer adapts around this).
+  std::uint64_t block_bytes = 1 << 20;
 };
 
 struct ProducerStats {
@@ -70,6 +78,7 @@ struct ConsumerStats {
   std::uint64_t blocks_from_disk = 0;
   std::uint64_t blocks_read = 0;      // handed to the application
   std::uint64_t blocks_preserved = 0; // persisted by the output thread / reader
+  std::uint64_t blocks_stolen_from_peers = 0;  // consumer-side work stealing
 };
 
 class Runtime;
@@ -92,6 +101,11 @@ class ProducerEndpoint {
   /// writer threads, then flushes the end-of-stream control message.
   void finish();
 
+  /// The BlockSizer's advice for the next write() granularity, fed this
+  /// producer's observed stall: the configured base size under kFixed,
+  /// stall-adaptive under kAdaptive. Call once per step.
+  std::uint64_t suggested_block_bytes();
+
   ProducerStats stats() const;
 
  private:
@@ -106,8 +120,10 @@ class ConsumerEndpoint {
   ConsumerEndpoint() = default;
 
   /// Zipper.read(): the next available block (dataflow-driven, any order),
-  /// or nullptr once every upstream producer finished and all blocks were
-  /// delivered. Blocks while nothing is available yet.
+  /// or nullptr once the stream ended. Blocks while nothing is available
+  /// yet. With sched.consumer_steal enabled, an idle consumer pulls whole
+  /// ready blocks from the deepest-queued peer, and its stream ends only
+  /// once *every* consumer's buffer has drained.
   std::shared_ptr<const Block> read();
 
   ConsumerStats stats() const;
@@ -115,6 +131,7 @@ class ConsumerEndpoint {
  private:
   friend class Runtime;
   detail::ConsumerImpl* impl_ = nullptr;
+  detail::RuntimeShared* shared_ = nullptr;
 };
 
 class Runtime {

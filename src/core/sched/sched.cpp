@@ -1,0 +1,224 @@
+#include "core/sched/sched.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zipper::core::sched {
+
+std::string route_token(RouteKind k) {
+  switch (k) {
+    case RouteKind::kStatic: return "static";
+    case RouteKind::kRoundRobin: return "rr";
+    case RouteKind::kLeastQueued: return "lq";
+  }
+  return "?";
+}
+
+std::string spill_token(SpillKind k) {
+  switch (k) {
+    case SpillKind::kHighWater: return "hw";
+    case SpillKind::kHysteresis: return "hyst";
+    case SpillKind::kAdaptive: return "adapt";
+  }
+  return "?";
+}
+
+std::string block_size_token(BlockSizeKind k) {
+  switch (k) {
+    case BlockSizeKind::kFixed: return "fixed";
+    case BlockSizeKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::optional<RouteKind> parse_route(const std::string& token) {
+  if (token == "static") return RouteKind::kStatic;
+  if (token == "rr" || token == "round-robin") return RouteKind::kRoundRobin;
+  if (token == "lq" || token == "least-queued") return RouteKind::kLeastQueued;
+  return std::nullopt;
+}
+
+std::optional<SpillKind> parse_spill(const std::string& token) {
+  if (token == "hw" || token == "high-water") return SpillKind::kHighWater;
+  if (token == "hyst" || token == "hysteresis") return SpillKind::kHysteresis;
+  if (token == "adapt" || token == "adaptive") return SpillKind::kAdaptive;
+  return std::nullopt;
+}
+
+std::optional<BlockSizeKind> parse_block_size(const std::string& token) {
+  if (token == "fixed") return BlockSizeKind::kFixed;
+  if (token == "adaptive" || token == "adapt") return BlockSizeKind::kAdaptive;
+  return std::nullopt;
+}
+
+// -------------------------------------------------------------- context ----
+
+SchedContext::SchedContext(int num_producers, int num_consumers)
+    : P_(num_producers), Q_(num_consumers),
+      queued_(static_cast<std::size_t>(num_consumers)),
+      stall_(static_cast<std::size_t>(num_producers)) {
+  for (auto& q : queued_) q.store(0, std::memory_order_relaxed);
+  for (auto& s : stall_) s.store(0, std::memory_order_relaxed);
+}
+
+void SchedContext::on_routed(int c) noexcept {
+  queued_[static_cast<std::size_t>(c)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void SchedContext::on_analyzed(int c) noexcept {
+  queued_[static_cast<std::size_t>(c)].fetch_sub(1, std::memory_order_relaxed);
+}
+
+long long SchedContext::queued(int c) const noexcept {
+  return queued_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+}
+
+int SchedContext::least_queued() const noexcept {
+  int best = 0;
+  long long best_q = queued(0);
+  for (int c = 1; c < Q_; ++c) {
+    const long long q = queued(c);
+    if (q < best_q) {
+      best_q = q;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void SchedContext::add_stall(int p, std::uint64_t ns) noexcept {
+  stall_[static_cast<std::size_t>(p)].fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t SchedContext::stall_ns(int p) const noexcept {
+  return stall_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- routing ----
+
+RoutePolicy::RoutePolicy(const SchedConfig& cfg, int num_producers,
+                         int num_consumers)
+    : kind_(cfg.route), P_(num_producers), Q_(num_consumers) {
+  assert(P_ > 0 && Q_ > 0);
+}
+
+int RoutePolicy::consumer_for(const BlockId& id, const SchedContext& ctx) const {
+  switch (kind_) {
+    case RouteKind::kStatic:
+      return consumer_of(id, P_, Q_);
+    case RouteKind::kRoundRobin:
+      return static_cast<int>((static_cast<long long>(id.producer) +
+                               static_cast<long long>(id.index) +
+                               static_cast<long long>(id.step)) %
+                              Q_);
+    case RouteKind::kLeastQueued:
+      return ctx.least_queued();
+  }
+  return 0;
+}
+
+bool RoutePolicy::pinned() const noexcept {
+  return kind_ == RouteKind::kStatic && P_ >= Q_;
+}
+
+std::vector<int> RoutePolicy::consumers_fed_by(int p) const {
+  if (pinned()) return {consumer_of(BlockId{0, p, 0}, P_, Q_)};
+  std::vector<int> all(static_cast<std::size_t>(Q_));
+  for (int c = 0; c < Q_; ++c) all[static_cast<std::size_t>(c)] = c;
+  return all;
+}
+
+int RoutePolicy::expected_producers(int c) const {
+  return pinned() ? producers_of_consumer(c, P_, Q_) : P_;
+}
+
+// ------------------------------------------------------------- spilling ----
+
+SpillPolicy::SpillPolicy(const SchedConfig& cfg, StealPolicy base)
+    : kind_(cfg.spill), base_(base),
+      recovery_checks_(std::max(1, cfg.spill_recovery_checks)),
+      adaptive_threshold_(base.threshold()) {
+  const auto frac = [&](double f) {
+    const double clamped = std::clamp(f, 0.0, 1.0);
+    return static_cast<std::size_t>(static_cast<double>(base_.capacity) * clamped);
+  };
+  lo_threshold_ = std::min(frac(cfg.low_water), base_.threshold());
+  min_threshold_ = std::max<std::size_t>(1, base_.capacity / 8);
+  min_threshold_ = std::min(min_threshold_, base_.threshold());
+  if (min_threshold_ == 0) min_threshold_ = base_.threshold();
+}
+
+bool SpillPolicy::should_spill(std::size_t buffer_size,
+                               std::uint64_t producer_stall_ns) {
+  if (!base_.enabled) return false;
+  switch (kind_) {
+    case SpillKind::kHighWater:
+      return base_.should_steal(buffer_size);
+    case SpillKind::kHysteresis:
+      if (draining_) {
+        if (buffer_size <= lo_threshold_) {
+          draining_ = false;
+          return false;
+        }
+        return true;
+      }
+      if (buffer_size > base_.threshold()) {
+        draining_ = true;
+        return true;
+      }
+      return false;
+    case SpillKind::kAdaptive:
+      if (producer_stall_ns > stall_seen_) {
+        // Fresh stall since the last check: the network channel alone is not
+        // keeping up — lower the bar so the file channel engages earlier.
+        stall_seen_ = producer_stall_ns;
+        calm_checks_ = 0;
+        if (adaptive_threshold_ > min_threshold_) --adaptive_threshold_;
+      } else if (++calm_checks_ >= recovery_checks_) {
+        calm_checks_ = 0;
+        if (adaptive_threshold_ < base_.threshold()) ++adaptive_threshold_;
+      }
+      return buffer_size > adaptive_threshold_;
+  }
+  return false;
+}
+
+bool SpillPolicy::wake_writer(std::size_t buffer_size) const {
+  if (!base_.enabled) return false;
+  switch (kind_) {
+    case SpillKind::kHighWater:
+      return base_.should_steal(buffer_size);
+    case SpillKind::kHysteresis:
+      return buffer_size > lo_threshold_;
+    case SpillKind::kAdaptive:
+      return buffer_size > min_threshold_;
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- block size ----
+
+BlockSizer::BlockSizer(const SchedConfig& cfg, std::uint64_t base_block_bytes)
+    : kind_(cfg.block_size), base_(base_block_bytes),
+      max_(base_block_bytes *
+           static_cast<std::uint64_t>(std::max(1, cfg.block_size_max_multiple))),
+      current_(base_block_bytes) {}
+
+std::uint64_t BlockSizer::next_block_bytes(std::uint64_t producer_stall_ns) {
+  if (kind_ == BlockSizeKind::kFixed) return base_;
+  if (producer_stall_ns > stall_seen_) {
+    // Fresh stall since the last step: every bound between producer and
+    // consumer (buffer capacities, sender credits) is counted in blocks, so
+    // coarsening the split buys buffered bytes and fewer protocol
+    // round-trips exactly when the pipeline is backed up.
+    stall_seen_ = producer_stall_ns;
+    calm_steps_ = 0;
+    current_ = std::min(max_, current_ * 2);
+  } else if (++calm_steps_ >= 2) {
+    calm_steps_ = 0;
+    current_ = std::max(base_, current_ / 2);
+  }
+  return current_;
+}
+
+}  // namespace zipper::core::sched

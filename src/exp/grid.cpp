@@ -32,6 +32,10 @@ std::size_t SweepGrid::size() const {
   n *= std::max<std::size_t>(1, block_kib.size());
   n *= std::max<std::size_t>(1, steal_thresholds.size());
   n *= std::max<std::size_t>(1, preserve.size());
+  n *= std::max<std::size_t>(1, routes.size());
+  n *= std::max<std::size_t>(1, spills.size());
+  n *= std::max<std::size_t>(1, consumer_steal.size());
+  n *= std::max<std::size_t>(1, adaptive_block.size());
   n *= std::max<std::size_t>(1, seeds.size());
   return n;
 }
@@ -48,6 +52,10 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   const Axis<std::uint64_t> a_block{block_kib};
   const Axis<double> a_steal{steal_thresholds};
   const Axis<int> a_preserve{preserve};
+  const Axis<core::sched::RouteKind> a_route{routes};
+  const Axis<core::sched::SpillKind> a_spill{spills};
+  const Axis<int> a_csteal{consumer_steal};
+  const Axis<int> a_ablock{adaptive_block};
   const Axis<std::uint64_t> a_seed{seeds};
 
   std::vector<ScenarioSpec> out;
@@ -60,6 +68,10 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   for (std::size_t ib = 0; ib < a_block.size(); ++ib)
   for (std::size_t ih = 0; ih < a_steal.size(); ++ih)
   for (std::size_t ip = 0; ip < a_preserve.size(); ++ip)
+  for (std::size_t iro = 0; iro < a_route.size(); ++iro)
+  for (std::size_t isp = 0; isp < a_spill.size(); ++isp)
+  for (std::size_t ics = 0; ics < a_csteal.size(); ++ics)
+  for (std::size_t iab = 0; iab < a_ablock.size(); ++iab)
   for (std::size_t ix = 0; ix < a_seed.size(); ++ix) {
     ScenarioSpec s = base;
     std::string label = label_prefix;
@@ -98,6 +110,23 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
     if (const auto* pv = a_preserve.at(ip)) {
       s.zipper.preserve = *pv != 0;
       label += *pv ? "/preserve" : "/no-preserve";
+    }
+    if (const auto* ro = a_route.at(iro)) {
+      s.zipper.sched.route = *ro;
+      label += "/route-" + core::sched::route_token(*ro);
+    }
+    if (const auto* sp = a_spill.at(isp)) {
+      s.zipper.sched.spill = *sp;
+      label += "/spill-" + core::sched::spill_token(*sp);
+    }
+    if (const auto* cs = a_csteal.at(ics)) {
+      s.zipper.sched.consumer_steal = *cs != 0;
+      label += *cs ? "/csteal" : "/no-csteal";
+    }
+    if (const auto* ab = a_ablock.at(iab)) {
+      s.zipper.sched.block_size = *ab ? core::sched::BlockSizeKind::kAdaptive
+                                      : core::sched::BlockSizeKind::kFixed;
+      label += *ab ? "/ablk" : "/no-ablk";
     }
     if (const auto* sd = a_seed.at(ix)) {
       s.background_load_seed = *sd;

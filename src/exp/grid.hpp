@@ -33,6 +33,11 @@ struct SweepGrid {
   std::vector<std::uint64_t> block_kib;      // zipper.block_bytes
   std::vector<double> steal_thresholds;      // zipper.high_water
   std::vector<int> preserve;                 // zipper.preserve (0/1)
+  // Scheduling-policy axes (the PR-3 sched layer; see docs/scheduling.md).
+  std::vector<core::sched::RouteKind> routes;   // zipper.sched.route
+  std::vector<core::sched::SpillKind> spills;   // zipper.sched.spill
+  std::vector<int> consumer_steal;              // zipper.sched.consumer_steal (0/1)
+  std::vector<int> adaptive_block;              // zipper.sched.block_size (0/1)
   std::vector<std::uint64_t> seeds;          // background_load_seed replication
 
   /// Number of scenarios expand() will produce.

@@ -98,7 +98,12 @@ apps::WorkloadProfile make_profile(const ScenarioSpec& spec) {
 workflow::ClusterSpec make_cluster_spec(const ScenarioSpec& spec) {
   auto cs = workflow::ClusterSpec::by_name(spec.cluster);
   if (!cs) {
-    throw std::invalid_argument("unknown cluster '" + spec.cluster + "'");
+    std::string known;
+    for (const auto& n : workflow::ClusterSpec::known_names()) {
+      known += known.empty() ? n : ", " + n;
+    }
+    throw std::invalid_argument("unknown cluster '" + spec.cluster +
+                                "' (known clusters: " + known + ")");
   }
   if (spec.pfs_osts_base > 0 && spec.pfs_osts_ref_producers > 0) {
     cs->pfs.num_osts = std::max(

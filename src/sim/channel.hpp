@@ -118,6 +118,17 @@ class Channel {
   /// Awaitable receive; std::nullopt after close() once drained.
   RecvAwaiter recv() { return RecvAwaiter{this, std::nullopt}; }
 
+  /// Non-suspending receive: takes a buffered value if one exists (promoting
+  /// a parked sender into the freed slot, like a completed recv), otherwise
+  /// returns std::nullopt without parking. Lets a consumer poll a peer's
+  /// channel — the primitive behind consumer-side work stealing.
+  std::optional<T> try_recv() {
+    if (buffer_.empty()) return std::nullopt;
+    T v = buffer_.take_front();
+    promote_waiting_sender();
+    return v;
+  }
+
   /// Closes the channel: parked receivers wake with std::nullopt (buffered
   /// values remain receivable first), and parked senders wake with their send
   /// reporting failure — a bounded channel that is closed while full can no

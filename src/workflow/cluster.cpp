@@ -49,6 +49,11 @@ std::optional<ClusterSpec> ClusterSpec::by_name(const std::string& name) {
   return std::nullopt;
 }
 
+const std::vector<std::string>& ClusterSpec::known_names() {
+  static const std::vector<std::string> kNames{"bridges", "stampede2"};
+  return kNames;
+}
+
 Cluster::Cluster(const ClusterSpec& spec, const Layout& layout)
     : spec_(spec), layout_(layout) {
   assert(layout.producers > 0);

@@ -37,6 +37,9 @@ struct ClusterSpec {
   /// Lookup by case-insensitive name ("bridges", "stampede2") for CLIs and
   /// declarative scenario specs. nullopt for unknown names.
   static std::optional<ClusterSpec> by_name(const std::string& name);
+
+  /// The canonical names by_name accepts, for "unknown cluster" errors.
+  static const std::vector<std::string>& known_names();
 };
 
 struct Layout {

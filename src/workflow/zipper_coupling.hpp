@@ -26,8 +26,8 @@ class ZipperCoupling : public Coupling {
   sim::Task producer_step(int p, int step) override {
     return zip_->producer_put(p, step);
   }
-  sim::Task producer_block(int p, int step, int block, int /*num_blocks*/) override {
-    return zip_->producer_put_block(p, step, block);
+  sim::Task producer_block(int p, int step, int block, int num_blocks) override {
+    return zip_->producer_put_block(p, step, block, num_blocks);
   }
   int producer_blocks_per_step() const override { return zip_->blocks_per_step(); }
   sim::Task producer_finalize(int p) override { return zip_->producer_finalize(p); }
@@ -43,6 +43,7 @@ class ZipperCoupling : public Coupling {
         {"store_busy_s", sim::to_seconds(s.store_busy)},
         {"blocks_total", static_cast<double>(s.blocks_total)},
         {"blocks_stolen", static_cast<double>(s.blocks_stolen)},
+        {"consumer_steals", static_cast<double>(s.blocks_consumer_stolen)},
         {"steal_fraction", s.blocks_total
                                ? static_cast<double>(s.blocks_stolen) / s.blocks_total
                                : 0.0},

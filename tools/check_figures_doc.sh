@@ -16,7 +16,7 @@ DOC="${2:-docs/figures.md}"
 REGISTERED=$("$LAB" list --names)
 fail=0
 
-for name in $(grep -o 'zipper_lab run [a-z0-9-]*' "$DOC" | awk '{print $3}' | sort -u); do
+for name in $(grep -o 'zipper_lab run [a-z0-9_-]*' "$DOC" | awk '{print $3}' | sort -u); do
   if ! printf '%s\n' "$REGISTERED" | grep -qx "$name"; then
     echo "FAIL: $DOC names unregistered scenario '$name'"
     fail=1

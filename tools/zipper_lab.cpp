@@ -16,7 +16,12 @@
 //   --steps=8,20           --block-kib=256,1024
 //   --steal=0.25,0.5       (writer high-water threshold)
 //   --preserve=0,1         --seeds=11,22,33
+//   --route=static,rr,lq   (block->consumer routing policy)
+//   --spill=hw,hyst,adapt  (writer spill policy)
+//   --consumer-steal=0,1   (idle consumers pull from overloaded peers)
+//   --adaptive-block=0,1   (stall-adaptive block sizing)
 // Scalars: --cluster=bridges|stampede2, --servers=N,
+//   --low-water=0.25 (hysteresis stop fraction), --steal-min=N,
 //   --bg-intensity=0.4 (shared-PFS interference, pairs with --seeds),
 //   --model (emit model::predict comparison columns), --trace
 // Output: -j N, --csv=FILE, --json=FILE, --quiet, --label=PREFIX
@@ -27,11 +32,13 @@
 #include <string>
 #include <vector>
 
+#include "core/sched/sched.hpp"
 #include "exp/artifacts.hpp"
 #include "exp/engine.hpp"
 #include "exp/grid.hpp"
 #include "exp/lab.hpp"
 #include "exp/registry.hpp"
+#include "workflow/cluster.hpp"
 
 using namespace zipper;
 using namespace zipper::exp;
@@ -72,6 +79,39 @@ bool flag_value(const std::string& arg, const char* name, std::string* value) {
   if (arg.rfind(prefix, 0) != 0) return false;
   *value = arg.substr(prefix.size());
   return true;
+}
+
+// Every sweep flag, kept next to the parser below so a typoed flag can be
+// rejected with the full menu instead of a bare "unknown flag".
+constexpr const char* kSweepAxisHelp[] = {
+    "--method=zipper,decaf,...   I/O transport (or sim-only)",
+    "--workload=cfd-bridges|cfd-stampede2|lammps|synthetic-{linear,nlogn,n32}",
+    "--cores=204,408             total cores, 2/3 producers + 1/3 consumers",
+    "--producers=N --consumers=M explicit rank split (conflicts with --cores)",
+    "--steps=8,20                simulation steps",
+    "--block-kib=256,1024        Zipper block size",
+    "--steal=0.25,0.5            writer high-water threshold",
+    "--preserve=0,1              Preserve mode",
+    "--route=static,rr,lq        block->consumer routing policy",
+    "--spill=hw,hyst,adapt       writer spill policy",
+    "--consumer-steal=0,1        idle consumers pull from overloaded peers",
+    "--adaptive-block=0,1        stall-adaptive block sizing",
+    "--seeds=11,22,33            background-load replication seeds",
+};
+constexpr const char* kSweepScalarHelp[] = {
+    "--cluster=bridges|stampede2", "--servers=N",
+    "--low-water=0.25 (hysteresis stop fraction)",
+    "--steal-min=N (min victim queue depth for consumer stealing)",
+    "--bg-intensity=0.4", "--label=PREFIX", "--model", "--trace",
+    "--csv=FILE", "--json=FILE", "-j N", "--quiet",
+};
+
+int unknown_sweep_flag(const std::string& arg) {
+  std::fprintf(stderr, "sweep: unknown flag '%s'\n\nvalid axes:\n", arg.c_str());
+  for (const char* h : kSweepAxisHelp) std::fprintf(stderr, "  %s\n", h);
+  std::fprintf(stderr, "scalars/output:\n");
+  for (const char* h : kSweepScalarHelp) std::fprintf(stderr, "  %s\n", h);
+  return 2;
 }
 
 int cmd_list(int argc, char** argv) {
@@ -201,11 +241,55 @@ int cmd_sweep(int argc, char** argv) {
       }
     } else if (flag_value(arg, "--preserve", &v)) {
       for (const auto& tok : split_csv(v)) grid.preserve.push_back(std::atoi(tok.c_str()));
+    } else if (flag_value(arg, "--route", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const auto r = core::sched::parse_route(tok);
+        if (!r) {
+          std::fprintf(stderr,
+                       "unknown route policy '%s' (valid: static, rr, lq)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.routes.push_back(*r);
+      }
+    } else if (flag_value(arg, "--spill", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const auto s = core::sched::parse_spill(tok);
+        if (!s) {
+          std::fprintf(stderr,
+                       "unknown spill policy '%s' (valid: hw, hyst, adapt)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.spills.push_back(*s);
+      }
+    } else if (flag_value(arg, "--consumer-steal", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        grid.consumer_steal.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (flag_value(arg, "--adaptive-block", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        grid.adaptive_block.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (flag_value(arg, "--low-water", &v)) {
+      grid.base.zipper.sched.low_water = std::atof(v.c_str());
+    } else if (flag_value(arg, "--steal-min", &v)) {
+      grid.base.zipper.sched.steal_min_queue =
+          static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
     } else if (flag_value(arg, "--seeds", &v)) {
       for (const auto& tok : split_csv(v)) {
         grid.seeds.push_back(std::strtoull(tok.c_str(), nullptr, 10));
       }
     } else if (flag_value(arg, "--cluster", &v)) {
+      if (!workflow::ClusterSpec::by_name(v)) {
+        std::string known;
+        for (const auto& n : workflow::ClusterSpec::known_names()) {
+          known += known.empty() ? n : ", " + n;
+        }
+        std::fprintf(stderr, "unknown cluster '%s' (known clusters: %s)\n",
+                     v.c_str(), known.c_str());
+        return 2;
+      }
       grid.base.cluster = v;
     } else if (flag_value(arg, "--bg-intensity", &v)) {
       grid.base.background_load_intensity = std::atof(v.c_str());
@@ -226,8 +310,7 @@ int cmd_sweep(int argc, char** argv) {
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
-      std::fprintf(stderr, "unknown sweep flag '%s'\n", arg.c_str());
-      return usage(2);
+      return unknown_sweep_flag(arg);
     }
   }
   if (jobs < 1) jobs = 1;
