@@ -5,8 +5,11 @@
 //   consumers: fold every block into a running variance (Zipper.read)
 //
 // Demonstrates the API surface in ~60 lines of application code: endpoints,
-// self-describing blocks, dataflow-driven reads, and the runtime stats
-// (blocks sent over the network path vs stolen onto the file path).
+// self-describing blocks, dataflow-driven reads, the runtime stats (blocks
+// sent over the network path vs stolen onto the file path), and how the
+// threaded runtime feeds the timeline analysis layer: its counters become
+// synthetic spans (core/rt/trace_export.hpp) that the same stall-attribution
+// analyzer consumes as the DES traces.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -14,6 +17,8 @@
 #include "apps/synthetic.hpp"
 #include "common/stats.hpp"
 #include "core/rt/runtime.hpp"
+#include "core/rt/trace_export.hpp"
+#include "trace/timeline.hpp"
 
 using namespace zipper;
 using core::BlockId;
@@ -85,6 +90,15 @@ int main() {
               static_cast<unsigned long long>(sent),
               static_cast<unsigned long long>(stolen),
               static_cast<double>(stall_ns) / 1e6);
+
+  // The threaded runtime's counters feed the same attribution analyzer the
+  // DES traces do (placement along the axis is synthetic; totals are exact).
+  trace::Recorder rec;
+  core::rt::append_synthetic_spans(zipper, rec);
+  if (!rec.spans().empty()) {
+    std::printf("\nstall attribution from the endpoint counters:\n%s",
+                trace::attribution_table(trace::analyze(rec)).c_str());
+  }
   const std::uint64_t expected =
       static_cast<std::uint64_t>(kProducers) * kSteps * kBlocksPerStep;
   if (total.count() != expected * kDoublesPerBlock) {

@@ -1,0 +1,32 @@
+// Minimal JSON string escaping, shared by every writer that emits JSON by
+// hand (exp/artifacts.cpp, trace/timeline.cpp).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace zipper::common {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace zipper::common

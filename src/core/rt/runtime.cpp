@@ -95,6 +95,7 @@ struct ConsumerImpl {
   int expected;
   std::atomic<std::uint64_t> from_net{0}, from_disk{0}, read_count{0}, preserved{0};
   std::atomic<std::uint64_t> stolen_from_peers{0};
+  std::atomic<std::uint64_t> wait_ns{0};
 };
 
 struct ProducerImpl {
@@ -281,9 +282,32 @@ ProducerStats ProducerEndpoint::stats() const {
   return s;
 }
 
+namespace {
+
+/// Accumulates a read() call's wall time into the consumer's wait counter —
+/// read() does no work of its own, so its whole duration is time spent
+/// waiting for the next block (the counter trace_export.hpp turns into a
+/// synthetic stall span).
+struct ReadWaitTimer {
+  explicit ReadWaitTimer(ConsumerImpl& c)
+      : cm(c), t0(std::chrono::steady_clock::now()) {}
+  ~ReadWaitTimer() {
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    cm.wait_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
+        std::memory_order_relaxed);
+  }
+  ConsumerImpl& cm;
+  std::chrono::steady_clock::time_point t0;
+};
+
+}  // namespace
+
 std::shared_ptr<const Block> ConsumerEndpoint::read() {
   ConsumerImpl& cm = *impl_;
   RuntimeShared& sh = *shared_;
+  ReadWaitTimer wait_timer(cm);
   if (!sh.cfg.sched.consumer_steal || sh.Q <= 1) {
     auto popped = cm.buffer.pop();
     if (!popped) return nullptr;
@@ -345,6 +369,7 @@ ConsumerStats ConsumerEndpoint::stats() const {
   s.blocks_preserved = impl_->preserved.load(std::memory_order_relaxed);
   s.blocks_stolen_from_peers =
       impl_->stolen_from_peers.load(std::memory_order_relaxed);
+  s.wait_ns = impl_->wait_ns.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -79,6 +79,7 @@ struct ConsumerStats {
   std::uint64_t blocks_read = 0;      // handed to the application
   std::uint64_t blocks_preserved = 0; // persisted by the output thread / reader
   std::uint64_t blocks_stolen_from_peers = 0;  // consumer-side work stealing
+  std::uint64_t wait_ns = 0;  // read() blocked waiting for the next block
 };
 
 class Runtime;

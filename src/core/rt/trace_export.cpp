@@ -1,0 +1,22 @@
+#include "core/rt/trace_export.hpp"
+
+namespace zipper::core::rt {
+
+void append_synthetic_spans(Runtime& rt, trace::Recorder& rec) {
+  for (int p = 0; p < rt.num_producers(); ++p) {
+    const ProducerStats s = rt.producer(p).stats();
+    if (s.stall_ns > 0) {
+      rec.record(p, trace::Cat::kStall, 0,
+                 static_cast<sim::Time>(s.stall_ns));
+    }
+  }
+  for (int c = 0; c < rt.num_consumers(); ++c) {
+    const ConsumerStats s = rt.consumer(c).stats();
+    if (s.wait_ns > 0) {
+      rec.record(rt.num_producers() + c, trace::Cat::kStall, 0,
+                 static_cast<sim::Time>(s.wait_ns));
+    }
+  }
+}
+
+}  // namespace zipper::core::rt

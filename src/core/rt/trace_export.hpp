@@ -1,0 +1,21 @@
+// Feeds the threaded runtime into the trace/timeline analysis layer.
+//
+// core/rt reports per-endpoint *counters* (ProducerStats/ConsumerStats),
+// not timestamped spans — real threads cannot record a deterministic
+// timeline. This adapter converts the duration counters into synthetic
+// spans anchored at t = 0 so the attribution analyzer and Chrome-trace
+// exporter consume both runtimes through one interface: category *totals*
+// are exact; the placement along the time axis is synthetic.
+#pragma once
+
+#include "core/rt/runtime.hpp"
+#include "trace/recorder.hpp"
+
+namespace zipper::core::rt {
+
+/// Appends synthetic spans for one finished run: producer p's write() stall
+/// as Cat::kStall on rank p, consumer c's read() wait as Cat::kStall on rank
+/// num_producers + c (the workflow-layer rank layout).
+void append_synthetic_spans(Runtime& rt, trace::Recorder& rec);
+
+}  // namespace zipper::core::rt

@@ -1,0 +1,47 @@
+// The unified performance-analysis pipeline behind `zipper_lab analyze`:
+// force tracing on a scenario set, run it, attribute every rank's time
+// (trace/timeline.hpp), export a Chrome-trace artifact, and calibrate the
+// §4.4 model from the traces instead of hand-fed constants.
+//
+// Calibration splits responsibilities the way the paper does: the
+// runtime-side rates (transfer, analysis, PFS store) are fitted once, on the
+// first traced Zipper scenario of the set, and transferred to every other
+// scenario; the application-side compute rate is read from each scenario's
+// own trace (it varies with the workload and is measured, not supplied).
+// The reported `calib_rel_err` column is the model-vs-sim error of that
+// prediction — NaN (empty CSV cell) when the fit cannot predict a scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "model/calibrate.hpp"
+
+namespace zipper::exp {
+
+struct AnalyzeOptions {
+  bool full = false;
+  int jobs = 1;
+  bool write_artifacts = true;
+  std::string artifacts_dir = "artifacts";
+  bool progress = false;
+  std::size_t table_ranks = 12;  // per-rank rows printed per scenario
+};
+
+/// Builds the model's TraceObservation from one traced Zipper scenario's
+/// result. False when the scenario cannot calibrate the runtime rates
+/// (crashed, not a workflow, not the Zipper method, or untraced).
+bool observe(const ScenarioSpec& spec, const ScenarioResult& r,
+             model::TraceObservation* out);
+
+/// The analysis pipeline over an arbitrary scenario set. `name` stems the
+/// artifacts: <dir>/<name>.trace.json + <dir>/<name>.analysis.{csv,json}.
+/// Returns a process exit code.
+int analyze_scenarios(const std::string& name, std::vector<ScenarioSpec> specs,
+                      const AnalyzeOptions& opts);
+
+/// Runs one registered figure through the analysis pipeline.
+int analyze_figure(const FigureDef& fig, const AnalyzeOptions& opts);
+
+}  // namespace zipper::exp

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
+
+#include "common/json.hpp"
 
 namespace zipper::exp {
 
@@ -35,27 +38,7 @@ std::string csv_escape(const std::string& s) {
   return out;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using common::json_escape;
 
 }  // namespace
 
@@ -87,7 +70,10 @@ std::string to_csv(const std::vector<ScenarioResult>& rs) {
     out += csv_escape(r.note);
     for (const auto& c : cols) {
       out += ',';
-      if (r.has(c)) out += format_double(r.get(c));
+      // Non-finite values (e.g. the NaN a broken calibration's
+      // relative_error reports) become empty CSV cells; JSON carries null.
+      const double v = r.get(c, std::numeric_limits<double>::quiet_NaN());
+      if (std::isfinite(v)) out += format_double(v);
     }
     out += '\n';
   }

@@ -17,7 +17,8 @@ namespace zipper::exp {
 /// Union of metric keys across results, in first-appearance order.
 std::vector<std::string> metric_columns(const std::vector<ScenarioResult>& rs);
 
-/// label,crashed,note,<metric columns>; absent metrics are empty cells.
+/// label,crashed,note,<metric columns>; absent and non-finite metrics are
+/// empty cells (JSON renders non-finite values as null).
 std::string to_csv(const std::vector<ScenarioResult>& rs);
 
 /// Array of {"label":…, "crashed":…, "note":…, "metrics":{…}} objects.

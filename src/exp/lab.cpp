@@ -1,5 +1,6 @@
 #include "exp/lab.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,12 +44,34 @@ int run_figure(const FigureDef& fig, const LabOptions& opts) {
   return 0;
 }
 
+bool parse_jobs(const char* s, int* out) {
+  // Eager validation (the PR-3 `zipper_lab sweep` style): reject empty
+  // strings, trailing junk ("-jfoo", "-j 2x"), and out-of-range values
+  // instead of letting atoi map them to a silent 0 -> clamped-to-1.
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v > (1 << 20) ||
+      v < -(1 << 20)) {
+    return false;  // the magnitude bound also stops int-truncation wrap
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
 int figure_main(const char* figure_name, int argc, char** argv) {
   const FigureDef* fig = find_figure(figure_name);
   if (!fig) {
     std::fprintf(stderr, "unknown figure '%s'\n", figure_name);
     return 1;
   }
+  const auto usage = [&]() {
+    std::fprintf(stderr,
+                 "usage: %s [--full] [-j N] [--artifacts[-dir=DIR]] "
+                 "[--progress]\n",
+                 argv[0]);
+    return 2;
+  };
   LabOptions opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -60,17 +83,13 @@ int figure_main(const char* figure_name, int argc, char** argv) {
       opts.write_artifacts = true;
       opts.artifacts_dir = arg.substr(std::strlen("--artifacts-dir="));
     } else if (arg == "-j" && i + 1 < argc) {
-      opts.jobs = std::atoi(argv[++i]);
+      if (!parse_jobs(argv[++i], &opts.jobs)) return usage();
     } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-      opts.jobs = std::atoi(arg.c_str() + 2);
+      if (!parse_jobs(arg.c_str() + 2, &opts.jobs)) return usage();
     } else if (arg == "--progress") {
       opts.progress = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--full] [-j N] [--artifacts[-dir=DIR]] "
-                   "[--progress]\n",
-                   argv[0]);
-      return 2;
+      return usage();
     }
   }
   if (opts.jobs < 1) opts.jobs = 1;

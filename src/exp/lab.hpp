@@ -20,6 +20,10 @@ struct LabOptions {
 /// Runs one registered figure end to end. Returns a process exit code.
 int run_figure(const FigureDef& fig, const LabOptions& opts);
 
+/// Strict `-j` value parser shared by every lab CLI entry point: rejects
+/// trailing junk and out-of-range values instead of atoi's silent 0.
+bool parse_jobs(const char* s, int* out);
+
 /// Entry point for the thin bench/fig* drivers: parses --full, -j N,
 /// --artifacts[-dir=…] from argv and runs the named figure. Bench drivers
 /// default to no artifacts (matching the historical harnesses); zipper_lab

@@ -1,0 +1,67 @@
+#include "model/calibrate.hpp"
+
+#include <cstdio>
+
+namespace zipper::model {
+
+Calibration fit(const TraceObservation& obs) {
+  Calibration c;
+  if (obs.total_bytes == 0) {
+    c.note = "no data moved through the pipeline";
+    return c;
+  }
+  if (obs.producers <= 0 || obs.consumers <= 0) {
+    c.note = "non-positive rank counts";
+    return c;
+  }
+  if (obs.compute_total_s <= 0 && obs.transfer_total_s <= 0 &&
+      obs.analysis_total_s <= 0) {
+    c.note = "no measured stage time (was the scenario traced?)";
+    return c;
+  }
+  const double d = static_cast<double>(obs.total_bytes);
+  c.tc_s_per_byte = obs.compute_total_s / d;
+  c.tm_s_per_byte = obs.transfer_total_s / d;
+  c.ta_s_per_byte = obs.analysis_total_s / d;
+  if (obs.preserve && obs.store_total_s > 0) {
+    c.pfs_write_bandwidth = d * obs.consumers / obs.store_total_s;
+  }
+  c.valid = true;
+  return c;
+}
+
+ModelInput calibrated_input(const Calibration& c, std::uint64_t total_bytes,
+                            std::uint64_t block_bytes, int producers,
+                            int consumers, bool preserve) {
+  ModelInput in;
+  in.total_bytes = total_bytes;
+  in.block_bytes = block_bytes;
+  in.producers = producers;
+  in.consumers = consumers;
+  in.preserve = preserve;
+  const double b = static_cast<double>(block_bytes);
+  in.tc_s = c.tc_s_per_byte * b;
+  in.tm_s = c.tm_s_per_byte * b;
+  in.ta_s = c.ta_s_per_byte * b;
+  if (c.pfs_write_bandwidth > 0) in.pfs_write_bandwidth = c.pfs_write_bandwidth;
+  return in;
+}
+
+std::string summary(const Calibration& c) {
+  if (!c.valid) return "calibration invalid: " + c.note;
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "calibrated rates: tc %.3f tm %.3f ta %.3f ns/byte%s",
+                c.tc_s_per_byte * 1e9, c.tm_s_per_byte * 1e9,
+                c.ta_s_per_byte * 1e9,
+                c.pfs_write_bandwidth > 0 ? "" : " (PFS store not fitted)");
+  std::string out = buf;
+  if (c.pfs_write_bandwidth > 0) {
+    std::snprintf(buf, sizeof buf, ", PFS %.2f GB/s aggregate",
+                  c.pfs_write_bandwidth / 1e9);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace zipper::model

@@ -1,0 +1,57 @@
+// Trace-driven calibration of the §4.4 model: fit the per-byte stage rates
+// from one traced run's measured stage totals, then build ModelInputs for
+// any scenario shape — no hand-supplied tc/tm/ta constants.
+//
+// The fit inverts the model's stage equations. With total data D, the model
+// says  Tcomp·P = tc·nb,  Ttransfer·P = tm·nb,  Tanalysis·Q = ta·nb, i.e.
+// the *summed-over-ranks* stage time equals rate_per_byte · D, so
+//     rate = (stage total across ranks) / D.
+// Preserve mode adds  Tstore = D / BW_pfs; the store total is summed over Q
+// output threads writing in parallel, so  BW_pfs = D·Q / store_total.
+// Per-byte rates are block-size independent: a calibration fitted at one
+// block size predicts a sweep that varies it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/perf_model.hpp"
+
+namespace zipper::model {
+
+/// Stage totals measured in one traced run (each summed over the ranks /
+/// service threads that execute the stage).
+struct TraceObservation {
+  std::uint64_t total_bytes = 0;  // D moved through the pipeline
+  int producers = 1;              // P
+  int consumers = 1;              // Q
+  double compute_total_s = 0;     // producer compute, summed over ranks
+  double transfer_total_s = 0;    // sender-thread busy, summed over ranks
+  double analysis_total_s = 0;    // analysis compute, summed over consumers
+  double store_total_s = 0;       // Preserve-mode output writes, summed
+  bool preserve = false;
+};
+
+struct Calibration {
+  bool valid = false;
+  std::string note;  // why the fit was rejected, when !valid
+  double tc_s_per_byte = 0;
+  double tm_s_per_byte = 0;
+  double ta_s_per_byte = 0;
+  double pfs_write_bandwidth = 0;  // aggregate bytes/s; 0 = not fitted
+};
+
+/// Fits the per-byte rates. Invalid when the observation carries no data or
+/// no measured stage time (the note says which).
+Calibration fit(const TraceObservation& obs);
+
+/// ModelInput for a target scenario shape under this calibration. Falls back
+/// to ModelInput's default PFS bandwidth when the store stage was not fitted.
+ModelInput calibrated_input(const Calibration& c, std::uint64_t total_bytes,
+                            std::uint64_t block_bytes, int producers,
+                            int consumers, bool preserve);
+
+/// One-line human summary of a calibration, for CLIs.
+std::string summary(const Calibration& c);
+
+}  // namespace zipper::model

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <utility>
 
 namespace zipper::model {
 
@@ -19,10 +22,25 @@ ModelPrediction predict(const ModelInput& in) {
                     : 0.0;
   out.t_end_to_end = std::max({out.t_comp, out.t_transfer, out.t_analysis,
                                out.t_store});
-  if (out.t_end_to_end == out.t_comp) out.dominant = "simulation";
-  if (out.t_end_to_end == out.t_transfer) out.dominant = "transfer";
-  if (out.t_end_to_end == out.t_analysis) out.dominant = "analysis";
-  if (in.preserve && out.t_end_to_end == out.t_store) out.dominant = "store";
+  if (out.num_blocks == 0) {
+    // Nothing flows through the pipeline; no stage can bound it.
+    out.dominant = "none";
+    return out;
+  }
+  // First maximal stage in pipeline order, so ties report the upstream stage
+  // (t_comp == t_transfer is "simulation", not "transfer").
+  const std::pair<double, const char*> stages[] = {
+      {out.t_comp, "simulation"},
+      {out.t_transfer, "transfer"},
+      {out.t_analysis, "analysis"},
+      {out.t_store, "store"},
+  };
+  for (const auto& [t, name] : stages) {
+    if (t == out.t_end_to_end) {
+      out.dominant = name;
+      break;
+    }
+  }
   return out;
 }
 
@@ -36,7 +54,12 @@ std::string summary(const ModelPrediction& p) {
 }
 
 double relative_error(double measured_s, const ModelPrediction& p) {
-  if (p.t_end_to_end <= 0) return 0;
+  if (p.t_end_to_end <= 0) {
+    // A zero prediction against a nonzero measurement is a broken
+    // calibration, not a perfect fit: report NaN (artifact writers render it
+    // as an empty CSV cell / JSON null), never a silent 0.
+    return measured_s == 0 ? 0.0 : std::numeric_limits<double>::quiet_NaN();
+  }
   return (measured_s - p.t_end_to_end) / p.t_end_to_end;
 }
 

@@ -45,7 +45,9 @@ ModelPrediction predict(const ModelInput& in);
 std::string summary(const ModelPrediction& p);
 
 /// Signed relative error of a measurement against the model:
-/// (measured - predicted) / predicted. Returns 0 when the prediction is 0.
+/// (measured - predicted) / predicted. A zero prediction yields NaN (or 0
+/// when the measurement is also 0) so a broken calibration cannot
+/// masquerade as a perfect fit.
 double relative_error(double measured_s, const ModelPrediction& p);
 
 // ------------------------------------------------------------------ Fig 11 --

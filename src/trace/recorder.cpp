@@ -1,6 +1,7 @@
 #include "trace/recorder.hpp"
 
 #include <array>
+#include <cmath>
 #include <string>
 
 namespace zipper::trace {
@@ -53,23 +54,34 @@ std::vector<Span> Recorder::window(std::int32_t rank, sim::Time t0,
     if (s.rank != rank || s.t1 <= t0 || s.t0 >= t1) continue;
     out.push_back(Span{s.rank, s.cat, std::max(s.t0, t0), std::min(s.t1, t1)});
   }
-  std::sort(out.begin(), out.end(),
-            [](const Span& a, const Span& b) { return a.t0 < b.t0; });
+  // stable_sort keyed on t0 only: equal-t0 spans keep recording order, so the
+  // "later spans overwrite earlier" Gantt contract (and the repo's bitwise
+  // determinism guarantee) holds regardless of the sort implementation.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Span& a, const Span& b) { return a.t0 < b.t0; });
   return out;
 }
 
 std::string render_gantt(const Recorder& rec, const std::vector<std::int32_t>& ranks,
                          sim::Time t0, sim::Time t1, int width) {
   std::string out;
-  const double cell = static_cast<double>(t1 - t0) / width;
+  // An empty (or inverted) window renders the row frames with zero cells
+  // rather than dividing by zero below (inf/NaN cell indices).
+  const bool empty_window = t1 <= t0 || width <= 0;
+  if (empty_window) width = 0;
+  const double cell =
+      empty_window ? 0 : static_cast<double>(t1 - t0) / width;
   for (std::int32_t rank : ranks) {
     std::string row(static_cast<std::size_t>(width), '.');
-    for (const Span& s : rec.window(rank, t0, t1)) {
-      int c0 = static_cast<int>(static_cast<double>(s.t0 - t0) / cell);
-      int c1 = static_cast<int>(static_cast<double>(s.t1 - t0) / cell + 0.999);
-      c0 = std::clamp(c0, 0, width - 1);
-      c1 = std::clamp(c1, c0 + 1, width);
-      for (int c = c0; c < c1; ++c) row[static_cast<std::size_t>(c)] = cat_glyph(s.cat);
+    if (!empty_window) {
+      for (const Span& s : rec.window(rank, t0, t1)) {
+        int c0 = static_cast<int>(static_cast<double>(s.t0 - t0) / cell);
+        int c1 = static_cast<int>(
+            std::ceil(static_cast<double>(s.t1 - t0) / cell));
+        c0 = std::clamp(c0, 0, width - 1);
+        c1 = std::clamp(c1, c0 + 1, width);
+        for (int c = c0; c < c1; ++c) row[static_cast<std::size_t>(c)] = cat_glyph(s.cat);
+      }
     }
     out += "rank ";
     std::string r = std::to_string(rank);

@@ -1,0 +1,247 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/json.hpp"
+
+namespace zipper::trace {
+
+std::string_view stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kCompute: return "compute";
+    case Stage::kTransfer: return "transfer";
+    case Stage::kAnalysis: return "analysis";
+    case Stage::kStore: return "store";
+    case Stage::kStall: return "stall";
+  }
+  return "?";
+}
+
+Stage stage_of(Cat c) noexcept {
+  switch (c) {
+    case Cat::kCompute:
+    case Cat::kCollision:
+    case Cat::kStreaming:
+    case Cat::kUpdate: return Stage::kCompute;
+    case Cat::kPut:
+    case Cat::kGet:
+    case Cat::kTransfer:
+    case Cat::kSteal:
+    case Cat::kRead:
+    case Cat::kServerQuery: return Stage::kTransfer;
+    case Cat::kAnalysis: return Stage::kAnalysis;
+    case Cat::kStore: return Stage::kStore;
+    case Cat::kStall:
+    case Cat::kLock:
+    case Cat::kWaitall:
+    case Cat::kBarrier: return Stage::kStall;
+  }
+  return Stage::kCompute;
+}
+
+namespace {
+
+/// One rank's spans, in recording order. Recording order is END order for
+/// DES spans (ScopedSpan records on destruction), so seq alone cannot pick
+/// the innermost of two same-start spans — the charge key below does.
+struct RankSpans {
+  std::vector<Span> spans;
+  std::vector<std::size_t> seq;
+  sim::Time last_end = 0;
+};
+
+void attribute_rank(const RankSpans& rs, RankAttribution* out) {
+  // Event sweep: between consecutive boundaries the active set is constant;
+  // charge the segment to the most specific active span — latest start,
+  // then earliest end (two spans starting together nest with the
+  // shorter-lived one inside), then latest recorded.
+  struct Ev {
+    sim::Time t;
+    bool start;
+    std::size_t i;  // index into rs.spans
+  };
+  std::vector<Ev> evs;
+  evs.reserve(rs.spans.size() * 2);
+  for (std::size_t i = 0; i < rs.spans.size(); ++i) {
+    evs.push_back(Ev{rs.spans[i].t0, true, i});
+    evs.push_back(Ev{rs.spans[i].t1, false, i});
+  }
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const Ev& a, const Ev& b) { return a.t < b.t; });
+
+  // Active spans keyed (t0, -t1, seq, i): the max key is the charge target.
+  using Key = std::tuple<sim::Time, sim::Time, std::size_t, std::size_t>;
+  const auto key_of = [&rs](std::size_t i) {
+    return Key{rs.spans[i].t0, -rs.spans[i].t1, rs.seq[i], i};
+  };
+  std::set<Key> active;
+  sim::Time prev = 0;
+  std::size_t e = 0;
+  while (e < evs.size()) {
+    const sim::Time t = evs[e].t;
+    if (!active.empty() && t > prev) {
+      const std::size_t top = std::get<3>(*active.rbegin());
+      const auto cat = static_cast<std::size_t>(rs.spans[top].cat);
+      out->by_cat[cat] += t - prev;
+      out->busy += t - prev;
+    }
+    while (e < evs.size() && evs[e].t == t) {
+      if (evs[e].start) {
+        active.insert(key_of(evs[e].i));
+      } else {
+        active.erase(key_of(evs[e].i));
+      }
+      ++e;
+    }
+    prev = t;
+  }
+  for (std::size_t c = 0; c < kNumCats; ++c) {
+    out->by_stage[static_cast<std::size_t>(stage_of(static_cast<Cat>(c)))] +=
+        out->by_cat[c];
+  }
+  sim::Time best = -1;
+  for (std::size_t c = 0; c < kNumCats; ++c) {
+    if (out->by_cat[c] > best) {  // strict: ties keep the earlier category
+      best = out->by_cat[c];
+      out->dominant = static_cast<Cat>(c);
+    }
+  }
+}
+
+std::string format_seconds(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%9.3f", sim::to_seconds(t));
+  return buf;
+}
+
+}  // namespace
+
+Attribution analyze(const Recorder& rec) {
+  Attribution out;
+  std::map<std::int32_t, RankSpans> per_rank;
+  for (std::size_t i = 0; i < rec.spans().size(); ++i) {
+    const Span& s = rec.spans()[i];
+    auto& rs = per_rank[s.rank];
+    rs.spans.push_back(s);
+    rs.seq.push_back(i);
+    rs.last_end = std::max(rs.last_end, s.t1);
+  }
+  for (const auto& [rank, rs] : per_rank) {
+    if (rs.last_end > out.t_end) {
+      out.t_end = rs.last_end;
+      out.critical_rank = rank;
+    }
+  }
+  out.ranks.reserve(per_rank.size());
+  for (const auto& [rank, rs] : per_rank) {
+    RankAttribution ra;
+    ra.rank = rank;
+    attribute_rank(rs, &ra);
+    ra.idle = std::max<sim::Time>(0, out.t_end - ra.busy);
+    for (std::size_t c = 0; c < kNumCats; ++c) out.total_by_cat[c] += ra.by_cat[c];
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      out.total_by_stage[s] += ra.by_stage[s];
+    }
+    if (rank == out.critical_rank) out.critical_cat = ra.dominant;
+    out.ranks.push_back(ra);
+  }
+  sim::Time best = -1;
+  for (std::size_t s = 0; s < kNumStages; ++s) {
+    if (out.total_by_stage[s] > best) {
+      best = out.total_by_stage[s];
+      out.bounding_stage = static_cast<Stage>(s);
+    }
+  }
+  return out;
+}
+
+std::string attribution_table(const Attribution& a, std::size_t max_ranks) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "%6s %9s %9s %9s %9s %9s %9s   %s\n", "rank", "compute",
+                "transfer", "analysis", "store", "stall", "idle", "bound by");
+  out += line;
+  std::size_t printed = 0;
+  bool elided = false;
+  for (const auto& r : a.ranks) {
+    const bool is_critical = r.rank == a.critical_rank;
+    if (printed >= max_ranks && !is_critical) {
+      elided = true;
+      continue;
+    }
+    std::snprintf(line, sizeof line, "%6d", r.rank);
+    out += line;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      out += ' ';
+      out += format_seconds(r.by_stage[s]);
+    }
+    out += ' ';
+    out += format_seconds(r.idle);
+    std::snprintf(line, sizeof line, "   %s%s\n",
+                  std::string(cat_name(r.dominant)).c_str(),
+                  is_critical ? "  <- critical rank" : "");
+    out += line;
+    ++printed;
+  }
+  if (elided) {
+    std::snprintf(line, sizeof line, "  ... (%zu of %zu ranks shown)\n", printed,
+                  a.ranks.size());
+    out += line;
+  }
+  std::snprintf(
+      line, sizeof line,
+      "run: %.3f s end-to-end; bounded by the %s stage "
+      "(%.3f rank-seconds); critical rank %d bound by %s\n",
+      sim::to_seconds(a.t_end),
+      std::string(stage_name(a.bounding_stage)).c_str(),
+      sim::to_seconds(a.total_by_stage[static_cast<std::size_t>(a.bounding_stage)]),
+      a.critical_rank, std::string(cat_name(a.critical_cat)).c_str());
+  out += line;
+  return out;
+}
+
+// --------------------------------------------------------------- chrome ----
+
+void ChromeTrace::add_process(int pid, const std::string& name,
+                              const Recorder& rec) {
+  const auto emit = [&](const std::string& event) {
+    if (!events_.empty()) events_ += ",\n";
+    events_ += event;
+  };
+  const std::string pid_s = std::to_string(pid);
+  // The scenario label is caller-controlled and unbounded: build the
+  // metadata events by concatenation, never through a fixed-size buffer.
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid_s +
+       ",\"tid\":0,\"args\":{\"name\":\"" + common::json_escape(name) +
+       "\"}}");
+  std::set<std::int32_t> ranks;
+  for (const Span& s : rec.spans()) ranks.insert(s.rank);
+  for (std::int32_t r : ranks) {
+    const std::string r_s = std::to_string(r);
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid_s +
+         ",\"tid\":" + r_s + ",\"args\":{\"name\":\"rank " + r_s + "\"}}");
+  }
+  char buf[256];  // span events carry only category names and numbers
+  for (const Span& s : rec.spans()) {
+    // Complete event; timestamps in microseconds (ns / 1000, 3 decimals).
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":%d,\"tid\":%d}",
+                  std::string(cat_name(s.cat)).c_str(),
+                  std::string(stage_name(stage_of(s.cat))).c_str(),
+                  static_cast<double>(s.t0) / 1e3,
+                  static_cast<double>(s.t1 - s.t0) / 1e3, pid, s.rank);
+    emit(buf);
+  }
+}
+
+std::string ChromeTrace::json() const {
+  return "{\"traceEvents\":[\n" + events_ + "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace zipper::trace

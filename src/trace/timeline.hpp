@@ -1,0 +1,97 @@
+// Timeline analysis on top of the span recorder — the measurement instrument
+// the paper's §5 performance analysis describes.
+//
+// Two consumers sit on the same span stream:
+//
+//   * analyze(): per-rank critical-path / stall attribution. Spans on one
+//     rank overlap (a producer's PUT span contains its stall span; the
+//     sender coroutine's transfer spans run concurrently with compute), so
+//     the analyzer charges every instant to the innermost/most specific
+//     active span — latest start, ties to the earliest end (same-start
+//     nested spans) — producing an exclusive per-category decomposition
+//     that sums to the rank's busy time. From that it reports which
+//     category bounds each rank and which pipeline stage bounds the run
+//     (the rank that finishes last).
+//
+//   * ChromeTrace: exports spans as Chrome-trace JSON ("traceEvents" array
+//     of complete events) loadable in chrome://tracing and Perfetto, one
+//     process per scenario, one thread row per rank.
+//
+// Both runtimes feed this layer: the DES runtime records spans natively;
+// the threaded runtime's counters are converted into synthetic spans by
+// core/rt/trace_export.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace zipper::trace {
+
+inline constexpr std::size_t kNumCats = static_cast<std::size_t>(Cat::kSteal) + 1;
+
+/// The §4.4 pipeline stages the analyzer rolls categories up to, in pipeline
+/// order (ties resolve toward the earlier stage).
+enum class Stage : std::uint8_t {
+  kCompute,   // Compute, Collision, Streaming, Update
+  kTransfer,  // Put, Get, Transfer, Steal, Read, ServerQuery
+  kAnalysis,  // Analysis
+  kStore,     // Store
+  kStall,     // Stall, Lock, Waitall, Barrier
+};
+inline constexpr std::size_t kNumStages = static_cast<std::size_t>(Stage::kStall) + 1;
+
+std::string_view stage_name(Stage s) noexcept;
+Stage stage_of(Cat c) noexcept;
+
+struct RankAttribution {
+  std::int32_t rank = 0;
+  sim::Time busy = 0;  // union of span coverage within [0, t_end)
+  sim::Time idle = 0;  // t_end - busy
+  // Exclusive per-category time: each instant charged to the innermost
+  // active span (latest start, ties to earliest end). Sums to `busy`.
+  std::array<sim::Time, kNumCats> by_cat{};
+  std::array<sim::Time, kNumStages> by_stage{};
+  Cat dominant = Cat::kCompute;  // largest exclusive share; ties to the
+                                 // earlier category in enum (pipeline) order
+};
+
+struct Attribution {
+  sim::Time t_end = 0;  // latest span end across all ranks
+  std::vector<RankAttribution> ranks;  // every rank with >= 1 span, ascending
+  std::array<sim::Time, kNumCats> total_by_cat{};
+  std::array<sim::Time, kNumStages> total_by_stage{};
+  std::int32_t critical_rank = -1;  // the rank whose last span ends at t_end
+  Cat critical_cat = Cat::kCompute; // dominant category on the critical rank
+  Stage bounding_stage = Stage::kCompute;  // largest aggregate stage
+};
+
+/// Full-trace attribution over [0, t_end). Deterministic: a pure function of
+/// the recorder's span sequence.
+Attribution analyze(const Recorder& rec);
+
+/// Human table: one row per rank (stage seconds, idle, bounding category),
+/// capped at `max_ranks` rows (the critical rank is always included), plus
+/// the run-level critical-path summary.
+std::string attribution_table(const Attribution& a, std::size_t max_ranks = 12);
+
+/// Chrome-trace ("traceEvents") builder. add_process() appends one process
+/// (pid = scenario, tid = rank) worth of spans; json() closes the document.
+class ChromeTrace {
+ public:
+  /// Appends rec's spans as complete ("ph":"X") events under `pid`, plus
+  /// process_name/thread_name metadata. Timestamps are microseconds.
+  void add_process(int pid, const std::string& name, const Recorder& rec);
+
+  /// The complete JSON document: {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  std::string json() const;
+
+ private:
+  std::string events_;  // comma-joined event objects
+};
+
+}  // namespace zipper::trace

@@ -13,6 +13,8 @@
 #include "common/checksum.hpp"
 #include "common/rng.hpp"
 #include "core/rt/runtime.hpp"
+#include "core/rt/trace_export.hpp"
+#include "trace/timeline.hpp"
 
 namespace fs = std::filesystem;
 using namespace zipper::core;
@@ -323,4 +325,51 @@ TEST(RtRuntime, StressRandomSizesManyThreads) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(bytes_read.load(), bytes_written.load());
+}
+
+TEST(RtRuntime, SyntheticSpansMirrorEndpointCounters) {
+  TempDirs dirs;
+  auto cfg = base_config(dirs);
+  cfg.producer_buffer_blocks = 2;  // tiny buffer: force a measurable stall
+  cfg.enable_steal = false;
+  const int P = 2, Q = 1;
+  Runtime rt(P, Q, cfg);
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < P; ++p) {
+    threads.emplace_back([&, p] {
+      for (int b = 0; b < 16; ++b) {
+        rt.producer(p).write(BlockId{0, p, b}, make_payload(7, 8192));
+      }
+      rt.producer(p).finish();
+    });
+  }
+  std::uint64_t read_blocks = 0;
+  threads.emplace_back([&] {
+    while (auto block = rt.consumer(0).read()) ++read_blocks;
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(read_blocks, 32u);
+
+  zipper::trace::Recorder rec;
+  append_synthetic_spans(rt, rec);
+  // Counter totals and span totals must agree exactly: producer p's write()
+  // stall lands on rank p, consumer c's read() wait on rank P + c.
+  for (int p = 0; p < P; ++p) {
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  rec.total(zipper::trace::Cat::kStall, p)),
+              rt.producer(p).stats().stall_ns);
+  }
+  const auto cstats = rt.consumer(0).stats();
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                rec.total(zipper::trace::Cat::kStall, P)),
+            cstats.wait_ns);
+  EXPECT_GT(cstats.wait_ns, 0u);  // read() blocked at least once
+
+  // The synthetic spans feed the same analyzer the DES traces do.
+  const auto attr = zipper::trace::analyze(rec);
+  EXPECT_EQ(attr.ranks.size(), rec.spans().size());
+  for (const auto& ra : attr.ranks) {
+    EXPECT_EQ(ra.dominant, zipper::trace::Cat::kStall);
+  }
 }

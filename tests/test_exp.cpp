@@ -3,12 +3,21 @@
 // jobs=4 must produce byte-identical per-scenario results to jobs=1.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <set>
 
+#include "exp/analyze.hpp"
 #include "exp/artifacts.hpp"
 #include "exp/engine.hpp"
 #include "exp/grid.hpp"
+#include "exp/lab.hpp"
 #include "exp/registry.hpp"
 
 using namespace zipper;
@@ -288,6 +297,19 @@ TEST(Artifacts, DoublesRoundTrip) {
   EXPECT_NE(csv.find("3.141592653589793"), std::string::npos);
 }
 
+TEST(Artifacts, NonFiniteMetricsAreEmptyCsvCellsAndJsonNull) {
+  ScenarioResult a;
+  a.label = "n";
+  a.put("err", std::numeric_limits<double>::quiet_NaN());
+  a.put("ok", 1);
+  // A NaN (e.g. a broken calibration's relative error) must not print as a
+  // number: the CSV cell stays empty, the JSON value is null.
+  EXPECT_EQ(to_csv({a}),
+            "label,crashed,note,err,ok\n"
+            "n,0,,,1\n");
+  EXPECT_NE(to_json({a}).find("\"err\": null"), std::string::npos);
+}
+
 // --------------------------------------------------------------- registry --
 
 TEST(Registry, EveryFigureHasScenariosWithUniqueLabels) {
@@ -353,4 +375,141 @@ TEST(Parsing, ClusterByName) {
   ASSERT_TRUE(workflow::ClusterSpec::by_name("bridges").has_value());
   EXPECT_EQ(workflow::ClusterSpec::by_name("Stampede2")->name, "Stampede2");
   EXPECT_FALSE(workflow::ClusterSpec::by_name("frontier").has_value());
+}
+
+TEST(Parsing, JobsRejectsTrailingJunkAndGarbage) {
+  int jobs = -1;
+  EXPECT_TRUE(parse_jobs("4", &jobs));
+  EXPECT_EQ(jobs, 4);
+  EXPECT_FALSE(parse_jobs("foo", &jobs));
+  EXPECT_FALSE(parse_jobs("2x", &jobs));  // atoi would have said 2
+  EXPECT_FALSE(parse_jobs("", &jobs));
+  EXPECT_FALSE(parse_jobs("4.5", &jobs));
+  // Out-of-int-range values must not wrap through the int truncation
+  // (-4294967294 would otherwise come out as jobs=2).
+  EXPECT_FALSE(parse_jobs("-4294967294", &jobs));
+  EXPECT_FALSE(parse_jobs("4294967298", &jobs));
+}
+
+TEST(Parsing, FigureMainRejectsMalformedJobsFlag) {
+  // "-jfoo" used to atoi to 0 and silently clamp to 1; now it is a usage
+  // error (exit code 2) before any scenario runs.
+  char prog[] = "fig11_pipeline_model";
+  char bad_joined[] = "-jfoo";
+  char* argv1[] = {prog, bad_joined};
+  EXPECT_EQ(figure_main("fig11", 2, argv1), 2);
+
+  char jflag[] = "-j";
+  char bad_split[] = "2x";
+  char* argv2[] = {prog, jflag, bad_split};
+  EXPECT_EQ(figure_main("fig11", 3, argv2), 2);
+}
+
+// ---------------------------------------------------------------- analyze --
+
+TEST(Analyze, ObserveRequiresTracedZipperWorkflow) {
+  ScenarioSpec spec;
+  spec.workload = Workload::kSyntheticLinear;
+  spec.producers = 4;
+  spec.consumers = 2;
+  ScenarioResult r;
+  model::TraceObservation obs;
+  EXPECT_FALSE(observe(spec, r, &obs));  // no method at all
+
+  spec.method = Method::kDecaf;
+  EXPECT_FALSE(observe(spec, r, &obs));  // not the Zipper runtime
+
+  spec.method = Method::kZipper;
+  EXPECT_FALSE(observe(spec, r, &obs));  // no sender_busy_s metric
+
+  r.put("sender_busy_s", 3.0);
+  r.put("analysis_busy_s", 2.0);
+  ASSERT_TRUE(observe(spec, r, &obs));
+  EXPECT_EQ(obs.producers, 4);
+  EXPECT_EQ(obs.consumers, 2);
+  EXPECT_DOUBLE_EQ(obs.transfer_total_s, 3.0);
+  EXPECT_GT(obs.total_bytes, 0u);
+
+  r.crashed = true;
+  EXPECT_FALSE(observe(spec, r, &obs));
+}
+
+TEST(Analyze, PipelineWritesTraceAndCalibratedArtifacts) {
+  ScenarioSpec base;
+  base.cluster = "bridges";
+  base.workload = Workload::kSyntheticLinear;
+  base.steps = 2;
+  base.producers = 8;
+  base.consumers = 4;
+  base.method = Method::kZipper;
+  base.zipper.block_bytes = common::MiB;
+  base.zipper.producer_buffer_blocks = 8;
+
+  std::vector<ScenarioSpec> specs;
+  for (int steps : {2, 3}) {
+    auto s = base;
+    s.steps = steps;
+    s.label = "smoke/steps" + std::to_string(steps);
+    specs.push_back(s);
+  }
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("zipper_analyze_test_" + std::to_string(::getpid()));
+  AnalyzeOptions opts;
+  opts.artifacts_dir = dir.string();
+  opts.table_ranks = 2;
+  EXPECT_EQ(analyze_scenarios("smoke", specs, opts), 0);
+
+  const auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream f(p);
+    EXPECT_TRUE(f.good()) << p;
+    return std::string(std::istreambuf_iterator<char>(f),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string trace = slurp(dir / "smoke.trace.json");
+  EXPECT_EQ(trace.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(trace.find("smoke/steps2"), std::string::npos);
+  EXPECT_NE(trace.find("smoke/steps3"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::string csv = slurp(dir / "smoke.analysis.csv");
+  EXPECT_NE(csv.find("attr_stall_s"), std::string::npos);
+  EXPECT_NE(csv.find("calib_rel_err"), std::string::npos);
+  EXPECT_NE(csv.find("calib_end_to_end_s"), std::string::npos);
+  const std::string json = slurp(dir / "smoke.analysis.json");
+  EXPECT_NE(json.find("\"calib_rel_err\""), std::string::npos);
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+TEST(Analyze, CalibrationPredictsTheCalibrationScenarioItself) {
+  // Fit on one traced scenario and predict the same scenario: the model's
+  // Tt2s must land within pipeline-fill distance of the measured time.
+  ScenarioSpec spec;
+  spec.cluster = "bridges";
+  spec.workload = Workload::kSyntheticLinear;
+  spec.steps = 3;
+  spec.producers = 8;
+  spec.consumers = 4;
+  spec.method = Method::kZipper;
+  spec.zipper.block_bytes = common::MiB;
+  spec.zipper.producer_buffer_blocks = 8;
+  spec.record_traces = true;
+  spec.label = "roundtrip";
+
+  const auto r = run_scenario(spec);
+  ASSERT_FALSE(r.crashed);
+  model::TraceObservation obs;
+  ASSERT_TRUE(observe(spec, r, &obs));
+  const auto calib = model::fit(obs);
+  ASSERT_TRUE(calib.valid);
+  const auto in = model::calibrated_input(
+      calib, obs.total_bytes, spec.zipper.block_bytes, obs.producers,
+      obs.consumers, spec.zipper.preserve);
+  const auto pred = model::predict(in);
+  const double err = model::relative_error(r.get("end_to_end_s"), pred);
+  ASSERT_TRUE(std::isfinite(err));
+  EXPECT_LT(std::abs(err), 0.35) << "measured " << r.get("end_to_end_s")
+                                 << " predicted " << pred.t_end_to_end;
 }

@@ -1,8 +1,11 @@
-// Tests for the analytic performance model and pipeline schedules (§4.4,
-// Figures 3 & 11).
+// Tests for the analytic performance model, pipeline schedules (§4.4,
+// Figures 3 & 11), and the trace-driven calibration.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/units.hpp"
+#include "model/calibrate.hpp"
 #include "model/perf_model.hpp"
 
 using namespace zipper::model;
@@ -64,6 +67,130 @@ TEST(Model, PartialLastBlockRoundsUp) {
   in.total_bytes = 10 * MiB + 1;
   const auto p = predict(in);
   EXPECT_EQ(p.num_blocks, 11u);
+}
+
+// ---------------------------------------------- regression: dominant tie ----
+
+TEST(Model, DominantTieReportsUpstreamStage) {
+  auto in = basic();
+  in.tc_s = 0.01;
+  in.tm_s = 0.01;  // t_comp == t_transfer: was reported as "transfer"
+  in.ta_s = 0.001;
+  const auto p = predict(in);
+  EXPECT_DOUBLE_EQ(p.t_comp, p.t_transfer);
+  EXPECT_EQ(p.dominant, "simulation");
+}
+
+TEST(Model, DominantTransferAnalysisTieReportsTransfer) {
+  auto in = basic();
+  in.tc_s = 0.001;
+  in.tm_s = 0.004;
+  in.ta_s = 0.002;  // ta*nb/Q == tm*nb/P with P=8, Q=4
+  const auto p = predict(in);
+  EXPECT_DOUBLE_EQ(p.t_transfer, p.t_analysis);
+  EXPECT_EQ(p.dominant, "transfer");
+}
+
+TEST(Model, ZeroByteInputHasNoDominantStage) {
+  auto in = basic();
+  in.total_bytes = 0;  // was reported as "analysis" via the if-fallthrough
+  const auto p = predict(in);
+  EXPECT_EQ(p.num_blocks, 0u);
+  EXPECT_DOUBLE_EQ(p.t_end_to_end, 0.0);
+  EXPECT_EQ(p.dominant, "none");
+}
+
+// ------------------------------------------ regression: relative_error -----
+
+TEST(Model, RelativeErrorIsNaNForZeroPredictionNonzeroMeasurement) {
+  auto in = basic();
+  in.total_bytes = 0;
+  const auto p = predict(in);
+  EXPECT_TRUE(std::isnan(relative_error(5.0, p)));
+  EXPECT_DOUBLE_EQ(relative_error(0.0, p), 0.0);
+}
+
+TEST(Model, RelativeErrorSignedAgainstPrediction) {
+  const auto p = predict(basic());
+  EXPECT_GT(relative_error(p.t_end_to_end * 1.1, p), 0.0);
+  EXPECT_LT(relative_error(p.t_end_to_end * 0.9, p), 0.0);
+  EXPECT_NEAR(relative_error(p.t_end_to_end, p), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------ calibration --
+
+namespace {
+
+/// The stage totals a run of `in` would produce under the model's own
+/// equations — the exact fixed point fit() must recover.
+TraceObservation observation_of(const ModelInput& in) {
+  const auto p = predict(in);
+  TraceObservation obs;
+  obs.total_bytes = in.total_bytes;
+  obs.producers = in.producers;
+  obs.consumers = in.consumers;
+  obs.compute_total_s = p.t_comp * in.producers;
+  obs.transfer_total_s = p.t_transfer * in.producers;
+  obs.analysis_total_s = p.t_analysis * in.consumers;
+  obs.preserve = in.preserve;
+  if (in.preserve) obs.store_total_s = p.t_store * in.consumers;
+  return obs;
+}
+
+}  // namespace
+
+TEST(Calibrate, RoundTripRecoversThePrediction) {
+  const auto in = basic();
+  const auto truth = predict(in);
+  const auto c = fit(observation_of(in));
+  ASSERT_TRUE(c.valid);
+  const auto fitted = calibrated_input(c, in.total_bytes, in.block_bytes,
+                                       in.producers, in.consumers, false);
+  const auto p = predict(fitted);
+  EXPECT_NEAR(p.t_comp, truth.t_comp, 1e-12);
+  EXPECT_NEAR(p.t_transfer, truth.t_transfer, 1e-12);
+  EXPECT_NEAR(p.t_analysis, truth.t_analysis, 1e-12);
+  EXPECT_NEAR(p.t_end_to_end, truth.t_end_to_end, 1e-12);
+  EXPECT_EQ(p.dominant, truth.dominant);
+}
+
+TEST(Calibrate, PreserveModeFitsPfsBandwidth) {
+  auto in = basic();
+  in.preserve = true;
+  in.pfs_write_bandwidth = 3.5e9;
+  const auto c = fit(observation_of(in));
+  ASSERT_TRUE(c.valid);
+  EXPECT_NEAR(c.pfs_write_bandwidth / 3.5e9, 1.0, 1e-12);
+  const auto p = predict(calibrated_input(c, in.total_bytes, in.block_bytes,
+                                          in.producers, in.consumers, true));
+  EXPECT_NEAR(p.t_store, predict(in).t_store, 1e-12);
+}
+
+TEST(Calibrate, RatesAreBlockSizeIndependent) {
+  const auto in = basic();
+  const auto c = fit(observation_of(in));
+  ASSERT_TRUE(c.valid);
+  // Predicting the same data at double the block size halves nb and doubles
+  // the per-block times: the stage totals are unchanged.
+  const auto p2 = predict(calibrated_input(c, in.total_bytes, 2 * in.block_bytes,
+                                           in.producers, in.consumers, false));
+  const auto truth = predict(in);
+  EXPECT_NEAR(p2.t_transfer, truth.t_transfer, 1e-12);
+  EXPECT_NEAR(p2.t_analysis, truth.t_analysis, 1e-12);
+}
+
+TEST(Calibrate, RejectsEmptyObservations) {
+  TraceObservation obs;
+  const auto c = fit(obs);
+  EXPECT_FALSE(c.valid);
+  EXPECT_FALSE(c.note.empty());
+
+  TraceObservation untraced;
+  untraced.total_bytes = MiB;
+  const auto c2 = fit(untraced);
+  EXPECT_FALSE(c2.valid);
+  EXPECT_NE(c2.note.find("traced"), std::string::npos);
+  EXPECT_NE(summary(c2).find("invalid"), std::string::npos);
 }
 
 TEST(Schedule, NonIntegratedIsSumOfStages) {

@@ -1,8 +1,10 @@
-// Tests for the trace recorder and Gantt renderer.
+// Tests for the trace recorder, Gantt renderer, and the timeline analysis
+// layer (attribution analyzer + Chrome-trace exporter).
 #include <gtest/gtest.h>
 
 #include "sim/simulation.hpp"
 #include "trace/recorder.hpp"
+#include "trace/timeline.hpp"
 
 using namespace zipper;
 using trace::Cat;
@@ -112,4 +114,207 @@ TEST(Trace, GlyphsAreUniqueAcrossCategories) {
     glyphs.insert(trace::cat_glyph(static_cast<Cat>(c)));
   }
   EXPECT_EQ(glyphs.size(), static_cast<std::size_t>(Cat::kSteal) + 1);
+}
+
+// ----------------------------------------------------- regression: gantt ----
+
+TEST(Trace, GanttEmptyWindowRendersNoCells) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 100);
+  // t1 == t0 used to divide by zero (inf/NaN cell indices); now the frame
+  // renders with an empty cell area.
+  EXPECT_EQ(trace::render_gantt(rec, {0}, 50, 50, 10), "rank     0 ||\n");
+  // Inverted windows are equally empty, one row per requested rank.
+  const std::string g = trace::render_gantt(rec, {0, 1}, 80, 20, 10);
+  EXPECT_EQ(g, "rank     0 ||\nrank     1 ||\n");
+}
+
+TEST(Trace, GanttZeroWidthRendersNoCells) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 100);
+  EXPECT_EQ(trace::render_gantt(rec, {0}, 0, 100, 0), "rank     0 ||\n");
+}
+
+TEST(Trace, GanttExactCellWidthSpanDoesNotBleed) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 40, 70);  // exactly 3 cells of 10
+  const std::string g = trace::render_gantt(rec, {0}, 0, 100, 10);
+  EXPECT_NE(g.find("....CCC..."), std::string::npos);
+}
+
+TEST(Trace, GanttPartialEndCellRoundsUp) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 31);  // 3.1 cells -> ceil -> 4
+  const std::string g = trace::render_gantt(rec, {0}, 0, 100, 10);
+  EXPECT_NE(g.find("CCCC......"), std::string::npos);
+}
+
+TEST(Trace, WindowEqualStartKeepsRecordingOrder) {
+  Recorder rec;
+  rec.record(2, Cat::kStall, 0, 10);
+  rec.record(2, Cat::kCompute, 0, 10);
+  const auto w = rec.window(2, 0, 10);
+  ASSERT_EQ(w.size(), 2u);
+  // Equal-t0 spans must keep recording order (stable sort), so the
+  // later-recorded span overwrites the earlier one in the Gantt.
+  EXPECT_EQ(w[0].cat, Cat::kStall);
+  EXPECT_EQ(w[1].cat, Cat::kCompute);
+  const std::string g = trace::render_gantt(rec, {2}, 0, 10, 5);
+  EXPECT_NE(g.find("CCCCC"), std::string::npos);
+}
+
+// ------------------------------------------------------------- analyzer ----
+
+TEST(Timeline, StageRollupCoversEveryCategory) {
+  for (int c = 0; c <= static_cast<int>(Cat::kSteal); ++c) {
+    const auto s = trace::stage_of(static_cast<Cat>(c));
+    EXPECT_LT(static_cast<std::size_t>(s), trace::kNumStages);
+    EXPECT_FALSE(trace::stage_name(s).empty());
+  }
+  EXPECT_EQ(trace::stage_of(Cat::kStall), trace::Stage::kStall);
+  EXPECT_EQ(trace::stage_of(Cat::kLock), trace::Stage::kStall);
+  EXPECT_EQ(trace::stage_of(Cat::kCollision), trace::Stage::kCompute);
+  EXPECT_EQ(trace::stage_of(Cat::kTransfer), trace::Stage::kTransfer);
+  EXPECT_EQ(trace::stage_of(Cat::kStore), trace::Stage::kStore);
+}
+
+TEST(Timeline, NestedSpansChargeExclusively) {
+  Recorder rec;
+  // A PUT span with a stall recorded inside it (the producer_put pattern):
+  // the stall charges to Stall, only the remainder to Put.
+  rec.record(0, Cat::kPut, 0, 100);
+  rec.record(0, Cat::kStall, 50, 100);
+  rec.record(1, Cat::kAnalysis, 0, 150);
+  const auto a = trace::analyze(rec);
+  ASSERT_EQ(a.ranks.size(), 2u);
+  EXPECT_EQ(a.t_end, 150);
+  EXPECT_EQ(a.critical_rank, 1);
+  EXPECT_EQ(a.critical_cat, Cat::kAnalysis);
+
+  const auto& r0 = a.ranks[0];
+  EXPECT_EQ(r0.by_cat[static_cast<std::size_t>(Cat::kPut)], 50);
+  EXPECT_EQ(r0.by_cat[static_cast<std::size_t>(Cat::kStall)], 50);
+  EXPECT_EQ(r0.busy, 100);
+  EXPECT_EQ(r0.idle, 50);  // window is the run-wide t_end
+
+  const auto& r1 = a.ranks[1];
+  EXPECT_EQ(r1.busy, 150);
+  EXPECT_EQ(r1.idle, 0);
+  EXPECT_EQ(r1.dominant, Cat::kAnalysis);
+  EXPECT_EQ(a.bounding_stage, trace::Stage::kAnalysis);
+}
+
+TEST(Timeline, SameStartNestedSpansChargeTheInner) {
+  Recorder rec;
+  // A stall that begins at the same instant as its enclosing PUT (the
+  // common immediately-full-buffer case). DES spans are recorded at span
+  // END (ScopedSpan destructor), so the inner stall is recorded FIRST —
+  // the charge rule must still pick it while it is active.
+  rec.record(0, Cat::kStall, 0, 60);  // inner, ends (and records) first
+  rec.record(0, Cat::kPut, 0, 100);   // outer
+  const auto a = trace::analyze(rec);
+  const auto& r = a.ranks[0];
+  EXPECT_EQ(r.by_cat[static_cast<std::size_t>(Cat::kStall)], 60);
+  EXPECT_EQ(r.by_cat[static_cast<std::size_t>(Cat::kPut)], 40);
+  EXPECT_EQ(r.busy, 100);
+  EXPECT_EQ(r.dominant, Cat::kStall);
+}
+
+TEST(Timeline, LaterStartedConcurrentSpanWinsTheCharge) {
+  Recorder rec;
+  // Concurrent coroutines on one rank: compute with a transfer overlapping
+  // its middle. The more recently started span is the charged activity.
+  rec.record(0, Cat::kCompute, 0, 100);
+  rec.record(0, Cat::kTransfer, 30, 60);
+  const auto a = trace::analyze(rec);
+  const auto& r = a.ranks[0];
+  EXPECT_EQ(r.by_cat[static_cast<std::size_t>(Cat::kCompute)], 70);
+  EXPECT_EQ(r.by_cat[static_cast<std::size_t>(Cat::kTransfer)], 30);
+  EXPECT_EQ(r.busy, 100);
+  EXPECT_EQ(r.dominant, Cat::kCompute);
+}
+
+TEST(Timeline, DominantTieResolvesToEarlierCategory) {
+  Recorder rec;
+  rec.record(0, Cat::kStall, 0, 50);
+  rec.record(0, Cat::kCompute, 50, 100);
+  const auto a = trace::analyze(rec);
+  // 50/50 split: Compute (pipeline-earlier enum) wins the tie.
+  EXPECT_EQ(a.ranks[0].dominant, Cat::kCompute);
+}
+
+TEST(Timeline, AttributionTableNamesCriticalRankAndBound) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 100);
+  rec.record(7, Cat::kStall, 0, 400);
+  const auto a = trace::analyze(rec);
+  const std::string t = trace::attribution_table(a);
+  EXPECT_NE(t.find("<- critical rank"), std::string::npos);
+  EXPECT_NE(t.find("bounded by the stall stage"), std::string::npos);
+  EXPECT_NE(t.find("critical rank 7"), std::string::npos);
+}
+
+TEST(Timeline, AttributionTableElidesBeyondMaxRanksButKeepsCritical) {
+  Recorder rec;
+  for (int r = 0; r < 6; ++r) rec.record(r, Cat::kCompute, 0, 100 + r);
+  const auto a = trace::analyze(rec);
+  const std::string t = trace::attribution_table(a, 2);
+  EXPECT_NE(t.find("(3 of 6 ranks shown)"), std::string::npos);
+  EXPECT_NE(t.find("     5"), std::string::npos);  // critical rank row kept
+}
+
+TEST(Timeline, EmptyRecorderAnalyzesToNothing) {
+  Recorder rec;
+  const auto a = trace::analyze(rec);
+  EXPECT_EQ(a.t_end, 0);
+  EXPECT_TRUE(a.ranks.empty());
+  EXPECT_EQ(a.critical_rank, -1);
+}
+
+// ---------------------------------------------------------- chrome trace ----
+
+TEST(ChromeTrace, EmitsCompleteEventsAndMetadata) {
+  Recorder rec;
+  rec.record(3, Cat::kCompute, 1500, 4500);
+  rec.record(3, Cat::kStall, 4500, 5000);
+  trace::ChromeTrace ct;
+  ct.add_process(0, "lab/scenario-a", rec);
+  const std::string j = ct.json();
+  EXPECT_EQ(j.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(j.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(j.find("{\"name\":\"lab/scenario-a\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"thread_name\""), std::string::npos);
+  // Complete event with microsecond timestamps: 1500 ns -> ts 1.500.
+  EXPECT_NE(j.find("\"name\":\"Compute\",\"cat\":\"compute\",\"ph\":\"X\","
+                   "\"ts\":1.500,\"dur\":3.000,\"pid\":0,\"tid\":3"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"Stall\""), std::string::npos);
+}
+
+TEST(ChromeTrace, LongProcessNamesSurviveIntact) {
+  Recorder rec;
+  rec.record(0, Cat::kCompute, 0, 10);
+  const std::string name(300, 'x');  // longer than any fixed event buffer
+  trace::ChromeTrace ct;
+  ct.add_process(0, name + "\"quoted\"", rec);
+  const std::string j = ct.json();
+  EXPECT_NE(j.find(name + "\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(j.find("\"}}"), std::string::npos);  // event object closed
+}
+
+TEST(ChromeTrace, MultipleProcessesShareOneDocument) {
+  Recorder a, b;
+  a.record(0, Cat::kCompute, 0, 10);
+  b.record(0, Cat::kAnalysis, 0, 10);
+  trace::ChromeTrace ct;
+  ct.add_process(0, "first", a);
+  ct.add_process(1, "second", b);
+  const std::string j = ct.json();
+  EXPECT_NE(j.find("{\"name\":\"first\"}"), std::string::npos);
+  EXPECT_NE(j.find("{\"name\":\"second\"}"), std::string::npos);
+  EXPECT_NE(j.find("\"pid\":1"), std::string::npos);
+  // Events are comma-separated objects: no ",," and no trailing comma.
+  EXPECT_EQ(j.find(",,"), std::string::npos);
+  EXPECT_EQ(j.find(",\n]"), std::string::npos);
 }

@@ -6,6 +6,12 @@
 //                                        CSV/JSON artifacts per figure
 //   zipper_lab sweep [axis flags] [-j N] run a custom experiment grid the
 //                                        paper never shipped
+//   zipper_lab analyze <name...|axis flags>
+//                                        performance-analysis pipeline: runs
+//                                        the scenarios traced, prints per-rank
+//                                        stall attribution, fits the §4.4
+//                                        model from the traces, and writes
+//                                        Chrome-trace + analysis artifacts
 //
 // Sweep axes (comma-separated lists; each optional):
 //   --method=zipper,decaf,flexpath,mpiio,dataspaces,dimes,
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "core/sched/sched.hpp"
+#include "exp/analyze.hpp"
 #include "exp/artifacts.hpp"
 #include "exp/engine.hpp"
 #include "exp/grid.hpp"
@@ -53,6 +60,8 @@ int usage(int code) {
       "  zipper_lab run <figure...> [--full] [-j N] [--no-artifacts]\n"
       "                 [--artifacts-dir=DIR] [--progress]\n"
       "  zipper_lab sweep [axis flags] [-j N] [--csv=F] [--json=F] [--quiet]\n"
+      "  zipper_lab analyze <figure...|axis flags> [--full] [-j N]\n"
+      "                 [--ranks=N] [--artifacts-dir=DIR] [--no-artifacts]\n"
       "\n"
       "Run `zipper_lab list` for the registered figures; see docs/figures.md\n"
       "for the figure-by-figure map and README.md for sweep examples.\n");
@@ -149,9 +158,15 @@ int cmd_run(int argc, char** argv) {
     } else if (flag_value(arg, "--artifacts-dir", &v)) {
       opts.artifacts_dir = v;
     } else if (arg == "-j" && i + 1 < argc) {
-      opts.jobs = std::atoi(argv[++i]);
+      if (!parse_jobs(argv[++i], &opts.jobs)) {
+        std::fprintf(stderr, "invalid -j value '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-      opts.jobs = std::atoi(arg.c_str() + 2);
+      if (!parse_jobs(arg.c_str() + 2, &opts.jobs)) {
+        std::fprintf(stderr, "invalid -j value '%s'\n", arg.c_str() + 2);
+        return 2;
+      }
     } else if (arg == "--progress") {
       opts.progress = true;
     } else if (arg == "all") {
@@ -181,22 +196,49 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
-int cmd_sweep(int argc, char** argv) {
+// Everything the sweep-flag parser can set, shared by `sweep` (which runs
+// the grid and prints the result table) and `analyze` (which runs the grid
+// through the performance-analysis pipeline).
+struct SweepCli {
   SweepGrid grid;
-  grid.base.steps = 8;
-  grid.base.producers = 136;  // 204 cores at the 2:1 split
-  grid.base.consumers = 68;
-  grid.base.method = transports::Method::kZipper;
-
   int jobs = 1;
   bool quiet = false;
   bool with_model = false;
   bool explicit_ranks = false;
+  bool non_job_flag_seen = false;  // any flag other than -j consumed
   std::string csv_path, json_path;
 
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    std::string v;
+  SweepCli() {
+    grid.base.steps = 8;
+    grid.base.producers = 136;  // 204 cores at the 2:1 split
+    grid.base.consumers = 68;
+    grid.base.method = transports::Method::kZipper;
+  }
+};
+
+/// Cross-flag validation shared by every command that parses sweep flags.
+/// Returns 0 when consistent, 2 (after reporting) otherwise.
+int check_sweep_conflicts(const SweepCli& cli, const char* cmd) {
+  if (cli.explicit_ranks && !cli.grid.cores.empty()) {
+    // The --cores axis would silently overwrite the explicit split.
+    std::fprintf(stderr,
+                 "%s: --producers/--consumers conflict with --cores; "
+                 "use one or the other\n",
+                 cmd);
+    return 2;
+  }
+  return 0;
+}
+
+/// Parses the sweep flag at argv[*i] (consuming argv[*i + 1] for "-j N").
+/// Returns 0 when consumed, 1 when argv[*i] is not a sweep flag, 2 on a
+/// malformed value (already reported to stderr).
+int parse_one_sweep_flag(int argc, char** argv, int* i, SweepCli* cli) {
+  SweepGrid& grid = cli->grid;
+  const std::string arg = argv[*i];
+  std::string v;
+  cli->non_job_flag_seen = cli->non_job_flag_seen || arg.rfind("-j", 0) != 0;
+  {
     if (flag_value(arg, "--method", &v)) {
       for (const auto& tok : split_csv(v)) {
         if (tok == "sim-only" || tok == "none") {
@@ -223,10 +265,10 @@ int cmd_sweep(int argc, char** argv) {
       for (const auto& tok : split_csv(v)) grid.cores.push_back(std::atoi(tok.c_str()));
     } else if (flag_value(arg, "--producers", &v)) {
       grid.base.producers = std::atoi(v.c_str());
-      explicit_ranks = true;
+      cli->explicit_ranks = true;
     } else if (flag_value(arg, "--consumers", &v)) {
       grid.base.consumers = std::atoi(v.c_str());
-      explicit_ranks = true;
+      cli->explicit_ranks = true;
     } else if (flag_value(arg, "--servers", &v)) {
       grid.base.servers = std::atoi(v.c_str());
     } else if (flag_value(arg, "--steps", &v)) {
@@ -296,32 +338,44 @@ int cmd_sweep(int argc, char** argv) {
     } else if (flag_value(arg, "--label", &v)) {
       grid.label_prefix = v;
     } else if (arg == "--model") {
-      with_model = true;
+      cli->with_model = true;
     } else if (arg == "--trace") {
       grid.base.record_traces = true;
     } else if (flag_value(arg, "--csv", &v)) {
-      csv_path = v;
+      cli->csv_path = v;
     } else if (flag_value(arg, "--json", &v)) {
-      json_path = v;
-    } else if (arg == "-j" && i + 1 < argc) {
-      jobs = std::atoi(argv[++i]);
+      cli->json_path = v;
+    } else if (arg == "-j" && *i + 1 < argc) {
+      if (!parse_jobs(argv[++*i], &cli->jobs)) {
+        std::fprintf(stderr, "invalid -j value '%s'\n", argv[*i]);
+        return 2;
+      }
     } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
-      jobs = std::atoi(arg.c_str() + 2);
+      if (!parse_jobs(arg.c_str() + 2, &cli->jobs)) {
+        std::fprintf(stderr, "invalid -j value '%s'\n", arg.c_str() + 2);
+        return 2;
+      }
     } else if (arg == "--quiet") {
-      quiet = true;
+      cli->quiet = true;
     } else {
-      return unknown_sweep_flag(arg);
+      return 1;
     }
   }
-  if (jobs < 1) jobs = 1;
-  if (explicit_ranks && !grid.cores.empty()) {
-    // The --cores axis would silently overwrite the explicit split.
-    std::fprintf(stderr,
-                 "sweep: --producers/--consumers conflict with --cores; "
-                 "use one or the other\n");
-    return 2;
+  return 0;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  SweepCli cli;
+  for (int i = 2; i < argc; ++i) {
+    const int rc = parse_one_sweep_flag(argc, argv, &i, &cli);
+    if (rc == 2) return 2;
+    if (rc == 1) return unknown_sweep_flag(argv[i]);
   }
-  grid.base.with_model = with_model;
+  SweepGrid& grid = cli.grid;
+  int jobs = cli.jobs;
+  if (jobs < 1) jobs = 1;
+  if (const int rc = check_sweep_conflicts(cli, "sweep")) return rc;
+  grid.base.with_model = cli.with_model;
 
   auto specs = grid.expand();
   std::printf("sweep: %zu scenarios, %d thread%s\n", specs.size(), jobs,
@@ -329,7 +383,7 @@ int cmd_sweep(int argc, char** argv) {
 
   SweepOptions sweep_opts;
   sweep_opts.jobs = jobs;
-  if (!quiet) {
+  if (!cli.quiet) {
     sweep_opts.on_done = [](const ScenarioSpec& spec, const ScenarioResult& r,
                             std::size_t done, std::size_t total) {
       std::fprintf(stderr, "[%zu/%zu] %-48s %s\n", done, total,
@@ -342,7 +396,7 @@ int cmd_sweep(int argc, char** argv) {
   // Compact result table: the metrics every scenario has.
   std::printf("\n%-48s %12s %12s %10s", "label", "end2end(s)", "stall(s)",
               "xmitwait");
-  if (with_model) std::printf(" %12s %9s", "model(s)", "err");
+  if (cli.with_model) std::printf(" %12s %9s", "model(s)", "err");
   std::printf("\n");
   for (const auto& r : results) {
     if (r.crashed) {
@@ -351,28 +405,105 @@ int cmd_sweep(int argc, char** argv) {
     }
     std::printf("%-48s %12.2f %12.2f %10.2e", r.label.c_str(),
                 r.get("end_to_end_s"), r.get("stall_s"), r.get("xmit_wait"));
-    if (with_model && r.has("model_end_to_end_s")) {
+    if (cli.with_model && r.has("model_end_to_end_s")) {
       std::printf(" %12.2f %8.1f%%", r.get("model_end_to_end_s"),
                   r.get("model_rel_error") * 100.0);
     }
     std::printf("\n");
   }
 
-  if (!csv_path.empty()) {
-    if (!write_file(csv_path, to_csv(results))) {
-      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+  if (!cli.csv_path.empty()) {
+    if (!write_file(cli.csv_path, to_csv(results))) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.csv_path.c_str());
       return 1;
     }
-    std::printf("\ncsv: %s\n", csv_path.c_str());
+    std::printf("\ncsv: %s\n", cli.csv_path.c_str());
   }
-  if (!json_path.empty()) {
-    if (!write_file(json_path, to_json(results))) {
-      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+  if (!cli.json_path.empty()) {
+    if (!write_file(cli.json_path, to_json(results))) {
+      std::fprintf(stderr, "error: cannot write %s\n", cli.json_path.c_str());
       return 1;
     }
-    std::printf("json: %s\n", json_path.c_str());
+    std::printf("json: %s\n", cli.json_path.c_str());
   }
   return 0;
+}
+
+// ------------------------------------------------------------- analyze ----
+
+int cmd_analyze(int argc, char** argv) {
+  AnalyzeOptions opts;
+  std::vector<std::string> names;
+  SweepCli cli;
+  cli.quiet = true;  // analyze prints its own tables
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (arg == "--full") {
+      opts.full = true;
+    } else if (arg == "--no-artifacts") {
+      opts.write_artifacts = false;
+    } else if (flag_value(arg, "--artifacts-dir", &v)) {
+      opts.artifacts_dir = v;
+    } else if (flag_value(arg, "--ranks", &v)) {
+      int n = 0;
+      if (!parse_jobs(v.c_str(), &n) || n < 1) {
+        std::fprintf(stderr, "invalid --ranks value '%s'\n", v.c_str());
+        return 2;
+      }
+      opts.table_ranks = static_cast<std::size_t>(n);
+    } else if (arg == "--progress") {
+      opts.progress = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      names.push_back(arg);
+    } else {
+      const int rc = parse_one_sweep_flag(argc, argv, &i, &cli);
+      if (rc == 2) return 2;
+      if (rc == 1) return unknown_sweep_flag(argv[i]);
+    }
+  }
+  opts.jobs = cli.jobs < 1 ? 1 : cli.jobs;
+  if (names.empty() && !cli.non_job_flag_seen) {
+    // Nothing to analyze: fail fast instead of silently launching the
+    // default sweep grid (136 traced ranks).
+    std::fprintf(stderr,
+                 "analyze: no figure or sweep axes given; try `zipper_lab "
+                 "list` for figures or `zipper_lab help` for axis flags\n");
+    return 2;
+  }
+  if (!names.empty() && cli.non_job_flag_seen) {
+    std::fprintf(stderr,
+                 "analyze: pass either figure names or sweep axis flags, "
+                 "not both\n");
+    return 2;
+  }
+  if (!cli.csv_path.empty() || !cli.json_path.empty() || cli.with_model) {
+    std::fprintf(stderr,
+                 "analyze: --csv/--json/--model are not applicable; the "
+                 "pipeline always writes <name>.analysis.{csv,json} (use "
+                 "--artifacts-dir) and always fits the model\n");
+    return 2;
+  }
+
+  if (!names.empty()) {
+    for (const auto& name : names) {
+      const FigureDef* fig = find_figure(name);
+      if (!fig) {
+        std::fprintf(stderr, "unknown figure '%s'; try `zipper_lab list`\n",
+                     name.c_str());
+        return 2;
+      }
+      const int rc = analyze_figure(*fig, opts);
+      if (rc != 0) return rc;
+    }
+    return 0;
+  }
+
+  // Grid mode: the sweep axes define the scenario set, analyzed under the
+  // --label prefix (default "sweep").
+  if (const int rc = check_sweep_conflicts(cli, "analyze")) return rc;
+  return analyze_scenarios(cli.grid.label_prefix, cli.grid.expand(), opts);
 }
 
 }  // namespace
@@ -383,6 +514,7 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list(argc, argv);
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "sweep") return cmd_sweep(argc, argv);
+  if (cmd == "analyze") return cmd_analyze(argc, argv);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(0);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return usage(2);
