@@ -12,6 +12,7 @@
 namespace zipper::exp {
 
 int run_figure(const FigureDef& fig, const LabOptions& opts) {
+  if (fig.run_tuned) return fig.run_tuned(fig, opts);
   const auto specs = fig.scenarios(opts.full);
 
   SweepOptions sweep;

@@ -24,6 +24,8 @@ struct FigureContext {
   const ScenarioResult* find(const std::string& label) const;
 };
 
+struct LabOptions;  // lab.hpp
+
 struct FigureDef {
   std::string name;    // registry key: "fig02", "ablation-block-size", ...
   std::string paper;   // "Figure 2", "Ablation", ...
@@ -31,6 +33,10 @@ struct FigureDef {
   std::string expect;  // the qualitative result to look for
   std::vector<ScenarioSpec> (*scenarios)(bool full);
   void (*present)(const FigureContext& ctx);
+  // Non-null for tuner-backed figures (ablation_tune): run_figure delegates
+  // here instead of the sweep-and-present path. scenarios() still returns
+  // the tuner's base scenario so `list` counts and `analyze` work unchanged.
+  int (*run_tuned)(const FigureDef& fig, const LabOptions& opts) = nullptr;
 };
 
 /// All registered figures, in paper order.

@@ -16,7 +16,7 @@ ModelPrediction predict(const ModelInput& in) {
   const double nb = static_cast<double>(out.num_blocks);
   out.t_comp = in.tc_s * nb / in.producers;
   out.t_transfer = in.tm_s * nb / in.producers;
-  out.t_analysis = in.ta_s * nb / in.consumers;
+  out.t_analysis = in.ta_s * nb / in.consumers * in.analysis_load_factor;
   out.t_store = in.preserve
                     ? static_cast<double>(in.total_bytes) / in.pfs_write_bandwidth
                     : 0.0;

@@ -27,6 +27,12 @@ struct ModelInput {
   double ta_s = 0;                 // analysis time per block (one core)
   bool preserve = false;
   double pfs_write_bandwidth = 24e9;  // aggregate bytes/s (Preserve mode)
+  // Load concentration on the busiest consumer. The base model assumes the
+  // nb blocks spread evenly over Q consumers; a routing policy that pins
+  // producers to consumers (the static contiguous map with Q ∤ P) loads the
+  // busiest consumer ceil(P/Q)·Q/P times the even share, and the analysis
+  // stage finishes only when *it* does. 1 (the default) is the even split.
+  double analysis_load_factor = 1.0;
 };
 
 struct ModelPrediction {

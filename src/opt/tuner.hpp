@@ -1,0 +1,179 @@
+// Model-guided auto-tuner: closes the calibrate -> predict -> optimize loop.
+//
+// The §4.4 model exists to *choose* good Zipper configurations, not just
+// explain them. The Tuner does exactly that over the PR-3 schedule space
+// (route x spill x consumer-steal x adaptive-block) plus the numeric knobs
+// (block size, spill high-water mark, server count):
+//
+//   1. Probe    — run the base configuration once, traced, at full fidelity.
+//                 This measures the default objective AND feeds
+//                 model::calibrate, which fits the per-byte tc/tm/ta rates
+//                 and the PFS bandwidth from the trace.
+//   2. Score    — every candidate in the grid is scored analytically with
+//                 the calibrated model (zero simulation cost). The scorer
+//                 extends §4.4 with a bottleneck-consumer view: under static
+//                 contiguous routing the busiest consumer serves ceil(P/Q)
+//                 producers, so its queue — not the even split — bounds both
+//                 the analysis stage and the producer stall it reflects
+//                 back. Spill-enabled candidates drain the producer buffer
+//                 through sender + writer concurrently, decoupling the
+//                 producer from consumer backpressure.
+//   3. Validate — only the top-K analytic survivors get real DES runs,
+//                 successive-halving style: round r runs n_r candidates at a
+//                 reduced step count, keeps the best half, and raises the
+//                 fidelity, until the final round runs at the base spec's
+//                 full step count (directly comparable to the probe).
+//
+// Every sweep goes through exp::run_sweep, so the whole tune — including the
+// final chosen config — is byte-identical at any `-j`. The budget is a hard
+// cap on total DES runs (probe included); docs/tuning.md derives the round
+// sizes and fidelity ladder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sched/sched.hpp"
+#include "exp/scenario.hpp"
+#include "model/calibrate.hpp"
+
+namespace zipper::opt {
+
+enum class Objective {
+  kEndToEnd,       // minimize end_to_end_s
+  kProducerStall,  // minimize stall_s / producers (mean per-producer stall)
+};
+
+/// Stable CLI tokens: "e2e", "stall".
+std::string objective_token(Objective o);
+std::optional<Objective> parse_objective(const std::string& token);
+
+/// One point of the search space: every knob the tuner may change on the
+/// base spec. Spill-off candidates carry the base spill kind and high-water
+/// mark so the grid never holds two spellings of one configuration.
+struct Candidate {
+  core::sched::RouteKind route = core::sched::RouteKind::kStatic;
+  bool consumer_steal = false;
+  bool adaptive_block = false;
+  std::uint64_t block_bytes = 0;
+  bool spill_enabled = false;
+  core::sched::SpillKind spill = core::sched::SpillKind::kHighWater;
+  double high_water = 0.5;
+  std::optional<int> servers;  // nullopt: keep the base spec's server count
+
+  /// Unique label fragment, e.g. "route-lq+csteal/b1024k/spill-adapt/hw0.5".
+  std::string token() const;
+
+  /// The base spec with this candidate's knobs applied (label = tune/<token>).
+  exp::ScenarioSpec apply(const exp::ScenarioSpec& base) const;
+};
+
+/// Axis lists, expanded to the cartesian candidate grid. Empty numeric axes
+/// contribute the base spec's value; the high-water axis only varies for
+/// spill-enabled candidates (it is inert otherwise).
+struct SearchSpace {
+  std::vector<core::sched::RouteKind> routes{
+      core::sched::RouteKind::kStatic, core::sched::RouteKind::kRoundRobin,
+      core::sched::RouteKind::kLeastQueued};
+  std::vector<int> consumer_steal{0, 1};
+  std::vector<int> adaptive_block{0, 1};
+  std::vector<std::uint64_t> block_bytes;  // empty: base block size only
+  // nullopt = spill off; the default spans off + all three spill policies.
+  std::vector<std::optional<core::sched::SpillKind>> spills{
+      std::nullopt, core::sched::SpillKind::kHighWater,
+      core::sched::SpillKind::kHysteresis, core::sched::SpillKind::kAdaptive};
+  std::vector<double> high_water;  // empty: base threshold only
+  std::vector<int> servers;        // empty: base server count only
+
+  /// The grid, row-major in the axis order declared above (spill innermost
+  /// of the policy axes, so analytic ties validate diverse spill kinds).
+  std::vector<Candidate> enumerate(const exp::ScenarioSpec& base) const;
+};
+
+struct TuneOptions {
+  Objective objective = Objective::kProducerStall;
+  int budget = 16;  // hard cap on DES runs, probe included
+  int rounds = 3;   // successive-halving rounds (fidelity ladder length)
+  int jobs = 1;     // sweep threads per round; never changes any number
+  bool progress = false;  // per-phase progress lines to stderr
+};
+
+struct CandidateOutcome {
+  Candidate cand;
+  double predicted = 0;     // analytic objective, seconds
+  double simulated = 0;     // NaN until the candidate earns a DES run
+  int steps_simulated = 0;  // fidelity of `simulated` (0: never simulated)
+  int rounds_survived = 0;  // 0: pruned analytically
+  int final_rank = -1;      // standing among final-round survivors (1-based)
+  std::string note;         // crash message, when a validation run crashed
+};
+
+struct TuneReport {
+  bool ok = false;
+  std::string note;  // why the tune was rejected, when !ok
+  Objective objective = Objective::kProducerStall;
+  model::Calibration calib;
+  bool calib_from_trace = false;  // false: fell back to configured rates
+  double default_objective = 0;   // base config, full fidelity (the probe)
+  double default_end_to_end = 0;
+  std::size_t grid_size = 0;  // runs an exhaustive sweep would need
+  int sim_runs = 0;           // DES runs actually spent, probe included
+  std::vector<int> round_sizes;  // candidates entering each halving round
+  std::vector<int> round_steps;  // fidelity ladder (final == base steps)
+  std::vector<CandidateOutcome> outcomes;  // grid order
+  int chosen = -1;  // index into outcomes; -1: keep the default config
+
+  const CandidateOutcome* chosen_outcome() const;
+  /// Fractional objective reduction vs the default; 0 when keeping it.
+  double improvement() const;
+};
+
+/// Successive-halving round sizes: the largest ladder n0, ceil(n0/2), ... of
+/// `rounds` rounds whose total fits `budget` runs, capped at `candidates`
+/// entrants. Fewer rounds when budget < rounds; empty when budget < 1.
+std::vector<int> halving_rounds(int candidates, int budget, int rounds);
+
+/// Fidelity ladder: round r of n runs at ceil(full_steps * (r+1) / n) steps
+/// (at least 2 when full_steps allows), so the final round is full fidelity.
+std::vector<int> halving_steps(int full_steps, int rounds);
+
+class Tuner {
+ public:
+  Tuner(exp::ScenarioSpec base, SearchSpace space, TuneOptions opts);
+
+  /// The whole loop: probe, calibrate, score, validate. Deterministic at
+  /// any opts.jobs. A report with !ok (and a note) when the base spec
+  /// cannot be tuned or the budget cannot fund a single validation run.
+  TuneReport run() const;
+
+  /// The analytic objective for one candidate under a calibration — the
+  /// phase-2 scorer, exposed for tests and docs examples.
+  double predict_objective(const Candidate& cand,
+                           const model::Calibration& calib) const;
+
+ private:
+  exp::ScenarioSpec base_;
+  SearchSpace space_;
+  TuneOptions opts_;
+};
+
+/// Flattens a report into artifact rows: one "default" row (the measured
+/// baseline) plus one row per candidate in grid order with predicted_s,
+/// simulated_s, steps_simulated, rounds_survived, final_rank, chosen.
+/// Feed to exp::to_csv / exp::to_json for the .tune.{csv,json} artifacts.
+std::vector<exp::ScenarioResult> report_rows(const TuneReport& rep);
+
+/// End-to-end driver shared by `zipper_lab tune` and the ablation_tune
+/// figure: runs the Tuner, prints the narrative report, and writes
+/// <dir>/<name>.tune.{csv,json}. Returns a process exit code.
+struct TuneLabOptions {
+  TuneOptions tune;
+  bool write_artifacts = true;
+  std::string artifacts_dir = "artifacts";
+};
+int run_tune(const std::string& name, const exp::ScenarioSpec& base,
+             const SearchSpace& space, const TuneLabOptions& opts);
+
+}  // namespace zipper::opt

@@ -48,6 +48,21 @@ TEST(Model, DominantSwitchesWithComputeTime) {
   EXPECT_DOUBLE_EQ(p.t_end_to_end, p.t_comp);
 }
 
+TEST(Model, AnalysisLoadFactorScalesTheAnalysisStage) {
+  // The even-split model times the analysis stage by Q; a pinned routing
+  // that loads the busiest consumer 2x finishes only when it does.
+  auto in = basic();
+  const auto even = predict(in);
+  in.analysis_load_factor = 2.0;
+  const auto skewed = predict(in);
+  EXPECT_DOUBLE_EQ(skewed.t_analysis, 2.0 * even.t_analysis);
+  EXPECT_DOUBLE_EQ(skewed.t_comp, even.t_comp);
+  EXPECT_DOUBLE_EQ(skewed.t_transfer, even.t_transfer);
+  EXPECT_DOUBLE_EQ(skewed.t_end_to_end,
+                   std::max({skewed.t_comp, skewed.t_transfer,
+                             skewed.t_analysis}));
+}
+
 TEST(Model, PreserveAddsStoreStage) {
   auto in = basic();
   in.preserve = true;

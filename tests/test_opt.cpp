@@ -1,0 +1,245 @@
+// The model-guided auto-tuner: candidate-grid enumeration, the
+// successive-halving budget math, the -j determinism of the tune artifacts,
+// and the end-to-end contract on the imbalanced-CFD schedule space — the
+// tuned config must beat the static default on a fraction of an exhaustive
+// sweep's runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "exp/artifacts.hpp"
+#include "exp/registry.hpp"
+#include "opt/tuner.hpp"
+
+using namespace zipper;
+using namespace zipper::opt;
+using core::sched::RouteKind;
+using core::sched::SpillKind;
+
+namespace {
+
+/// The quick-mode imbalanced-CFD baseline of ablation_sched (6 producers ->
+/// 4 consumers: the static contiguous map doubles half the consumers'
+/// load), fetched from the registry so the tests track the figure.
+exp::ScenarioSpec sched_base() {
+  const auto* fig = exp::find_figure("ablation_sched");
+  EXPECT_NE(fig, nullptr);
+  auto base = fig->scenarios(false).front();
+  base.label = "tune-test";
+  return base;
+}
+
+int total_runs(const std::vector<int>& sizes) {
+  return std::accumulate(sizes.begin(), sizes.end(), 0);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ objectives --
+
+TEST(Objective, TokensRoundTrip) {
+  for (const auto o : {Objective::kEndToEnd, Objective::kProducerStall}) {
+    const auto parsed = parse_objective(objective_token(o));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, o);
+  }
+  EXPECT_EQ(parse_objective("end-to-end"), Objective::kEndToEnd);
+  EXPECT_EQ(parse_objective("producer-stall"), Objective::kProducerStall);
+  EXPECT_FALSE(parse_objective("latency").has_value());
+}
+
+// ----------------------------------------------------------- enumeration --
+
+TEST(SearchSpace, DefaultGridSpansPolicyAxesOnce) {
+  const auto base = sched_base();
+  const auto cands = SearchSpace{}.enumerate(base);
+  // 3 routes x 2 csteal x 2 ablk x (1 spill-off + 3 spill kinds) = 48.
+  EXPECT_EQ(cands.size(), 48u);
+  std::set<std::string> tokens;
+  for (const auto& c : cands) tokens.insert(c.token());
+  EXPECT_EQ(tokens.size(), cands.size()) << "duplicate candidate tokens";
+  // The default configuration is the first grid point.
+  EXPECT_EQ(cands.front().route, RouteKind::kStatic);
+  EXPECT_FALSE(cands.front().spill_enabled);
+  EXPECT_EQ(cands.front().block_bytes, base.zipper.block_bytes);
+}
+
+TEST(SearchSpace, NumericAxesMultiplyAndThresholdOnlyVariesSpill) {
+  const auto base = sched_base();
+  SearchSpace space;
+  space.block_bytes = {512 * common::KiB, common::MiB};
+  space.high_water = {0.25, 0.75};
+  const auto cands = space.enumerate(base);
+  // Per (route, csteal, ablk, block): 1 spill-off + 3 kinds x 2 thresholds.
+  EXPECT_EQ(cands.size(), 3u * 2 * 2 * 2 * (1 + 3 * 2));
+  std::set<std::string> tokens;
+  for (const auto& c : cands) {
+    tokens.insert(c.token());
+    if (!c.spill_enabled) {
+      // Spill-off candidates keep the base threshold: no duplicate spelling
+      // of the same configuration.
+      EXPECT_EQ(c.high_water, base.zipper.high_water);
+    }
+  }
+  EXPECT_EQ(tokens.size(), cands.size());
+}
+
+TEST(SearchSpace, ApplySetsEveryKnob) {
+  const auto base = sched_base();
+  Candidate c;
+  c.route = RouteKind::kLeastQueued;
+  c.consumer_steal = true;
+  c.adaptive_block = true;
+  c.block_bytes = 2 * common::MiB;
+  c.spill_enabled = true;
+  c.spill = SpillKind::kHysteresis;
+  c.high_water = 0.75;
+  c.servers = 3;
+  const auto s = c.apply(base);
+  EXPECT_EQ(s.zipper.sched.route, RouteKind::kLeastQueued);
+  EXPECT_TRUE(s.zipper.sched.consumer_steal);
+  EXPECT_EQ(s.zipper.sched.block_size, core::sched::BlockSizeKind::kAdaptive);
+  EXPECT_EQ(s.zipper.block_bytes, 2 * common::MiB);
+  EXPECT_TRUE(s.zipper.enable_steal);
+  EXPECT_EQ(s.zipper.sched.spill, SpillKind::kHysteresis);
+  EXPECT_EQ(s.zipper.high_water, 0.75);
+  ASSERT_TRUE(s.servers.has_value());
+  EXPECT_EQ(*s.servers, 3);
+  EXPECT_EQ(s.label, "tune/" + c.token());
+}
+
+// --------------------------------------------------------- halving math --
+
+TEST(Halving, LadderFitsBudgetAndHalves) {
+  const auto sizes = halving_rounds(144, 15, 3);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 8);  // 8 + 4 + 2 = 14 <= 15; n0 = 9 would need 17
+  EXPECT_EQ(sizes[1], 4);
+  EXPECT_EQ(sizes[2], 2);
+  EXPECT_LE(total_runs(sizes), 15);
+}
+
+TEST(Halving, EntrantsCappedAtGridSize) {
+  const auto sizes = halving_rounds(4, 100, 3);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4);
+  EXPECT_EQ(sizes[1], 2);
+  EXPECT_EQ(sizes[2], 1);
+}
+
+TEST(Halving, TinyBudgetDropsRounds) {
+  // budget 2 cannot fund 3 rounds: the ladder shrinks to 2 single-run
+  // rounds rather than overspending.
+  const auto sizes = halving_rounds(48, 2, 3);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 1);
+  EXPECT_EQ(sizes[1], 1);
+  EXPECT_TRUE(halving_rounds(48, 0, 3).empty());
+  EXPECT_TRUE(halving_rounds(0, 10, 3).empty());
+}
+
+TEST(Halving, StepsLadderEndsAtFullFidelity) {
+  const auto steps = halving_steps(10, 3);
+  ASSERT_EQ(steps.size(), 3u);
+  EXPECT_EQ(steps[0], 4);  // ceil(10/3)
+  EXPECT_EQ(steps[1], 7);  // ceil(20/3)
+  EXPECT_EQ(steps[2], 10);
+  // One round: straight to full fidelity. Degenerate base: never above it.
+  EXPECT_EQ(halving_steps(10, 1), std::vector<int>{10});
+  EXPECT_EQ(halving_steps(1, 3), (std::vector<int>{1, 1, 1}));
+}
+
+// ----------------------------------------------------------- tune runs ----
+
+TEST(Tuner, RejectsNonZipperBaseAndTinyBudget) {
+  auto base = sched_base();
+  TuneOptions opts;
+  opts.budget = 4;
+  {
+    auto no_method = base;
+    no_method.method = std::nullopt;
+    const auto rep = Tuner(no_method, SearchSpace{}, opts).run();
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.note.find("Zipper"), std::string::npos);
+  }
+  {
+    TuneOptions tiny = opts;
+    tiny.budget = 1;
+    const auto rep = Tuner(base, SearchSpace{}, tiny).run();
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.note.find("budget"), std::string::npos);
+  }
+  {
+    TuneOptions no_rounds = opts;
+    no_rounds.rounds = 0;
+    const auto rep = Tuner(base, SearchSpace{}, no_rounds).run();
+    EXPECT_FALSE(rep.ok);
+    EXPECT_NE(rep.note.find("rounds"), std::string::npos);
+  }
+}
+
+TEST(Tuner, TuneCsvBitwiseIdenticalAcrossJobs) {
+  const auto base = sched_base();
+  SearchSpace space;  // 48 candidates; budget 8 -> a 4 -> 2 -> 1 ladder
+  TuneOptions opts;
+  opts.budget = 8;
+  opts.jobs = 1;
+  const auto r1 = Tuner(base, space, opts).run();
+  opts.jobs = 4;
+  const auto r4 = Tuner(base, space, opts).run();
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r4.ok);
+  EXPECT_EQ(exp::to_csv(report_rows(r1)), exp::to_csv(report_rows(r4)));
+  EXPECT_EQ(exp::to_json(report_rows(r1)), exp::to_json(report_rows(r4)));
+  EXPECT_EQ(r1.chosen, r4.chosen);
+}
+
+TEST(Tuner, TunedConfigBeatsStaticDefaultOnImbalancedCfd) {
+  // The acceptance contract: on ablation_sched's quick-mode base (fixed
+  // seed by construction — the DES is deterministic), a 16-run budget must
+  // find a config cutting producer stall >= 10% vs the static default,
+  // spending at most half of what the exhaustive 48-candidate sweep would.
+  const auto base = sched_base();
+  TuneOptions opts;
+  opts.objective = Objective::kProducerStall;
+  opts.budget = 16;
+  opts.jobs = 4;
+  const auto rep = Tuner(base, SearchSpace{}, opts).run();
+  ASSERT_TRUE(rep.ok) << rep.note;
+  EXPECT_TRUE(rep.calib_from_trace);
+  ASSERT_NE(rep.chosen_outcome(), nullptr)
+      << "tuner kept the default configuration";
+  EXPECT_GE(rep.improvement(), 0.10);
+  EXPECT_LE(rep.sim_runs, static_cast<int>(rep.grid_size) / 2);
+  // The winner was validated at full fidelity, so the comparison against
+  // the probe is apples-to-apples.
+  EXPECT_EQ(rep.chosen_outcome()->steps_simulated, base.steps);
+  EXPECT_EQ(rep.chosen_outcome()->final_rank, 1);
+}
+
+TEST(Tuner, ReportRowsCarryTheGridAndTheChoice) {
+  const auto base = sched_base();
+  TuneOptions opts;
+  opts.budget = 6;
+  const auto rep = Tuner(base, SearchSpace{}, opts).run();
+  ASSERT_TRUE(rep.ok);
+  const auto rows = report_rows(rep);
+  ASSERT_EQ(rows.size(), rep.outcomes.size() + 1);
+  EXPECT_EQ(rows.front().label, "default");
+  EXPECT_EQ(rows.front().get("simulated_s"), rep.default_objective);
+  int chosen_rows = 0;
+  for (const auto& r : rows) chosen_rows += r.get("chosen") > 0 ? 1 : 0;
+  EXPECT_EQ(chosen_rows, 1) << "exactly one row must be marked chosen";
+  // Pruned candidates keep NaN simulated cells (empty in CSV), never 0 —
+  // a 0 would read as a perfect run.
+  bool saw_pruned = false;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rep.outcomes[i - 1].rounds_survived == 0) {
+      saw_pruned = true;
+      EXPECT_TRUE(std::isnan(rows[i].get("simulated_s")));
+    }
+  }
+  EXPECT_TRUE(saw_pruned);
+}

@@ -12,6 +12,14 @@
 //                                        stall attribution, fits the §4.4
 //                                        model from the traces, and writes
 //                                        Chrome-trace + analysis artifacts
+//   zipper_lab tune <name...> [--objective=e2e|stall] [--budget=N]
+//                                        model-guided auto-tuner: probes the
+//                                        figure's first Zipper scenario,
+//                                        calibrates the model, scores the
+//                                        schedule-knob grid analytically, and
+//                                        validates the top candidates with
+//                                        successive-halving DES runs; writes
+//                                        <name>.tune.{csv,json}
 //
 // Sweep axes (comma-separated lists; each optional):
 //   --method=zipper,decaf,flexpath,mpiio,dataspaces,dimes,
@@ -40,6 +48,7 @@
 
 #include "core/sched/sched.hpp"
 #include "exp/analyze.hpp"
+#include "opt/tuner.hpp"
 #include "exp/artifacts.hpp"
 #include "exp/engine.hpp"
 #include "exp/grid.hpp"
@@ -62,6 +71,10 @@ int usage(int code) {
       "  zipper_lab sweep [axis flags] [-j N] [--csv=F] [--json=F] [--quiet]\n"
       "  zipper_lab analyze <figure...|axis flags> [--full] [-j N]\n"
       "                 [--ranks=N] [--artifacts-dir=DIR] [--no-artifacts]\n"
+      "  zipper_lab tune <figure...> [--objective=e2e|stall] [--budget=N]\n"
+      "                 [--rounds=N] [--block-kib=a,b] [--steal=a,b]\n"
+      "                 [--servers=a,b] [--full] [-j N] [--progress]\n"
+      "                 [--artifacts-dir=DIR] [--no-artifacts]\n"
       "\n"
       "Run `zipper_lab list` for the registered figures; see docs/figures.md\n"
       "for the figure-by-figure map and README.md for sweep examples.\n");
@@ -506,6 +519,152 @@ int cmd_analyze(int argc, char** argv) {
   return analyze_scenarios(cli.grid.label_prefix, cli.grid.expand(), opts);
 }
 
+// ---------------------------------------------------------------- tune ----
+
+int cmd_tune(int argc, char** argv) {
+  opt::TuneLabOptions opts;
+  opt::SearchSpace space;
+  bool full = false;
+  bool progress = false;
+  std::vector<std::string> names;
+  // Accepts both `--flag=value` and `--flag value` for the tune knobs (the
+  // latter reads the next argv slot, like `-j N`).
+  const auto value_of = [&](const std::string& arg, const char* name,
+                            int* i, std::string* v) {
+    if (flag_value(arg, name, v)) return true;
+    if (arg == name && *i + 1 < argc) {
+      *v = argv[++*i];
+      return true;
+    }
+    return false;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (arg == "--full") {
+      full = true;
+    } else if (arg == "--no-artifacts") {
+      opts.write_artifacts = false;
+    } else if (flag_value(arg, "--artifacts-dir", &v)) {
+      opts.artifacts_dir = v;
+    } else if (value_of(arg, "--objective", &i, &v)) {
+      const auto o = opt::parse_objective(v);
+      if (!o) {
+        std::fprintf(stderr,
+                     "unknown objective '%s' (valid: e2e, stall)\n", v.c_str());
+        return 2;
+      }
+      opts.tune.objective = *o;
+    } else if (value_of(arg, "--budget", &i, &v)) {
+      int n = 0;
+      if (!parse_jobs(v.c_str(), &n) || n < 2) {
+        std::fprintf(stderr,
+                     "invalid --budget value '%s' (need an integer >= 2)\n",
+                     v.c_str());
+        return 2;
+      }
+      opts.tune.budget = n;
+    } else if (value_of(arg, "--rounds", &i, &v)) {
+      int n = 0;
+      if (!parse_jobs(v.c_str(), &n) || n < 1) {
+        std::fprintf(stderr,
+                     "invalid --rounds value '%s' (need an integer >= 1)\n",
+                     v.c_str());
+        return 2;
+      }
+      opts.tune.rounds = n;
+    } else if (value_of(arg, "--block-kib", &i, &v)) {
+      for (const auto& tok : split_csv(v)) {
+        int kib = 0;
+        if (!parse_jobs(tok.c_str(), &kib) || kib < 1) {
+          std::fprintf(stderr,
+                       "invalid --block-kib value '%s' (need an integer >= 1)\n",
+                       tok.c_str());
+          return 2;
+        }
+        space.block_bytes.push_back(static_cast<std::uint64_t>(kib) * 1024);
+      }
+    } else if (value_of(arg, "--steal", &i, &v)) {
+      for (const auto& tok : split_csv(v)) {
+        char* end = nullptr;
+        const double hw = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0' || !(hw >= 0.0 && hw <= 1.0)) {
+          std::fprintf(stderr,
+                       "invalid --steal value '%s' (need a fraction in "
+                       "[0, 1])\n",
+                       tok.c_str());
+          return 2;
+        }
+        space.high_water.push_back(hw);
+      }
+    } else if (value_of(arg, "--servers", &i, &v)) {
+      for (const auto& tok : split_csv(v)) {
+        int srv = 0;
+        if (!parse_jobs(tok.c_str(), &srv) || srv < 0) {
+          std::fprintf(stderr,
+                       "invalid --servers value '%s' (need an integer >= 0)\n",
+                       tok.c_str());
+          return 2;
+        }
+        space.servers.push_back(srv);
+      }
+    } else if (arg == "-j" && i + 1 < argc) {
+      if (!parse_jobs(argv[++i], &opts.tune.jobs)) {
+        std::fprintf(stderr, "invalid -j value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+      if (!parse_jobs(arg.c_str() + 2, &opts.tune.jobs)) {
+        std::fprintf(stderr, "invalid -j value '%s'\n", arg.c_str() + 2);
+        return 2;
+      }
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "tune: unknown flag '%s'\n", arg.c_str());
+      return usage(2);
+    } else {
+      names.push_back(arg);
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "tune: no figure named; try `zipper_lab list`\n");
+    return 2;
+  }
+  if (opts.tune.jobs < 1) opts.tune.jobs = 1;
+  opts.tune.progress = progress;
+
+  for (const auto& name : names) {
+    const FigureDef* fig = find_figure(name);
+    if (!fig) {
+      std::fprintf(stderr, "unknown figure '%s'; try `zipper_lab list`\n",
+                   name.c_str());
+      return 2;
+    }
+    // The tuner's base is the figure's first Zipper workflow scenario — the
+    // configuration the figure treats as its baseline.
+    const auto specs = fig->scenarios(full);
+    const ScenarioSpec* base = nullptr;
+    for (const auto& s : specs) {
+      if (s.kind == ScenarioKind::kWorkflow && s.method &&
+          *s.method == transports::Method::kZipper) {
+        base = &s;
+        break;
+      }
+    }
+    if (!base) {
+      std::fprintf(stderr,
+                   "tune: figure '%s' has no Zipper workflow scenario to "
+                   "tune\n",
+                   name.c_str());
+      return 2;
+    }
+    const int rc = opt::run_tune(fig->name, *base, space, opts);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -515,6 +674,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(argc, argv);
   if (cmd == "sweep") return cmd_sweep(argc, argv);
   if (cmd == "analyze") return cmd_analyze(argc, argv);
+  if (cmd == "tune") return cmd_tune(argc, argv);
   if (cmd == "help" || cmd == "--help" || cmd == "-h") return usage(0);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return usage(2);
