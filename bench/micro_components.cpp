@@ -154,7 +154,8 @@ BENCHMARK(BM_FabricTransfer)->Arg(256)->Arg(4096);
 // ------------------------------------------------------- producer buffer ----
 
 static void BM_ProducerBufferPushPop(benchmark::State& state) {
-  core::rt::ProducerBuffer buf(core::StealPolicy{1024, 0.5, false});
+  core::rt::ProducerBuffer buf(
+      core::sched::SpillPolicy{{}, core::StealPolicy{1024, 0.5, false}});
   auto block = std::make_shared<core::Block>();
   block->payload.resize(1024);
   for (auto _ : state) {
@@ -167,7 +168,8 @@ BENCHMARK(BM_ProducerBufferPushPop);
 
 static void BM_ProducerBufferContended(benchmark::State& state) {
   for (auto _ : state) {
-    core::rt::ProducerBuffer buf(core::StealPolicy{64, 0.5, true});
+    core::rt::ProducerBuffer buf(
+        core::sched::SpillPolicy{{}, core::StealPolicy{64, 0.5, true}});
     constexpr int kBlocks = 2000;
     std::thread sender([&] {
       for (int i = 0; i < kBlocks;) {

@@ -1,0 +1,228 @@
+#include "core/chaos/chaos.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace zipper::core::chaos {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Compact "%g"-style numeric rendering so tokens round-trip through sweep
+// labels without trailing zeros (4 -> "4", 0.5 -> "0.5").
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+bool is_off(const std::string& t) { return t == "off" || t == "0"; }
+
+// Strict full-string double parse; rejects empty/trailing garbage/negatives.
+// Also rejects strtod's hex-float and infinity/nan spellings: 'x' is the
+// count/factor separator in the token grammars, so "0x2" must not read as 2.
+bool parse_pos_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == 'e' || c == 'E' || c == '+' || c == '-')) {
+      return false;
+    }
+  }
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  if (!(v > 0) || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_pos_int(const std::string& s, int* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  if (v <= 0 || v > 1'000'000) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// Same splitmix-style stream derivation background_load uses, so each chaos
+// concern gets an independent deterministic stream from one scenario seed.
+std::uint64_t derive(std::uint64_t seed, std::uint64_t stream) {
+  return seed * 6364136223846793005ull + 0xC4405ull + stream;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- tokens ----
+
+std::string straggler_token(const Straggler& s) {
+  if (!s.enabled()) return "off";
+  return std::to_string(s.count) + "x" + fmt_num(s.factor);
+}
+
+std::string fault_token(const Fault& f) {
+  if (!f.enabled()) return "off";
+  return std::to_string(f.events) + "x" + fmt_num(f.factor) + "@" +
+         fmt_num(f.duration_s);
+}
+
+std::string burst_token(const Burst& b) {
+  if (!b.enabled()) return "off";
+  return fmt_num(b.intensity) + "@" + fmt_num(b.period_s);
+}
+
+std::string drift_token(const Drift& d) {
+  if (!d.enabled()) return "off";
+  return fmt_num(d.factor) + "@" + fmt_num(d.period_steps);
+}
+
+std::optional<Straggler> parse_straggler(const std::string& token) {
+  if (is_off(token)) return Straggler{};
+  const auto x = token.find('x');
+  if (x == std::string::npos) return std::nullopt;
+  Straggler s;
+  if (!parse_pos_int(token.substr(0, x), &s.count)) return std::nullopt;
+  if (!parse_pos_double(token.substr(x + 1), &s.factor)) return std::nullopt;
+  if (s.factor <= 1.0) return std::nullopt;
+  return s;
+}
+
+std::optional<Fault> parse_fault(const std::string& token) {
+  if (is_off(token)) return Fault{};
+  const auto x = token.find('x');
+  const auto at = token.find('@');
+  if (x == std::string::npos || at == std::string::npos || at < x)
+    return std::nullopt;
+  Fault f;
+  if (!parse_pos_int(token.substr(0, x), &f.events)) return std::nullopt;
+  if (!parse_pos_double(token.substr(x + 1, at - x - 1), &f.factor))
+    return std::nullopt;
+  if (f.factor <= 1.0) return std::nullopt;
+  if (!parse_pos_double(token.substr(at + 1), &f.duration_s))
+    return std::nullopt;
+  return f;
+}
+
+std::optional<Burst> parse_burst(const std::string& token) {
+  if (is_off(token)) return Burst{};
+  Burst b;
+  const auto at = token.find('@');
+  if (at == std::string::npos) {
+    if (!parse_pos_double(token, &b.intensity)) return std::nullopt;
+  } else {
+    if (!parse_pos_double(token.substr(0, at), &b.intensity))
+      return std::nullopt;
+    if (!parse_pos_double(token.substr(at + 1), &b.period_s))
+      return std::nullopt;
+  }
+  if (b.intensity > 1.0) return std::nullopt;
+  return b;
+}
+
+std::optional<Drift> parse_drift(const std::string& token) {
+  if (is_off(token)) return Drift{};
+  Drift d;
+  const auto at = token.find('@');
+  if (at == std::string::npos) {
+    if (!parse_pos_double(token, &d.factor)) return std::nullopt;
+  } else {
+    if (!parse_pos_double(token.substr(0, at), &d.factor))
+      return std::nullopt;
+    if (!parse_pos_double(token.substr(at + 1), &d.period_steps))
+      return std::nullopt;
+  }
+  if (d.factor <= 1.0) return std::nullopt;
+  return d;
+}
+
+// ---------------------------------------------------------------- engine ----
+
+ChaosEngine::ChaosEngine(const ChaosSpec& spec, int num_producers,
+                         int num_consumers, double horizon_s)
+    : spec_(spec), P_(num_producers), Q_(num_consumers) {
+  straggler_.assign(static_cast<std::size_t>(std::max(Q_, 0)), false);
+  if (spec_.straggler.enabled() && Q_ > 0) {
+    common::Xoshiro256 rng(derive(spec_.seed, 1));
+    // Fisher-Yates prefix draw so `count` distinct ranks are slowed.
+    std::vector<int> ranks(static_cast<std::size_t>(Q_));
+    for (int c = 0; c < Q_; ++c) ranks[static_cast<std::size_t>(c)] = c;
+    const int n = std::min(spec_.straggler.count, Q_);
+    for (int i = 0; i < n; ++i) {
+      const auto j =
+          i + static_cast<int>(rng.below(static_cast<std::uint64_t>(Q_ - i)));
+      std::swap(ranks[static_cast<std::size_t>(i)],
+                ranks[static_cast<std::size_t>(j)]);
+      straggler_[static_cast<std::size_t>(ranks[static_cast<std::size_t>(i)])] =
+          true;
+    }
+  }
+
+  if (spec_.fault.enabled() && Q_ > 0 && horizon_s > 0) {
+    common::Xoshiro256 rng(derive(spec_.seed, 2));
+    windows_.reserve(static_cast<std::size_t>(spec_.fault.events));
+    for (int e = 0; e < spec_.fault.events; ++e) {
+      FaultWindow w;
+      w.consumer = static_cast<int>(rng.below(static_cast<std::uint64_t>(Q_)));
+      w.t0_s = rng.uniform(0.0, horizon_s);
+      w.t1_s = w.t0_s + spec_.fault.duration_s * (0.5 + rng.uniform());
+      windows_.push_back(w);
+    }
+    std::sort(windows_.begin(), windows_.end(),
+              [](const FaultWindow& a, const FaultWindow& b) {
+                return a.t0_s < b.t0_s;
+              });
+  }
+
+  drift_phase_.assign(static_cast<std::size_t>(std::max(P_, 0)), 0.0);
+  if (spec_.drift.enabled() && P_ > 0) {
+    common::Xoshiro256 rng(derive(spec_.seed, 3));
+    for (int p = 0; p < P_; ++p)
+      drift_phase_[static_cast<std::size_t>(p)] = rng.uniform(0.0, 2 * kPi);
+  }
+}
+
+bool ChaosEngine::straggler(int c) const {
+  return c >= 0 && c < Q_ && straggler_[static_cast<std::size_t>(c)];
+}
+
+bool ChaosEngine::fault_active(int c, double now_s) const {
+  for (const auto& w : windows_) {
+    if (w.t0_s > now_s) break;  // sorted by t0_s
+    if (w.consumer == c && now_s < w.t1_s) return true;
+  }
+  return false;
+}
+
+double ChaosEngine::consumer_slowdown(int c, double now_s) const {
+  double m = 1.0;
+  if (straggler(c)) m *= spec_.straggler.factor;
+  if (fault_active(c, now_s)) m *= spec_.fault.factor;
+  return m;
+}
+
+double ChaosEngine::compute_multiplier(int p, int step) const {
+  if (!spec_.drift.enabled() || P_ <= 0) return 1.0;
+  const double phase = drift_phase_[static_cast<std::size_t>(
+      std::clamp(p, 0, P_ - 1))];
+  const double omega = 2 * kPi / std::max(spec_.drift.period_steps, 1e-9);
+  // Oscillates in [1, factor]: tuned-for regime at the trough, `factor`x at
+  // the crest, drifting through both over each period.
+  return 1.0 + (spec_.drift.factor - 1.0) * 0.5 *
+                   (1.0 - std::cos(omega * step + phase));
+}
+
+bool ChaosEngine::burst_active(double now_s) const {
+  if (!spec_.burst.enabled()) return false;
+  const double period = std::max(spec_.burst.period_s, 1e-9);
+  return std::fmod(std::max(now_s, 0.0), period) < 0.5 * period;
+}
+
+}  // namespace zipper::core::chaos

@@ -1,0 +1,174 @@
+// Deterministic fault injection — the chaos layer both Zipper runtimes and
+// the cluster model consult.
+//
+// A ChaosSpec declares hostile conditions along four orthogonal axes:
+//
+//   * straggler — persistent slow consumer ranks: `count` consumers (chosen
+//     by the seeded RNG) serve every block `factor`x slower for the whole
+//     run. Models a thermally-throttled or oversubscribed analysis node.
+//   * fault     — transient mid-run slowdowns with recovery: `events` fault
+//     windows, each hitting one consumer at a seeded random time for roughly
+//     `duration_s`, during which the consumer is `factor`x slower AND puts
+//     addressed to it time out (the runtimes' retry/backoff/spill-degrade
+//     resilience path, docs/chaos.md). The consumer recovers when the
+//     window closes.
+//   * burst     — bursty background PFS traffic: duty-cycled ON/OFF load on
+//     every OST averaging `intensity` of the aggregate bandwidth over each
+//     `period_s` (pfs::ParallelFileSystem::bursty_load), unlike the steady
+//     background_load interference of Fig 2.
+//   * drift     — phase-drifting workload: each producer's compute time
+//     oscillates between 1x and `factor`x with period `period_steps` steps
+//     and a seeded per-producer phase, so the stall regime the schedule was
+//     tuned for drifts away mid-run.
+//
+// Determinism contract: a ChaosEngine is a pure function of (spec, producer
+// count, consumer count, horizon). All randomness comes from Xoshiro256
+// streams derived from spec.seed at construction; nothing is drawn at
+// query time. Queries are const and allocation-free, so the single-threaded
+// DES consults them in deterministic (time, seq) order and the same seed
+// yields bitwise-identical sweep artifacts at any `-j` (tests/test_chaos.cpp
+// pins this down).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sched/sched.hpp"
+
+namespace zipper::core::chaos {
+
+// ---------------------------------------------------------------- axes ----
+// Each axis has a compact CLI token grammar (parse_* / *_token below):
+//   straggler  <count>x<factor>              e.g. 1x4      ("off" disables)
+//   fault      <events>x<factor>@<seconds>   e.g. 2x8@0.5
+//   burst      <intensity>[@<period_s>]      e.g. 0.6@2
+//   drift      <factor>[@<period_steps>]     e.g. 3@6
+
+struct Straggler {
+  int count = 0;        // consumers persistently slowed
+  double factor = 1.0;  // service-time multiplier while slowed
+  bool enabled() const { return count > 0 && factor > 1.0; }
+};
+
+struct Fault {
+  int events = 0;          // transient fault windows over the run
+  double factor = 1.0;     // service-time multiplier inside a window
+  double duration_s = 0;   // mean window length (jittered 0.5x-1.5x)
+  bool enabled() const { return events > 0 && duration_s > 0; }
+};
+
+struct Burst {
+  double intensity = 0;    // mean fraction of aggregate PFS bandwidth
+  double period_s = 1.0;   // ON/OFF cycle length
+  bool enabled() const { return intensity > 0; }
+};
+
+struct Drift {
+  double factor = 1.0;        // peak compute multiplier
+  double period_steps = 8.0;  // oscillation period, in workload steps
+  bool enabled() const { return factor > 1.0; }
+};
+
+struct ChaosSpec {
+  std::uint64_t seed = 0;
+  Straggler straggler;
+  Fault fault;
+  Burst burst;
+  Drift drift;
+
+  bool any() const {
+    return straggler.enabled() || fault.enabled() || burst.enabled() ||
+           drift.enabled();
+  }
+};
+
+// Token round-trips for sweep labels and CLI flags. parse_* accept "off"
+// (and "0") as the disabled axis; nullopt on malformed specs.
+std::string straggler_token(const Straggler& s);
+std::string fault_token(const Fault& f);
+std::string burst_token(const Burst& b);
+std::string drift_token(const Drift& d);
+std::optional<Straggler> parse_straggler(const std::string& token);
+std::optional<Fault> parse_fault(const std::string& token);
+std::optional<Burst> parse_burst(const std::string& token);
+std::optional<Drift> parse_drift(const std::string& token);
+
+// -------------------------------------------------------------- engine ----
+
+/// One materialized fault window: consumer `c` degraded in [t0_s, t1_s).
+struct FaultWindow {
+  int consumer = -1;
+  double t0_s = 0;
+  double t1_s = 0;
+};
+
+/// The per-run injection oracle. Construct once per scenario (or per
+/// rt::Runtime); `horizon_s` is the expected run length the fault windows
+/// are spread over (a seeded schedule, fixed at construction).
+class ChaosEngine {
+ public:
+  ChaosEngine(const ChaosSpec& spec, int num_producers, int num_consumers,
+              double horizon_s);
+
+  const ChaosSpec& spec() const noexcept { return spec_; }
+
+  /// Persistent straggler rank?
+  bool straggler(int c) const;
+
+  /// Transient fault window covering `now_s` on consumer `c`?
+  bool fault_active(int c, double now_s) const;
+
+  /// Combined service-time multiplier for consumer `c` at `now_s`:
+  /// straggler factor x fault factor; 1.0 while healthy.
+  double consumer_slowdown(int c, double now_s) const;
+
+  /// Drift-axis compute multiplier for producer `p` at workload step `step`
+  /// (>= 1; seeded per-producer phase).
+  double compute_multiplier(int p, int step) const;
+
+  /// Burst ON-window at `now_s`? (The PFS injects its own seeded loops; this
+  /// mirrors their duty cycle for tests and presenters.)
+  bool burst_active(double now_s) const;
+
+  const std::vector<FaultWindow>& fault_windows() const noexcept {
+    return windows_;
+  }
+
+ private:
+  ChaosSpec spec_;
+  int P_, Q_;
+  std::vector<bool> straggler_;        // per consumer
+  std::vector<FaultWindow> windows_;   // sorted by t0_s
+  std::vector<double> drift_phase_;    // per producer, radians
+};
+
+// --------------------------------------------- online re-tuning protocol ----
+// The resilient runtimes expose a control hook: every control interval they
+// hand the controller a snapshot of the streaming trace window and apply
+// whatever knob changes it returns (opt::AdaptiveController implements the
+// decision logic; the protocol lives here so core never depends on opt).
+
+struct ControlSnapshot {
+  double now_s = 0;
+  double window_s = 0;          // snapshot interval
+  double stall_s = 0;           // producer stall accumulated in this window
+  double stall_fraction = 0;    // stall_s / (window_s * producers)
+  long long max_queued = 0;     // deepest consumer outstanding-block count
+  std::uint64_t blocks_analyzed = 0;  // analyzed in this window
+};
+
+/// Knob deltas to apply live; absent fields keep the current setting.
+struct ControlAction {
+  std::optional<sched::RouteKind> route;
+  std::optional<bool> consumer_steal;
+  std::optional<bool> spill;               // writer spill channel on/off
+  std::optional<std::uint64_t> block_bytes;  // producer split granularity
+
+  bool any() const {
+    return route || consumer_steal || spill || block_bytes;
+  }
+};
+
+}  // namespace zipper::core::chaos

@@ -85,15 +85,22 @@ SimZipper::SimZipper(sim::Simulation& sim, mpi::World& world,
       route_(cfg.sched, num_producers, num_consumers) {
   blocks_per_step_ = static_cast<int>(
       (profile.bytes_per_rank_per_step + cfg.block_bytes - 1) / cfg.block_bytes);
+  live_control_ = static_cast<bool>(cfg_.controller);
+  spill_on_ = cfg_.enable_steal;
+  // With a live controller the spill channel may be switched on mid-run, so
+  // the writers exist (and the SpillPolicy is armed) even when the run
+  // starts with spilling off; spill_on_ gates them until then.
   const StealPolicy base{static_cast<std::size_t>(cfg.producer_buffer_blocks),
-                         cfg.high_water, cfg.enable_steal};
+                         cfg.high_water, cfg.enable_steal || live_control_};
   for (int p = 0; p < P_; ++p) {
     producers_.push_back(
         std::make_unique<Producer>(sim, cfg.sched, base, cfg.block_bytes));
   }
   for (int c = 0; c < Q_; ++c) {
     auto cons = std::make_unique<Consumer>(sim, cfg.consumer_buffer_blocks);
-    cons->expected_producers = route_.expected_producers(c);
+    // A controller may re-route mid-run, so end-of-stream bookkeeping must
+    // use the unpinned protocol: every consumer hears from every producer.
+    cons->expected_producers = live_control_ ? P_ : route_.expected_producers(c);
     consumers_.push_back(std::move(cons));
   }
 }
@@ -103,8 +110,15 @@ SimZipper::~SimZipper() = default;
 void SimZipper::spawn_services() {
   for (int p = 0; p < P_; ++p) {
     sim_->spawn(sender_main(p));
-    if (cfg_.enable_steal) sim_->spawn(writer_main(p));
+    if (cfg_.enable_steal || live_control_) sim_->spawn(writer_main(p));
   }
+  if (live_control_) sim_->spawn(control_main());
+}
+
+double SimZipper::chaos_slowdown(int c) const {
+  return cfg_.chaos
+             ? cfg_.chaos->consumer_slowdown(c, sim::to_seconds(sim_->now()))
+             : 1.0;
 }
 
 sim::Task SimZipper::put_header(int p, BlockHeader h) {
@@ -151,8 +165,11 @@ sim::Task SimZipper::producer_put_block(int p, int step, int b, int num_blocks) 
 sim::Task SimZipper::producer_put(int p, int step) {
   Producer& pm = *producers_[static_cast<std::size_t>(p)];
   // One BlockSizer consultation per step: the whole-step put is the path
-  // where the runtime itself chooses the split granularity.
-  const std::uint64_t bsz = pm.sizer.next_block_bytes(ctx_.stall_ns(p));
+  // where the runtime itself chooses the split granularity. A live
+  // controller override (if any) takes precedence over the sizer.
+  const std::uint64_t bsz = live_block_bytes_
+                                ? live_block_bytes_
+                                : pm.sizer.next_block_bytes(ctx_.stall_ns(p));
   const int nb = static_cast<int>(
       (profile_.bytes_per_rank_per_step + bsz - 1) / bsz);
   for (int b = 0; b < nb; ++b) {
@@ -192,6 +209,32 @@ sim::Task SimZipper::sender_main(int p) {
     pm.m.unlock();
 
     const int c = route_.consumer_for(h.id, ctx_);
+    // Resilience path: a put addressed to a consumer inside a fault window
+    // times out. Back off exponentially and retry; if the fault outlasts
+    // the retry budget, declare the consumer slow and degrade the block to
+    // the PFS channel so the producer keeps streaming.
+    if (cfg_.chaos &&
+        cfg_.chaos->fault_active(c, sim::to_seconds(sim_->now()))) {
+      bool degraded = true;
+      Time backoff = cfg_.put_retry_backoff;
+      const Time w0 = sim_->now();
+      for (int attempt = 0; attempt < cfg_.max_put_retries; ++attempt) {
+        ++stats_.put_retries;
+        co_await sim_->delay(backoff);
+        backoff *= 2;
+        if (!cfg_.chaos->fault_active(c, sim::to_seconds(sim_->now()))) {
+          degraded = false;  // consumer recovered inside the retry budget
+          break;
+        }
+      }
+      // Backoff is transmit stall (data ready, peer won't take it), charged
+      // like any congestion-control wait.
+      world_->fabric().charge_xmit_wait(world_->host_of(p), sim_->now() - w0);
+      if (degraded) {
+        co_await spill_slow(p, h, c);
+        continue;
+      }
+    }
     ctx_.on_routed(c);
     MixedMsg msg;
     msg.has_block = true;
@@ -225,7 +268,16 @@ sim::Task SimZipper::sender_main(int p) {
   // Wait for the writer to finish its in-flight spill before flushing the
   // final spilled-ID lists.
   co_await pm.writer_done.wait();
-  for (int c : route_.consumers_fed_by(p)) {
+  std::vector<int> fed;
+  if (live_control_) {
+    // Unpinned protocol (route may have changed mid-run): every consumer
+    // hears end-of-stream from every producer.
+    fed.resize(static_cast<std::size_t>(Q_));
+    for (int c = 0; c < Q_; ++c) fed[static_cast<std::size_t>(c)] = c;
+  } else {
+    fed = route_.consumers_fed_by(p);
+  }
+  for (int c : fed) {
     MixedMsg msg;
     msg.done = true;
     msg.producer = p;
@@ -239,7 +291,8 @@ sim::Task SimZipper::writer_main(int p) {
   Producer& pm = *producers_[static_cast<std::size_t>(p)];
   while (true) {
     co_await pm.m.lock();
-    while (!pm.closed && !pm.spill.should_spill(pm.q.size(), ctx_.stall_ns(p))) {
+    while (!pm.closed &&
+           !(spill_on_ && pm.spill.should_spill(pm.q.size(), ctx_.stall_ns(p)))) {
       co_await pm.above_threshold.wait(pm.m);
     }
     if (pm.closed) {
@@ -270,6 +323,72 @@ sim::Task SimZipper::writer_main(int p) {
   pm.writer_done.count_down();
 }
 
+sim::Task SimZipper::spill_slow(int p, BlockHeader h, int c) {
+  Producer& pm = *producers_[static_cast<std::size_t>(p)];
+  {
+    trace::ScopedSpan span(*rec_, *sim_, p, trace::Cat::kSteal);
+    const Time t0 = sim_->now();
+    co_await sim_->delay(cost(h.bytes, cfg_.writer_bandwidth));
+    pfs::FileId fid = 0;
+    const int host = world_->host_of(p);
+    co_await fs_->create(host, spill_name(h.id), fid);
+    co_await fs_->write(host, fid, 0, h.bytes);
+    stats_.writer_busy += sim_->now() - t0;
+    stats_.bytes_via_pfs += h.bytes;
+  }
+  ++stats_.blocks_spilled_slow;
+  h.on_disk = true;
+  ctx_.on_routed(c);
+  pm.spilled[c].push_back(h);
+}
+
+// ------------------------------------------------------- online controller --
+
+sim::Task SimZipper::control_main() {
+  std::uint64_t last_stall = 0;
+  std::uint64_t last_analyzed = 0;
+  // Runs until the workflow's finish watcher stops the simulation, like the
+  // background-load loops.
+  while (true) {
+    co_await sim_->delay(cfg_.control_interval);
+    chaos::ControlSnapshot snap;
+    snap.now_s = sim::to_seconds(sim_->now());
+    snap.window_s = sim::to_seconds(cfg_.control_interval);
+    const std::uint64_t stall = ctx_.total_stall_ns();
+    snap.stall_s = static_cast<double>(stall - last_stall) / 1e9;
+    last_stall = stall;
+    snap.stall_fraction =
+        snap.stall_s / (snap.window_s * static_cast<double>(P_));
+    snap.max_queued = ctx_.max_queued();
+    snap.blocks_analyzed = stats_.blocks_analyzed - last_analyzed;
+    last_analyzed = stats_.blocks_analyzed;
+    const chaos::ControlAction act = cfg_.controller(snap);
+    if (act.any()) co_await apply_action(act);
+  }
+}
+
+sim::Task SimZipper::apply_action(chaos::ControlAction act) {
+  ++stats_.control_actions;
+  if (act.route && *act.route != cfg_.sched.route) {
+    cfg_.sched.route = *act.route;
+    route_ = sched::RoutePolicy(cfg_.sched, P_, Q_);
+  }
+  if (act.consumer_steal) cfg_.sched.consumer_steal = *act.consumer_steal;
+  if (act.block_bytes) live_block_bytes_ = *act.block_bytes;
+  if (act.spill && *act.spill != spill_on_) {
+    spill_on_ = *act.spill;
+    if (spill_on_) {
+      // Stalled producers pushed their last block before parking, so no
+      // fresh push will ring the wake bell — ring it here.
+      for (auto& pm : producers_) {
+        co_await pm->m.lock();
+        pm->above_threshold.notify_all();
+        pm->m.unlock();
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------------- consumer side --
 
 sim::Task SimZipper::receiver_main(int c) {
@@ -282,7 +401,12 @@ sim::Task SimZipper::receiver_main(int c) {
     MixedMsg msg = std::any_cast<MixedMsg>(std::move(env.payload));
     for (const BlockHeader& h : msg.ids_on_disk) co_await cm.reader_q.send(h);
     if (msg.has_block) {
-      co_await sim_->delay(cost(msg.block.bytes, cfg_.receiver_bandwidth));
+      // Straggler / fault injection lands here: the consumer-side unpack and
+      // match work is what a slow rank serves slowly.
+      Time d = cost(msg.block.bytes, cfg_.receiver_bandwidth);
+      if (cfg_.chaos)
+        d = static_cast<Time>(static_cast<double>(d) * chaos_slowdown(c));
+      co_await sim_->delay(d);
       // Return a flow-control credit to the sender.
       world_->isend(rank, msg.producer, kZipperAckTag, 32);
       co_await cm.buffer.send(msg.block);
@@ -365,9 +489,11 @@ sim::Task SimZipper::consumer_run(int c) {
   // Nap length between steal probes while idle: short against any realistic
   // per-block analysis time, so a freshly overloaded peer is noticed fast.
   constexpr Time kStealPoll = 200 * sim::kMicrosecond;
-  const bool stealing = cfg_.sched.consumer_steal && Q_ > 1;
 
   while (true) {
+    // Re-read each iteration: the online controller may flip stealing on
+    // mid-run (a no-op re-read on the default path).
+    const bool stealing = cfg_.sched.consumer_steal && Q_ > 1;
     std::optional<BlockHeader> h;
     int routed_to = c;  // consumer whose outstanding count this block holds
     if (!stealing) {
@@ -396,7 +522,10 @@ sim::Task SimZipper::consumer_run(int c) {
     if (cfg_.preserve && !h->on_disk) co_await cm.output_q.send(*h);
     trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kAnalysis);
     const Time t0 = sim_->now();
-    co_await sim_->delay(profile_.analysis_time(h->bytes));
+    Time at = profile_.analysis_time(h->bytes);
+    if (cfg_.chaos)
+      at = static_cast<Time>(static_cast<double>(at) * chaos_slowdown(c));
+    co_await sim_->delay(at);
     stats_.analysis_busy += sim_->now() - t0;
     ++stats_.blocks_analyzed;
   }

@@ -20,6 +20,7 @@
 #include "apps/profiles.hpp"
 #include "common/units.hpp"
 #include "core/block.hpp"
+#include "core/chaos/chaos.hpp"
 #include "core/policy.hpp"
 #include "core/sched/sched.hpp"
 #include "mpi/mpi.hpp"
@@ -62,6 +63,28 @@ struct SimZipperConfig {
   /// order) right before consumer `c` analyzes a block — including blocks
   /// it stole from a peer. Null by default.
   std::function<void(int c, const BlockHeader&)> on_analyzed;
+
+  /// Chaos injection oracle (core/chaos): consumer-side service times are
+  /// scaled by its straggler/fault multipliers, and puts routed to a
+  /// consumer inside a fault window take the resilience path below. Null by
+  /// default — the schedule is byte-identical when absent.
+  std::shared_ptr<const chaos::ChaosEngine> chaos;
+
+  /// Resilience: a put addressed to a faulted consumer times out; the
+  /// sender backs off exponentially (starting at put_retry_backoff) and
+  /// retries up to max_put_retries times, then declares the consumer slow
+  /// and degrades the block to the PFS channel (the PR 3 spill machinery),
+  /// so the producer keeps streaming instead of wedging on a dead rank.
+  int max_put_retries = 3;
+  sim::Time put_retry_backoff = 20 * sim::kMillisecond;
+
+  /// Online re-tuning: when set, the runtime snapshots the streaming
+  /// counters every control_interval and applies the returned knob changes
+  /// (route / consumer steal / spill channel / block size) live. Presence
+  /// of a controller switches to the unpinned done-message protocol so the
+  /// route may change mid-run without stranding end-of-stream bookkeeping.
+  std::function<chaos::ControlAction(const chaos::ControlSnapshot&)> controller;
+  sim::Time control_interval = 250 * sim::kMillisecond;
 };
 
 struct SimZipperStats {
@@ -76,6 +99,10 @@ struct SimZipperStats {
   std::uint64_t blocks_analyzed = 0;
   std::uint64_t bytes_via_network = 0;
   std::uint64_t bytes_via_pfs = 0;
+  // Chaos-resilience counters (zero unless a ChaosEngine / controller runs).
+  std::uint64_t put_retries = 0;          // backoff attempts on faulted puts
+  std::uint64_t blocks_spilled_slow = 0;  // degraded to PFS after retries
+  std::uint64_t control_actions = 0;      // knob changes applied live
 };
 
 /// One Zipper-coupled workflow instance on a simulated cluster.
@@ -127,6 +154,16 @@ class SimZipper {
   sim::Task receiver_main(int c);
   sim::Task reader_main(int c);
   sim::Task output_main(int c);
+  /// Online controller loop: snapshot counters every control_interval,
+  /// apply the returned knob deltas. Spawned only when cfg_.controller set.
+  sim::Task control_main();
+  sim::Task apply_action(chaos::ControlAction act);
+  /// Spill a block to the PFS on the sender path (resilience degradation);
+  /// mirrors writer_main's body so the consumer fetches it via its reader.
+  sim::Task spill_slow(int p, BlockHeader h, int c);
+  /// Chaos service-time multiplier for consumer `c` right now (1.0 when no
+  /// engine is attached).
+  double chaos_slowdown(int c) const;
 
   /// Pushes one prepared header into producer p's buffer (the tail of the
   /// old producer_put_block: stall accounting, push, writer wake).
@@ -155,6 +192,10 @@ class SimZipper {
   std::vector<std::unique_ptr<Producer>> producers_;
   std::vector<std::unique_ptr<Consumer>> consumers_;
   SimZipperStats stats_;
+  // Live re-tuning state (all inert without a controller).
+  bool live_control_ = false;        // unpinned protocol + writers always on
+  bool spill_on_ = true;             // live gate in front of the SpillPolicy
+  std::uint64_t live_block_bytes_ = 0;  // controller block-size override
 };
 
 }  // namespace zipper::core::dsim

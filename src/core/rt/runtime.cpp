@@ -137,10 +137,25 @@ struct RuntimeShared {
   sched::RoutePolicy route;
   std::vector<std::unique_ptr<ProducerImpl>> producers;
   std::vector<std::unique_ptr<ConsumerImpl>> consumers;
+  // Chaos injection: seeded oracle + the wall clock its windows run on.
+  std::shared_ptr<const chaos::ChaosEngine> chaos;
+  std::chrono::steady_clock::time_point chaos_t0;
 
   RuntimeShared(const Config& c, int p, int q)
       : cfg(c), P(p), Q(q), net_bw(c.network_bandwidth), ctx(p, q),
-        route(c.sched, p, q) {}
+        route(c.sched, p, q) {
+    if (cfg.chaos.any()) {
+      chaos = std::make_shared<chaos::ChaosEngine>(cfg.chaos, p, q,
+                                                   cfg.chaos_horizon_s);
+      chaos_t0 = std::chrono::steady_clock::now();
+    }
+  }
+
+  double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         chaos_t0)
+        .count();
+  }
 
   std::vector<int> consumers_fed_by(int producer) const {
     return route.consumers_fed_by(producer);
@@ -199,6 +214,17 @@ void receiver_main(RuntimeShared& sh, ConsumerImpl& cm) {
     NetMessage msg = std::move(*popped);
     for (const BlockHeader& h : msg.ids_on_disk) cm.reader_q.push(h);
     if (msg.block) {
+      // Straggler / fault injection: a chaos-slowed consumer serves each
+      // received block that much extra service time, for real.
+      if (sh.chaos && sh.cfg.chaos_block_service_ns > 0) {
+        const double slow = sh.chaos->consumer_slowdown(cm.index, sh.now_s());
+        if (slow > 1.0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              static_cast<std::int64_t>(
+                  static_cast<double>(sh.cfg.chaos_block_service_ns) *
+                  (slow - 1.0))));
+        }
+      }
       cm.from_net.fetch_add(1, std::memory_order_relaxed);
       if (sh.cfg.mode == Mode::kPreserve) cm.output_q.push(msg.block);
       cm.buffer.push(std::move(msg.block));
@@ -349,9 +375,24 @@ std::shared_ptr<const Block> ConsumerEndpoint::read() {
       if (cm.buffer.size() == 0 && sh.all_buffers_drained()) {
         return nullptr;  // the whole run drained, not just this stream
       }
-      // Own stream ended but a peer still holds blocks below the steal
-      // threshold: nap instead of spinning (pop_for returns immediately on
-      // a closed channel, so it cannot provide the wait here).
+      // Drain mode: own stream ended. A peer whose buffer is also closed can
+      // never grow past the steal threshold again, so take its leftovers at
+      // any depth — without this, a peer abandoned mid-drain (its app thread
+      // died or stopped calling read()) would strand every thief in the nap
+      // loop below forever.
+      for (const auto& peer : sh.consumers) {
+        if (peer->index == cm.index) continue;
+        if (!peer->buffer.closed() || peer->buffer.size() == 0) continue;
+        if (auto stolen = peer->buffer.try_pop()) {
+          cm.read_count.fetch_add(1, std::memory_order_relaxed);
+          cm.stolen_from_peers.fetch_add(1, std::memory_order_relaxed);
+          sh.ctx.on_analyzed(peer->index);
+          return std::move(*stolen);
+        }
+      }
+      // A still-open peer holds blocks below the steal threshold: nap
+      // instead of spinning (pop_for returns immediately on a closed
+      // channel, so it cannot provide the wait here).
       std::this_thread::sleep_for(std::chrono::microseconds(500));
     } else if (auto v = cm.buffer.pop_for(std::chrono::microseconds(500))) {
       cm.read_count.fetch_add(1, std::memory_order_relaxed);
@@ -418,6 +459,10 @@ Runtime::Runtime(int num_producers, int num_consumers, Config config)
     producers_[static_cast<std::size_t>(p)].shared_ = shared_.get();
     shared_->producers.push_back(std::move(impl));
   }
+}
+
+const chaos::ChaosEngine* Runtime::chaos() const noexcept {
+  return shared_->chaos.get();
 }
 
 void Runtime::wait_idle() {

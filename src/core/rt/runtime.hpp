@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/block.hpp"
+#include "core/chaos/chaos.hpp"
 #include "core/policy.hpp"
 #include "core/rt/channel.hpp"
 #include "core/rt/producer_buffer.hpp"
@@ -64,6 +65,16 @@ struct Config {
   /// Advisory base block size for suggested_block_bytes() (the application
   /// chooses its own write() sizes; the BlockSizer adapts around this).
   std::uint64_t block_bytes = 1 << 20;
+
+  /// Chaos injection (core/chaos): when chaos.any(), the runtime builds a
+  /// seeded ChaosEngine over `chaos_horizon_s` of wall time. Consumers hit
+  /// by the straggler/fault axes serve each received block
+  /// `chaos_block_service_ns x (slowdown - 1)` slower (real sleeps on the
+  /// receiver thread); drift is app-driven via Runtime::chaos(). Defaults
+  /// leave the schedule untouched.
+  chaos::ChaosSpec chaos;
+  std::uint64_t chaos_block_service_ns = 0;  // base per-block service time
+  double chaos_horizon_s = 10.0;             // fault windows spread over this
 };
 
 struct ProducerStats {
@@ -150,6 +161,11 @@ class Runtime {
 
   /// Blocks until all producers finished and all consumers drained.
   void wait_idle();
+
+  /// The chaos oracle driving this runtime's injection, or null when
+  /// config.chaos is empty. Applications use it for the drift axis
+  /// (compute_multiplier) so workload and runtime share one seeded engine.
+  const chaos::ChaosEngine* chaos() const noexcept;
 
  private:
   Config config_;

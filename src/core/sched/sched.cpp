@@ -94,6 +94,18 @@ std::uint64_t SchedContext::stall_ns(int p) const noexcept {
   return stall_[static_cast<std::size_t>(p)].load(std::memory_order_relaxed);
 }
 
+std::uint64_t SchedContext::total_stall_ns() const noexcept {
+  std::uint64_t total = 0;
+  for (int p = 0; p < P_; ++p) total += stall_ns(p);
+  return total;
+}
+
+long long SchedContext::max_queued() const noexcept {
+  long long deepest = 0;
+  for (int c = 0; c < Q_; ++c) deepest = std::max(deepest, queued(c));
+  return deepest;
+}
+
 // -------------------------------------------------------------- routing ----
 
 RoutePolicy::RoutePolicy(const SchedConfig& cfg, int num_producers,

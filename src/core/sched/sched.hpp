@@ -102,6 +102,11 @@ class SchedContext {
   void add_stall(int p, std::uint64_t ns) noexcept;
   std::uint64_t stall_ns(int p) const noexcept;
 
+  /// Aggregates the online controller snapshots from (sum over producers /
+  /// max over consumers). Same atomics the policies read — no extra state.
+  std::uint64_t total_stall_ns() const noexcept;
+  long long max_queued() const noexcept;
+
  private:
   int P_, Q_;
   std::vector<std::atomic<long long>> queued_;

@@ -61,13 +61,22 @@ std::vector<std::string> metric_columns(const std::vector<ScenarioResult>& rs) {
 
 std::string to_csv(const std::vector<ScenarioResult>& rs) {
   const auto cols = metric_columns(rs);
+  // The `error` column exists only when some scenario was aborted by the
+  // sweep engine, so clean sweeps keep their historical byte-exact layout.
+  bool any_error = false;
+  for (const auto& r : rs) any_error = any_error || !r.error.empty();
   std::string out = "label,crashed,note";
+  if (any_error) out += ",error";
   for (const auto& c : cols) out += "," + csv_escape(c);
   out += '\n';
   for (const auto& r : rs) {
     out += csv_escape(r.label);
     out += r.crashed ? ",1," : ",0,";
     out += csv_escape(r.note);
+    if (any_error) {
+      out += ',';
+      out += csv_escape(r.error);
+    }
     for (const auto& c : cols) {
       out += ',';
       // Non-finite values (e.g. the NaN a broken calibration's
@@ -86,7 +95,9 @@ std::string to_json(const std::vector<ScenarioResult>& rs) {
     const auto& r = rs[i];
     out += "  {\"label\": \"" + json_escape(r.label) + "\", \"crashed\": ";
     out += r.crashed ? "true" : "false";
-    out += ", \"note\": \"" + json_escape(r.note) + "\", \"metrics\": {";
+    out += ", \"note\": \"" + json_escape(r.note) + "\"";
+    if (!r.error.empty()) out += ", \"error\": \"" + json_escape(r.error) + "\"";
+    out += ", \"metrics\": {";
     for (std::size_t j = 0; j < r.metrics.size(); ++j) {
       if (j) out += ", ";
       out += "\"" + json_escape(r.metrics[j].first) +

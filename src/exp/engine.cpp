@@ -10,6 +10,9 @@ namespace zipper::exp {
 namespace {
 
 ScenarioResult run_guarded(const ScenarioSpec& spec) {
+  // A scenario that throws must not take down the whole sweep (chaos axes
+  // make individual runs fail by design): record the failure on its row —
+  // including the `error` column the artifacts emit — and continue.
   try {
     return run_scenario(spec);
   } catch (const std::exception& e) {
@@ -17,6 +20,14 @@ ScenarioResult run_guarded(const ScenarioSpec& spec) {
     r.label = spec.label;
     r.crashed = true;
     r.note = e.what();
+    r.error = e.what();
+    return r;
+  } catch (...) {
+    ScenarioResult r;
+    r.label = spec.label;
+    r.crashed = true;
+    r.note = "unknown exception";
+    r.error = "unknown exception";
     return r;
   }
 }

@@ -37,6 +37,11 @@ std::size_t SweepGrid::size() const {
   n *= std::max<std::size_t>(1, consumer_steal.size());
   n *= std::max<std::size_t>(1, adaptive_block.size());
   n *= std::max<std::size_t>(1, seeds.size());
+  n *= std::max<std::size_t>(1, stragglers.size());
+  n *= std::max<std::size_t>(1, faults.size());
+  n *= std::max<std::size_t>(1, bursts.size());
+  n *= std::max<std::size_t>(1, drifts.size());
+  n *= std::max<std::size_t>(1, adaptive_control.size());
   return n;
 }
 
@@ -57,6 +62,11 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   const Axis<int> a_csteal{consumer_steal};
   const Axis<int> a_ablock{adaptive_block};
   const Axis<std::uint64_t> a_seed{seeds};
+  const Axis<core::chaos::Straggler> a_strag{stragglers};
+  const Axis<core::chaos::Fault> a_fault{faults};
+  const Axis<core::chaos::Burst> a_burst{bursts};
+  const Axis<core::chaos::Drift> a_drift{drifts};
+  const Axis<int> a_adapt{adaptive_control};
 
   std::vector<ScenarioSpec> out;
   out.reserve(size());
@@ -72,7 +82,12 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   for (std::size_t isp = 0; isp < a_spill.size(); ++isp)
   for (std::size_t ics = 0; ics < a_csteal.size(); ++ics)
   for (std::size_t iab = 0; iab < a_ablock.size(); ++iab)
-  for (std::size_t ix = 0; ix < a_seed.size(); ++ix) {
+  for (std::size_t ix = 0; ix < a_seed.size(); ++ix)
+  for (std::size_t ig = 0; ig < a_strag.size(); ++ig)
+  for (std::size_t ifa = 0; ifa < a_fault.size(); ++ifa)
+  for (std::size_t ibu = 0; ibu < a_burst.size(); ++ibu)
+  for (std::size_t idr = 0; idr < a_drift.size(); ++idr)
+  for (std::size_t iad = 0; iad < a_adapt.size(); ++iad) {
     ScenarioSpec s = base;
     std::string label = label_prefix;
     if (const auto* m = a_method.at(im)) {
@@ -131,6 +146,26 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
     if (const auto* sd = a_seed.at(ix)) {
       s.background_load_seed = *sd;
       label += "/seed" + std::to_string(*sd);
+    }
+    if (const auto* sg = a_strag.at(ig)) {
+      s.chaos.straggler = *sg;
+      label += "/straggler-" + core::chaos::straggler_token(*sg);
+    }
+    if (const auto* fa = a_fault.at(ifa)) {
+      s.chaos.fault = *fa;
+      label += "/fault-" + core::chaos::fault_token(*fa);
+    }
+    if (const auto* bu = a_burst.at(ibu)) {
+      s.chaos.burst = *bu;
+      label += "/burst-" + core::chaos::burst_token(*bu);
+    }
+    if (const auto* dr = a_drift.at(idr)) {
+      s.chaos.drift = *dr;
+      label += "/drift-" + core::chaos::drift_token(*dr);
+    }
+    if (const auto* ad = a_adapt.at(iad)) {
+      s.adaptive_control = *ad != 0;
+      label += *ad ? "/adapt" : "/no-adapt";
     }
     s.label = label;
     out.push_back(std::move(s));

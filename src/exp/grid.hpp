@@ -39,6 +39,12 @@ struct SweepGrid {
   std::vector<int> consumer_steal;              // zipper.sched.consumer_steal (0/1)
   std::vector<int> adaptive_block;              // zipper.sched.block_size (0/1)
   std::vector<std::uint64_t> seeds;          // background_load_seed replication
+  // Chaos axes (core/chaos; see docs/chaos.md for the token grammars).
+  std::vector<core::chaos::Straggler> stragglers;  // chaos.straggler
+  std::vector<core::chaos::Fault> faults;          // chaos.fault
+  std::vector<core::chaos::Burst> bursts;          // chaos.burst
+  std::vector<core::chaos::Drift> drifts;          // chaos.drift
+  std::vector<int> adaptive_control;               // adaptive_control (0/1)
 
   /// Number of scenarios expand() will produce.
   std::size_t size() const;

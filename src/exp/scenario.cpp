@@ -4,6 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "opt/adaptive.hpp"
 #include "transports/decaf.hpp"
 #include "workflow/runner.hpp"
 
@@ -180,10 +181,40 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     cluster->sim.spawn(cluster->fs->background_load(
         spec.background_load_intensity, spec.background_load_seed));
   }
+
+  // Chaos injection + online control: everything hangs off a per-scenario
+  // seeded engine, so the run stays a pure function of the spec.
+  std::shared_ptr<core::chaos::ChaosEngine> chaos_engine;
+  core::dsim::SimZipperConfig zcfg = spec.zipper;
+  if (spec.chaos.any()) {
+    // Fault windows are spread over the healthy run's expected span (plus
+    // headroom for the chaos-induced slowdown itself).
+    const double horizon_s =
+        std::max(1e-3, sim::to_seconds(profile.compute_per_step()) *
+                           profile.steps * 1.5);
+    chaos_engine = std::make_shared<core::chaos::ChaosEngine>(
+        spec.chaos, P, std::max(Q, 1), horizon_s);
+    zcfg.chaos = chaos_engine;
+    if (spec.chaos.burst.enabled()) {
+      cluster->sim.spawn(cluster->fs->bursty_load(spec.chaos.burst.intensity,
+                                                  spec.chaos.burst.period_s,
+                                                  spec.chaos.seed));
+    }
+  }
+  std::shared_ptr<opt::AdaptiveController> controller;
+  if (spec.adaptive_control) {
+    opt::AdaptiveOptions aopts;
+    aopts.base_block_bytes = zcfg.block_bytes;
+    controller = std::make_shared<opt::AdaptiveController>(aopts);
+    zcfg.controller = [controller](const core::chaos::ControlSnapshot& s) {
+      return controller->on_window(s);
+    };
+  }
+
   std::unique_ptr<workflow::Coupling> coupling;
   if (spec.method) {
     coupling = transports::make_coupling(*spec.method, *cluster, profile,
-                                         spec.params, spec.zipper);
+                                         spec.params, zcfg);
   }
 
   out.put("steps", profile.steps);
@@ -193,7 +224,8 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
   workflow::RunResult r;
   try {
-    r = workflow::run_workflow(*cluster, profile, coupling.get());
+    r = workflow::run_workflow(*cluster, profile, coupling.get(),
+                               chaos_engine.get());
   } catch (const transports::DecafCountOverflow& e) {
     out.crashed = true;
     out.note = e.what();

@@ -85,6 +85,17 @@ struct ScenarioSpec {
   // error is a standard artifact output (meaningful for the Zipper pipeline).
   bool with_model = false;
 
+  // Chaos injection (core/chaos): the four hostile-condition axes, all off
+  // by default. Seeded from chaos.seed so the same spec replays
+  // bit-for-bit; the straggler/fault axes act inside the Zipper runtime,
+  // burst spawns bursty PFS interference, drift modulates the producers'
+  // compute phases via the workflow runner.
+  core::chaos::ChaosSpec chaos;
+  // Attach the opt::AdaptiveController to the runtime's online re-tuning
+  // hook (docs/chaos.md): the schedule escalates/de-escalates live instead
+  // of keeping the spec's static knobs. Adds the controller metrics.
+  bool adaptive_control = false;
+
   // ---- pipeline-schedule scenarios ------------------------------------------
   int schedule_blocks = 7;
   std::array<double, 4> schedule_stage_s{1, 1, 1, 1};  // Compute/Output/Input/Analysis
@@ -98,6 +109,10 @@ struct ScenarioResult {
   std::string label;
   bool crashed = false;  // e.g. Decaf's 32-bit count overflow
   std::string note;      // crash message or presenter annotation
+  // Uncaught-exception text when the sweep engine had to abort this
+  // scenario (run_guarded). Artifacts add an `error` column only when some
+  // row carries one, so clean sweeps stay byte-identical.
+  std::string error;
   // Insertion-ordered so CSV columns and determinism comparisons are stable.
   std::vector<std::pair<std::string, double>> metrics;
   // Kept alive only for record_traces scenarios: presenters render Gantt

@@ -1,0 +1,67 @@
+#include "opt/adaptive.hpp"
+
+namespace zipper::opt {
+
+using core::chaos::ControlAction;
+using core::chaos::ControlSnapshot;
+using core::sched::RouteKind;
+
+ControlAction AdaptiveController::action_for_level() const {
+  // Actions are absolute (the full knob set for the rung), not incremental,
+  // so a move to any rung lands the runtime in a well-defined configuration
+  // regardless of the path taken.
+  ControlAction a;
+  switch (level_) {
+    case 0:
+      a.route = RouteKind::kStatic;
+      a.consumer_steal = false;
+      a.spill = false;
+      a.block_bytes = opts_.base_block_bytes;
+      break;
+    case 1:
+      a.route = RouteKind::kLeastQueued;
+      a.consumer_steal = true;
+      a.spill = false;
+      a.block_bytes = opts_.base_block_bytes;
+      break;
+    case 2:
+      a.route = RouteKind::kLeastQueued;
+      a.consumer_steal = true;
+      a.spill = true;
+      a.block_bytes = opts_.base_block_bytes;
+      break;
+    default:  // 3
+      a.route = RouteKind::kLeastQueued;
+      a.consumer_steal = true;
+      a.spill = true;
+      a.block_bytes = opts_.base_block_bytes * 2;
+      break;
+  }
+  return a;
+}
+
+ControlAction AdaptiveController::on_window(const ControlSnapshot& s) {
+  if (s.stall_fraction > opts_.hi) {
+    calm_ = 0;
+    if (level_ < 3) {
+      ++level_;
+      ++moves_;
+      return action_for_level();
+    }
+    return {};
+  }
+  if (s.stall_fraction < opts_.lo) {
+    if (++calm_ >= opts_.calm_windows && level_ > 0) {
+      calm_ = 0;
+      --level_;
+      ++moves_;
+      return action_for_level();
+    }
+    return {};
+  }
+  // Between the thresholds: hold position, reset the calm streak.
+  calm_ = 0;
+  return {};
+}
+
+}  // namespace zipper::opt

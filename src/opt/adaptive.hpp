@@ -1,0 +1,69 @@
+// Online adaptive controller for the resilient Zipper runtimes.
+//
+// The PR 5 tuner picks a static configuration offline from a calibrated
+// model; this controller closes the loop at run time. The runtime hands it
+// one ControlSnapshot per control interval (producer stall, queue depths,
+// analysis throughput over the window) and it answers with knob deltas the
+// runtime applies live. It never sees the ChaosSpec — it reacts purely to
+// the observable symptoms, which is what makes it a fair adversary for the
+// ablation_adapt figure.
+//
+// Algorithm: an escalation ladder with hysteresis (docs/chaos.md).
+//
+//   rung 0  baseline        the scenario's configured schedule
+//   rung 1  rebalance       route=lq + consumer stealing — spread load away
+//                           from slow consumers at zero PFS cost
+//   rung 2  degrade         spill channel on — trade PFS bandwidth for
+//                           producer progress when rebalancing is not enough
+//   rung 3  coarsen         double the block size — fewer protocol round
+//                           trips and more buffered bytes per slot under
+//                           sustained backpressure
+//
+// Escalate one rung when the windowed stall fraction exceeds `hi`;
+// de-escalate one rung after `calm_windows` consecutive windows below `lo`.
+// The two thresholds plus the calm count give the hysteresis that keeps the
+// controller from flapping around one boundary, mirroring the kHysteresis
+// SpillPolicy one level up the stack.
+//
+// Determinism: the controller is a pure function of the snapshot sequence
+// (no clocks, no RNG), so a chaos scenario with a fixed seed replays
+// bit-for-bit — snapshots arrive in deterministic DES order and every
+// decision follows from them.
+#pragma once
+
+#include <cstdint>
+
+#include "core/chaos/chaos.hpp"
+
+namespace zipper::opt {
+
+struct AdaptiveOptions {
+  double hi = 0.10;      // escalate above this windowed stall fraction
+  double lo = 0.02;      // calm window: stall fraction below this
+  int calm_windows = 4;  // consecutive calm windows before de-escalating
+  std::uint64_t base_block_bytes = 1 << 20;  // rung 3 doubles this
+};
+
+class AdaptiveController {
+ public:
+  explicit AdaptiveController(AdaptiveOptions opts = {}) : opts_(opts) {}
+
+  /// One control decision per runtime snapshot. Returns the knob deltas to
+  /// apply (empty action when the ladder does not move).
+  core::chaos::ControlAction on_window(const core::chaos::ControlSnapshot& s);
+
+  /// Current ladder rung (0..3), for tests and presenters.
+  int level() const noexcept { return level_; }
+  /// Total ladder moves (up or down) so far.
+  int moves() const noexcept { return moves_; }
+
+ private:
+  core::chaos::ControlAction action_for_level() const;
+
+  AdaptiveOptions opts_;
+  int level_ = 0;
+  int calm_ = 0;
+  int moves_ = 0;
+};
+
+}  // namespace zipper::opt

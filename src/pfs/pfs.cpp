@@ -139,6 +139,33 @@ sim::Task ost_load_loop(sim::Simulation& sim, sim::Resource& ost,
     co_await sim.delay(static_cast<sim::Time>(idle_ns * (0.5 + rng.uniform())));
   }
 }
+// Duty-cycled variant: bursts only during the ON half of each `period`
+// cycle, at double intensity so the long-run average matches the steady
+// loop. All OST loops share the cycle phase (synchronized interference is
+// what makes bursts hostile); jitter stays within the ON window.
+sim::Task ost_burst_loop(sim::Simulation& sim, sim::Resource& ost,
+                         double ost_bandwidth, double intensity,
+                         sim::Time period, std::uint64_t seed) {
+  common::Xoshiro256 rng(seed);
+  const double on_intensity = std::min(1.0, 2.0 * intensity);
+  const sim::Time half = std::max<sim::Time>(period / 2, 1);
+  while (true) {
+    const sim::Time cycle_end = (sim.now() / period + 1) * period;
+    const sim::Time on_end = cycle_end - half;  // ON first, then OFF
+    while (sim.now() < on_end) {
+      const std::uint64_t burst = static_cast<std::uint64_t>(
+          static_cast<double>((1 + rng.below(64)) * common::MiB) *
+          (1.0 + 12.0 * on_intensity));
+      co_await ost.transfer(burst);
+      const double busy_ns = static_cast<double>(burst) / (ost_bandwidth / 1e9);
+      const double idle_ns =
+          busy_ns * (1.0 - on_intensity) / std::max(on_intensity, 1e-6);
+      co_await sim.delay(
+          static_cast<sim::Time>(idle_ns * (0.5 + rng.uniform())));
+    }
+    if (sim.now() < cycle_end) co_await sim.delay(cycle_end - sim.now());
+  }
+}
 }  // namespace
 
 sim::Task ParallelFileSystem::background_load(double intensity, std::uint64_t seed) {
@@ -149,6 +176,19 @@ sim::Task ParallelFileSystem::background_load(double intensity, std::uint64_t se
                               cfg_.ost_bandwidth, intensity,
                               seed * 6364136223846793005ull +
                                   static_cast<std::uint64_t>(i)));
+  }
+  co_return;
+}
+
+sim::Task ParallelFileSystem::bursty_load(double intensity, double period_s,
+                                          std::uint64_t seed) {
+  const sim::Time period =
+      std::max<sim::Time>(sim::from_seconds(std::max(period_s, 1e-6)), 2);
+  for (int i = 0; i < cfg_.num_osts; ++i) {
+    sim_->spawn(ost_burst_loop(*sim_, *osts_[static_cast<std::size_t>(i)],
+                               cfg_.ost_bandwidth, intensity, period,
+                               seed * 6364136223846793005ull + 0xB0057ull +
+                                   static_cast<std::uint64_t>(i)));
   }
   co_return;
 }

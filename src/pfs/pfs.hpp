@@ -79,6 +79,14 @@ class ParallelFileSystem {
   /// OST bandwidth consumed.
   sim::Task background_load(double intensity, std::uint64_t seed);
 
+  /// Bursty variant of background_load for the chaos `--burst` axis:
+  /// duty-cycled ON/OFF interference with cycle length `period_s`. During
+  /// the ON half-cycle every OST runs at ~2x `intensity`; during the OFF
+  /// half-cycle the PFS is quiet — same long-run average as the steady
+  /// load, but with the synchronized bandwidth cliffs production file
+  /// systems actually exhibit.
+  sim::Task bursty_load(double intensity, double period_s, std::uint64_t seed);
+
   const PfsConfig& config() const noexcept { return cfg_; }
   std::uint64_t total_bytes_written() const noexcept { return bytes_written_; }
   std::uint64_t total_bytes_read() const noexcept { return bytes_read_; }

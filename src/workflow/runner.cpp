@@ -17,7 +17,8 @@ constexpr int kHaloTagBase = 1 << 16;
 
 /// One producer rank: the CL/ST/UD phases plus the transport PUT.
 Task producer_proc(Cluster& cl, const apps::WorkloadProfile& prof,
-                   Coupling* coupling, int p, sim::Latch& done, Time& finish) {
+                   Coupling* coupling, const core::chaos::ChaosEngine* chaos,
+                   int p, sim::Latch& done, Time& finish) {
   auto& sim = cl.sim;
   auto& rec = cl.recorder;
   const int P = cl.layout().producers;
@@ -25,7 +26,12 @@ Task producer_proc(Cluster& cl, const apps::WorkloadProfile& prof,
 
   // Deterministic per-rank compute jitter (see WorkloadProfile::compute_jitter).
   common::Xoshiro256 jitter_rng(0x5EED0000u + static_cast<std::uint64_t>(p));
+  // The chaos drift axis oscillates this rank's compute cost over the run;
+  // `drift` is re-evaluated once per step below. 1.0 without an engine.
+  double drift = 1.0;
   const auto jittered = [&](sim::Time t) {
+    if (drift != 1.0 && t > 0)
+      t = static_cast<sim::Time>(static_cast<double>(t) * drift);
     if (prof.compute_jitter <= 0 || t <= 0) return t;
     const double f = 1.0 + prof.compute_jitter * jitter_rng.uniform(-1.0, 1.0);
     return static_cast<sim::Time>(static_cast<double>(t) * f);
@@ -41,6 +47,7 @@ Task producer_proc(Cluster& cl, const apps::WorkloadProfile& prof,
   const int nb = granular ? coupling->producer_blocks_per_step() : 1;
 
   for (int step = 0; step < prof.steps; ++step) {
+    if (chaos) drift = chaos->compute_multiplier(p, step);
     if (granular) {
       // Continuous production: each block is computed then immediately
       // handed to the coupling (the synthetic-producer pattern of Figs
@@ -106,7 +113,7 @@ Task finish_watcher(Cluster& cl, sim::Latch& all_done, bool& finished) {
 }  // namespace
 
 RunResult run_workflow(Cluster& cl, const apps::WorkloadProfile& prof,
-                       Coupling* coupling) {
+                       Coupling* coupling, const core::chaos::ChaosEngine* chaos) {
   const int P = cl.layout().producers;
   const int Q = coupling ? cl.layout().consumers : 0;
 
@@ -118,7 +125,7 @@ RunResult run_workflow(Cluster& cl, const apps::WorkloadProfile& prof,
   bool finished = false;
 
   for (int p = 0; p < P; ++p) {
-    cl.sim.spawn(producer_proc(cl, prof, coupling, p, all_done,
+    cl.sim.spawn(producer_proc(cl, prof, coupling, chaos, p, all_done,
                                producer_finish[static_cast<std::size_t>(p)]));
   }
   for (int c = 0; c < Q; ++c) {

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "apps/profiles.hpp"
+#include "core/chaos/chaos.hpp"
 #include "workflow/cluster.hpp"
 #include "workflow/coupling.hpp"
 
@@ -31,8 +32,12 @@ struct RunResult {
 };
 
 /// Runs one workflow. `coupling == nullptr` runs the simulation only (the
-/// paper's "Simulation-only" lower-bound series).
+/// paper's "Simulation-only" lower-bound series). `chaos`, when non-null,
+/// applies the drift axis: each producer's compute phases are scaled by
+/// chaos->compute_multiplier(p, step) (the straggler/fault/burst axes act
+/// inside the runtime and PFS instead).
 RunResult run_workflow(Cluster& cluster, const apps::WorkloadProfile& profile,
-                       Coupling* coupling);
+                       Coupling* coupling,
+                       const core::chaos::ChaosEngine* chaos = nullptr);
 
 }  // namespace zipper::workflow

@@ -14,7 +14,8 @@ class ZipperCoupling : public Coupling {
  public:
   ZipperCoupling(Cluster& cluster, const apps::WorkloadProfile& profile,
                  core::dsim::SimZipperConfig cfg)
-      : zip_(std::make_unique<core::dsim::SimZipper>(
+      : chaos_(cfg.chaos != nullptr || static_cast<bool>(cfg.controller)),
+        zip_(std::make_unique<core::dsim::SimZipper>(
             cluster.sim, *cluster.world, *cluster.fs, cluster.recorder, profile,
             cfg, cluster.layout().producers, cluster.layout().consumers,
             cluster.consumer_rank(0))) {}
@@ -35,7 +36,7 @@ class ZipperCoupling : public Coupling {
 
   std::map<std::string, double> metrics() const override {
     const auto& s = zip_->stats();
-    return {
+    std::map<std::string, double> m{
         {"stall_s", sim::to_seconds(s.producer_stall)},
         {"sender_busy_s", sim::to_seconds(s.sender_busy)},
         {"writer_busy_s", sim::to_seconds(s.writer_busy)},
@@ -50,11 +51,21 @@ class ZipperCoupling : public Coupling {
         {"bytes_via_network", static_cast<double>(s.bytes_via_network)},
         {"bytes_via_pfs", static_cast<double>(s.bytes_via_pfs)},
     };
+    // Resilience counters appear only for chaos/controller runs so default
+    // artifacts stay byte-identical to the pre-chaos layout.
+    if (chaos_) {
+      m.emplace("put_retries", static_cast<double>(s.put_retries));
+      m.emplace("blocks_spilled_slow",
+                static_cast<double>(s.blocks_spilled_slow));
+      m.emplace("control_actions", static_cast<double>(s.control_actions));
+    }
+    return m;
   }
 
   const core::dsim::SimZipperStats& stats() const { return zip_->stats(); }
 
  private:
+  bool chaos_ = false;
   std::unique_ptr<core::dsim::SimZipper> zip_;
 };
 

@@ -1,0 +1,498 @@
+// The chaos layer: token grammars, engine determinism, per-axis effects on
+// the simulated runtime, the fault-resilience path (retry/backoff/spill-
+// degrade), the online adaptive controller's escalation ladder, sweep-level
+// error capture, and the determinism contract under chaos (-j1 == -j4).
+// Also pins two drain-path regressions: sim::Channel keeps buffered values
+// receivable after close(), and a threaded-runtime consumer whose peer
+// abandoned a non-empty buffer still terminates.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chaos/chaos.hpp"
+#include "core/rt/runtime.hpp"
+#include "exp/artifacts.hpp"
+#include "exp/engine.hpp"
+#include "exp/grid.hpp"
+#include "opt/adaptive.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulation.hpp"
+
+namespace fs = std::filesystem;
+using namespace zipper;
+using namespace zipper::core::chaos;
+
+// ---------------------------------------------------------------- tokens ----
+
+TEST(ChaosTokens, RoundTrip) {
+  for (const char* t : {"1x4", "2x1.5", "3x8", "off"}) {
+    const auto s = parse_straggler(t);
+    ASSERT_TRUE(s.has_value()) << t;
+    EXPECT_EQ(parse_straggler(straggler_token(*s))->count, s->count) << t;
+  }
+  for (const char* t : {"2x8@0.5", "1x4@2", "off"}) {
+    const auto f = parse_fault(t);
+    ASSERT_TRUE(f.has_value()) << t;
+    const auto g = parse_fault(fault_token(*f));
+    ASSERT_TRUE(g.has_value()) << t;
+    EXPECT_EQ(g->events, f->events);
+    EXPECT_DOUBLE_EQ(g->factor, f->factor);
+    EXPECT_DOUBLE_EQ(g->duration_s, f->duration_s);
+  }
+  for (const char* t : {"0.7", "0.7@2", "1", "off"}) {
+    const auto b = parse_burst(t);
+    ASSERT_TRUE(b.has_value()) << t;
+    const auto c = parse_burst(burst_token(*b));
+    ASSERT_TRUE(c.has_value()) << t;
+    EXPECT_DOUBLE_EQ(c->intensity, b->intensity);
+    EXPECT_DOUBLE_EQ(c->period_s, b->period_s);
+  }
+  for (const char* t : {"3", "3@6", "1.5@2.5", "off"}) {
+    const auto d = parse_drift(t);
+    ASSERT_TRUE(d.has_value()) << t;
+    const auto e = parse_drift(drift_token(*d));
+    ASSERT_TRUE(e.has_value()) << t;
+    EXPECT_DOUBLE_EQ(e->factor, d->factor);
+    EXPECT_DOUBLE_EQ(e->period_steps, d->period_steps);
+  }
+  // "0" is the documented alias for "off" on every axis.
+  EXPECT_FALSE(parse_straggler("0")->enabled());
+  EXPECT_FALSE(parse_fault("0")->enabled());
+  EXPECT_FALSE(parse_burst("0")->enabled());
+  EXPECT_FALSE(parse_drift("0")->enabled());
+}
+
+TEST(ChaosTokens, MalformedSpecsRejected) {
+  for (const char* t : {"x4", "1x", "1x1", "1x0.5", "-1x4", "banana", "1x4x2",
+                        "1.5x4", ""}) {
+    EXPECT_FALSE(parse_straggler(t).has_value()) << t;
+  }
+  for (const char* t : {"2x8", "2@0.5", "x8@0.5", "2x8@", "2x1@0.5",
+                        "2x8@-1", "banana", ""}) {
+    EXPECT_FALSE(parse_fault(t).has_value()) << t;
+  }
+  for (const char* t : {"1.5", "-0.2", "0.7@", "@2", "0.7@0x2", "banana", ""}) {
+    EXPECT_FALSE(parse_burst(t).has_value()) << t;
+  }
+  for (const char* t : {"0.5", "1", "3@", "@6", "3@-2", "banana", ""}) {
+    EXPECT_FALSE(parse_drift(t).has_value()) << t;
+  }
+}
+
+// ---------------------------------------------------------------- engine ----
+
+namespace {
+
+ChaosSpec all_axes_spec(std::uint64_t seed) {
+  ChaosSpec spec;
+  spec.seed = seed;
+  spec.straggler = {1, 4.0};
+  spec.fault = {3, 8.0, 0.5};
+  spec.burst = {0.7, 1.0};
+  spec.drift = {3.0, 6.0};
+  return spec;
+}
+
+}  // namespace
+
+TEST(ChaosEngine, PureFunctionOfSpec) {
+  const auto spec = all_axes_spec(99);
+  ChaosEngine a(spec, 4, 3, 10.0);
+  ChaosEngine b(spec, 4, 3, 10.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(a.straggler(c), b.straggler(c));
+    for (double t : {0.0, 1.0, 2.5, 7.75, 9.9}) {
+      EXPECT_EQ(a.fault_active(c, t), b.fault_active(c, t));
+      EXPECT_DOUBLE_EQ(a.consumer_slowdown(c, t), b.consumer_slowdown(c, t));
+    }
+  }
+  for (int p = 0; p < 4; ++p) {
+    for (int s = 0; s < 20; ++s) {
+      EXPECT_DOUBLE_EQ(a.compute_multiplier(p, s), b.compute_multiplier(p, s));
+    }
+  }
+  ASSERT_EQ(a.fault_windows().size(), b.fault_windows().size());
+  for (std::size_t i = 0; i < a.fault_windows().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fault_windows()[i].t0_s, b.fault_windows()[i].t0_s);
+  }
+}
+
+TEST(ChaosEngine, FaultWindowsMaterializedFromSpec) {
+  const auto spec = all_axes_spec(7);
+  const double horizon = 10.0;
+  ChaosEngine eng(spec, 4, 3, horizon);
+
+  const auto& ws = eng.fault_windows();
+  ASSERT_EQ(ws.size(), static_cast<std::size_t>(spec.fault.events));
+  double prev = -1;
+  for (const auto& w : ws) {
+    EXPECT_GE(w.consumer, 0);
+    EXPECT_LT(w.consumer, 3);
+    EXPECT_GE(w.t0_s, 0.0);
+    EXPECT_LE(w.t0_s, horizon);
+    // Duration is jittered within 0.5x-1.5x of the spec mean.
+    EXPECT_GE(w.t1_s - w.t0_s, 0.5 * spec.fault.duration_s);
+    EXPECT_LE(w.t1_s - w.t0_s, 1.5 * spec.fault.duration_s);
+    EXPECT_GE(w.t0_s, prev);  // sorted for the linear fault_active scan
+    prev = w.t0_s;
+    // The oracle agrees with its own schedule.
+    const double mid = 0.5 * (w.t0_s + w.t1_s);
+    EXPECT_TRUE(eng.fault_active(w.consumer, mid));
+    EXPECT_GE(eng.consumer_slowdown(w.consumer, mid), spec.fault.factor);
+  }
+
+  // Exactly `count` stragglers, and their slowdown holds at all times.
+  int stragglers = 0;
+  for (int c = 0; c < 3; ++c) stragglers += eng.straggler(c) ? 1 : 0;
+  EXPECT_EQ(stragglers, spec.straggler.count);
+
+  // A different seed draws a different schedule (overwhelmingly likely).
+  ChaosEngine other(all_axes_spec(8), 4, 3, horizon);
+  bool differs = other.fault_windows().front().t0_s != ws.front().t0_s;
+  for (int c = 0; c < 3 && !differs; ++c) {
+    differs = other.straggler(c) != eng.straggler(c);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosEngine, DriftMultiplierBoundedAndOscillating) {
+  const auto spec = all_axes_spec(21);
+  ChaosEngine eng(spec, 6, 3, 10.0);
+  double lo = 1e9, hi = 0;
+  for (int p = 0; p < 6; ++p) {
+    for (int s = 0; s < 48; ++s) {
+      const double m = eng.compute_multiplier(p, s);
+      EXPECT_GE(m, 1.0);
+      EXPECT_LE(m, spec.drift.factor + 1e-9);
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+  }
+  // Over several full periods the oscillation must actually visit both
+  // the fast and the slow side.
+  EXPECT_LT(lo, 1.3);
+  EXPECT_GT(hi, 2.5);
+
+  // Burst duty cycle: ON for the first half-period, OFF for the second.
+  EXPECT_TRUE(eng.burst_active(0.1));
+  EXPECT_FALSE(eng.burst_active(0.9));
+}
+
+TEST(ChaosEngine, DisabledAxesAreNeutral) {
+  ChaosSpec spec;  // everything off
+  spec.seed = 5;
+  ChaosEngine eng(spec, 4, 2, 10.0);
+  EXPECT_FALSE(spec.any());
+  for (int c = 0; c < 2; ++c) {
+    EXPECT_FALSE(eng.straggler(c));
+    EXPECT_FALSE(eng.fault_active(c, 1.0));
+    EXPECT_DOUBLE_EQ(eng.consumer_slowdown(c, 1.0), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(eng.compute_multiplier(0, 3), 1.0);
+  EXPECT_FALSE(eng.burst_active(0.2));
+  EXPECT_TRUE(eng.fault_windows().empty());
+}
+
+// ---------------------------------------------------- adaptive controller ----
+
+namespace {
+
+ControlSnapshot snapshot(double stall_fraction) {
+  ControlSnapshot s;
+  s.now_s = 1.0;
+  s.window_s = 0.25;
+  s.stall_fraction = stall_fraction;
+  s.stall_s = stall_fraction * s.window_s;
+  return s;
+}
+
+}  // namespace
+
+TEST(AdaptiveController, EscalationLadder) {
+  opt::AdaptiveOptions opts;
+  opts.base_block_bytes = 1 << 20;
+  opt::AdaptiveController ctl(opts);
+  EXPECT_EQ(ctl.level(), 0);
+
+  // Rung 1: rebalance (lq + consumer stealing), no spill yet.
+  auto a1 = ctl.on_window(snapshot(0.5));
+  EXPECT_EQ(ctl.level(), 1);
+  ASSERT_TRUE(a1.any());
+  ASSERT_TRUE(a1.route.has_value());
+  EXPECT_EQ(*a1.route, core::sched::RouteKind::kLeastQueued);
+  ASSERT_TRUE(a1.consumer_steal.has_value());
+  EXPECT_TRUE(*a1.consumer_steal);
+  ASSERT_TRUE(a1.spill.has_value());
+  EXPECT_FALSE(*a1.spill);
+
+  // Rung 2: degrade to the spill channel.
+  auto a2 = ctl.on_window(snapshot(0.4));
+  EXPECT_EQ(ctl.level(), 2);
+  ASSERT_TRUE(a2.spill.has_value());
+  EXPECT_TRUE(*a2.spill);
+
+  // Rung 3: coarsen blocks; the ladder is capped there.
+  auto a3 = ctl.on_window(snapshot(0.4));
+  EXPECT_EQ(ctl.level(), 3);
+  ASSERT_TRUE(a3.block_bytes.has_value());
+  EXPECT_EQ(*a3.block_bytes, opts.base_block_bytes * 2);
+  auto a4 = ctl.on_window(snapshot(0.4));
+  EXPECT_EQ(ctl.level(), 3);
+  EXPECT_FALSE(a4.any());
+}
+
+TEST(AdaptiveController, HysteresisOnTheWayDown) {
+  opt::AdaptiveOptions opts;
+  opts.calm_windows = 4;
+  opt::AdaptiveController ctl(opts);
+  ctl.on_window(snapshot(0.5));
+  ctl.on_window(snapshot(0.5));
+  ASSERT_EQ(ctl.level(), 2);
+
+  // Three calm windows: not yet.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ctl.on_window(snapshot(0.0)).any());
+    EXPECT_EQ(ctl.level(), 2);
+  }
+  // Fourth consecutive calm window de-escalates one rung.
+  auto down = ctl.on_window(snapshot(0.0));
+  EXPECT_TRUE(down.any());
+  EXPECT_EQ(ctl.level(), 1);
+
+  // A middling window (between lo and hi) resets the calm streak without
+  // moving the ladder — the hysteresis band.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(ctl.on_window(snapshot(0.0)).any());
+  EXPECT_FALSE(ctl.on_window(snapshot(0.05)).any());
+  EXPECT_EQ(ctl.level(), 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(ctl.on_window(snapshot(0.0)).any());
+    EXPECT_EQ(ctl.level(), 1);
+  }
+  EXPECT_TRUE(ctl.on_window(snapshot(0.0)).any());
+  EXPECT_EQ(ctl.level(), 0);
+  EXPECT_EQ(ctl.moves(), 4);
+}
+
+// -------------------------------------------- chaos axes through the DES ----
+
+namespace {
+
+exp::ScenarioSpec small_zipper_spec(const std::string& label) {
+  exp::ScenarioSpec s;
+  s.label = label;
+  s.cluster = "bridges";
+  s.workload = exp::Workload::kCfdBridges;
+  s.steps = 6;
+  s.producers = 4;
+  s.consumers = 2;
+  s.method = transports::Method::kZipper;
+  s.zipper.producer_buffer_blocks = 8;
+  s.zipper.consumer_buffer_blocks = 8;
+  s.zipper.enable_steal = false;
+  return s;
+}
+
+}  // namespace
+
+TEST(ChaosScenario, StragglerSlowsTheRun) {
+  auto base = small_zipper_spec("calm");
+  const auto calm = exp::run_scenario(base);
+  ASSERT_FALSE(calm.crashed);
+  // No chaos => no resilience columns (the byte-identity guard).
+  EXPECT_FALSE(calm.has("put_retries"));
+  EXPECT_FALSE(calm.has("control_actions"));
+
+  auto strag = base;
+  strag.label = "straggler";
+  strag.chaos.seed = 11;
+  strag.chaos.straggler = {1, 8.0};
+  const auto hit = exp::run_scenario(strag);
+  ASSERT_FALSE(hit.crashed);
+  EXPECT_TRUE(hit.has("put_retries"));
+  EXPECT_GT(hit.get("end_to_end_s"), calm.get("end_to_end_s"));
+}
+
+TEST(ChaosScenario, FaultResilienceRetriesAndDegrades) {
+  auto spec = small_zipper_spec("fault");
+  spec.chaos.seed = 3;
+  spec.chaos.fault = {3, 8.0, 1.0};
+  const auto r = exp::run_scenario(spec);
+  ASSERT_FALSE(r.crashed);
+  // The degraded puts hit the retry/backoff path, and at least one fault
+  // outlasted the retry budget and spilled its block to the PFS instead of
+  // wedging the producer.
+  EXPECT_GT(r.get("put_retries"), 0.0);
+  EXPECT_GT(r.get("blocks_spilled_slow"), 0.0);
+  EXPECT_GT(r.get("bytes_via_pfs"), 0.0);
+  // Degradation, not loss: the run still completes every step.
+  EXPECT_GT(r.get("blocks_total"), 0.0);
+  EXPECT_GT(r.get("end_to_end_s"), 0.0);
+}
+
+TEST(ChaosScenario, DriftInflatesCompute) {
+  auto base = small_zipper_spec("calm");
+  const auto calm = exp::run_scenario(base);
+  auto drift = base;
+  drift.label = "drift";
+  drift.chaos.seed = 17;
+  drift.chaos.drift = {3.0, 4.0};
+  const auto hit = exp::run_scenario(drift);
+  ASSERT_FALSE(hit.crashed);
+  // The multiplier is >= 1 by construction, so drifted compute is strictly
+  // longer and the producers finish later.
+  EXPECT_GT(hit.get("producers_done_s"), calm.get("producers_done_s"));
+  EXPECT_GT(hit.get("end_to_end_s"), calm.get("end_to_end_s"));
+}
+
+TEST(ChaosScenario, BurstSlowsPreserveStores) {
+  auto base = small_zipper_spec("calm-preserve");
+  base.zipper.preserve = true;
+  const auto calm = exp::run_scenario(base);
+  auto burst = base;
+  burst.label = "burst-preserve";
+  burst.chaos.seed = 29;
+  burst.chaos.burst = {0.9, 0.5};
+  const auto hit = exp::run_scenario(burst);
+  ASSERT_FALSE(hit.crashed);
+  // Preserve-mode stores share the PFS with the injected bursts.
+  EXPECT_GT(hit.get("end_to_end_s"), calm.get("end_to_end_s"));
+}
+
+TEST(ChaosScenario, AdaptiveControllerActsUnderChaos) {
+  auto spec = small_zipper_spec("adapt");
+  spec.chaos.seed = 11;
+  spec.chaos.straggler = {1, 8.0};
+  spec.adaptive_control = true;
+  const auto r = exp::run_scenario(spec);
+  ASSERT_FALSE(r.crashed);
+  EXPECT_GT(r.get("control_actions"), 0.0);
+
+  // Same spec, same result: the controller is part of the deterministic
+  // (time, seq) event order, not a wall-clock actor.
+  const auto r2 = exp::run_scenario(spec);
+  EXPECT_EQ(exp::to_csv({r}), exp::to_csv({r2}));
+}
+
+// ------------------------------------------- sweep error capture (column) ----
+
+TEST(ChaosSweep, ScenarioErrorIsCapturedPerRow) {
+  auto good = small_zipper_spec("good");
+  auto bad = small_zipper_spec("bad");
+  bad.cluster = "no-such-cluster";  // run_scenario throws invalid_argument
+
+  const auto results = exp::run_sweep({good, bad}, {});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].crashed);
+  EXPECT_TRUE(results[0].error.empty());
+  EXPECT_TRUE(results[1].crashed);
+  EXPECT_NE(results[1].error.find("no-such-cluster"), std::string::npos);
+
+  // The error column appears exactly when some row carries an error.
+  const auto csv = exp::to_csv(results);
+  EXPECT_NE(csv.find(",error"), std::string::npos);
+  EXPECT_NE(csv.find("no-such-cluster"), std::string::npos);
+  const auto clean = exp::to_csv({results[0]});
+  EXPECT_EQ(clean.find(",error"), std::string::npos);
+}
+
+// --------------------------------------- determinism under chaos, -j1==-j4 ----
+
+TEST(ChaosSweep, FaultSweepBitwiseIdenticalAcrossJobs) {
+  exp::SweepGrid grid;
+  grid.base = small_zipper_spec("");
+  grid.label_prefix = "chaosdet";
+  grid.base.chaos.seed = 1234;
+  grid.faults = {*parse_fault("2x8@0.5"), *parse_fault("1x4@1")};
+  grid.adaptive_control = {0, 1};
+  const auto specs = grid.expand();
+  ASSERT_EQ(specs.size(), 4u);
+
+  exp::SweepOptions serial;
+  serial.jobs = 1;
+  const auto r1 = exp::run_sweep(specs, serial);
+  exp::SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto r4 = exp::run_sweep(specs, parallel);
+
+  EXPECT_EQ(exp::to_csv(r1), exp::to_csv(r4));
+  EXPECT_EQ(exp::to_json(r1), exp::to_json(r4));
+}
+
+// ------------------------------------------------------ drain-path fixes ----
+
+// Regression: a closed sim::Channel must keep its buffered values available
+// to try_recv (the consumer-steal primitive) — close() ends the stream, it
+// does not discard in-flight blocks.
+TEST(ChaosDrain, ChannelTryRecvDrainsAfterClose) {
+  sim::Simulation s;
+  sim::Channel<int> ch(s, 4);
+  ASSERT_TRUE(ch.try_send(1));
+  ASSERT_TRUE(ch.try_send(2));
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_EQ(ch.size(), 2u);
+  auto a = ch.try_recv();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  auto b = ch.try_recv();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*b, 2);
+  EXPECT_FALSE(ch.try_recv().has_value());
+}
+
+// Regression: with consumer stealing on, a consumer whose own stream ended
+// used to nap forever when a peer abandoned a non-empty buffer below the
+// steal threshold (the peer's app thread stopped calling read()). The
+// surviving consumer must drain the leftovers and terminate.
+TEST(ChaosDrain, RtConsumerTerminatesWhenPeerAbandonsBuffer) {
+  const auto base = fs::temp_directory_path() /
+                    ("zipper_chaos_" + std::to_string(::getpid()));
+  fs::create_directories(base / "spill");
+  fs::create_directories(base / "preserve");
+
+  core::rt::Config cfg;
+  cfg.spill_dir = base / "spill";
+  cfg.preserve_dir = base / "preserve";
+  cfg.sched.consumer_steal = true;
+  cfg.sched.steal_min_queue = 64;  // normal stealing never fires here
+
+  const int kBlocks = 5;
+  // Heap-allocated and deliberately leaked on failure: destroying the
+  // runtime while the survivor thread is wedged inside read() would turn a
+  // clean test failure into a crash for the whole suite. P == Q so the
+  // contiguous map is one-to-one: every block of producer 0 lands on
+  // consumer 0 — who never reads. Producer 1 writes nothing.
+  auto* rt = new core::rt::Runtime(2, 2, cfg);
+  std::vector<std::byte> payload(1024, std::byte{0x5A});
+  for (int b = 0; b < kBlocks; ++b) {
+    rt->producer(0).write(core::BlockId{0, 0, b}, payload);
+  }
+  rt->producer(0).finish();
+  rt->producer(1).finish();
+
+  auto* drained = new std::atomic<int>{0};
+  auto* done = new std::atomic<bool>{false};
+  std::thread survivor([rt, drained, done] {
+    while (rt->consumer(1).read()) drained->fetch_add(1);
+    done->store(true);
+  });
+  // Generous wall-clock bound: without the drain fix this never finishes.
+  for (int i = 0; i < 2000 && !done->load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(done->load()) << "consumer 1 wedged on the abandoned buffer";
+  survivor.join();
+  EXPECT_EQ(drained->load(), kBlocks);
+  EXPECT_EQ(rt->consumer(1).stats().blocks_stolen_from_peers,
+            static_cast<std::uint64_t>(kBlocks));
+  delete rt;
+  delete drained;
+  delete done;
+  std::error_code ec;
+  fs::remove_all(base, ec);
+}

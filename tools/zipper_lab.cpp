@@ -34,7 +34,13 @@
 //   --spill=hw,hyst,adapt  (writer spill policy)
 //   --consumer-steal=0,1   (idle consumers pull from overloaded peers)
 //   --adaptive-block=0,1   (stall-adaptive block sizing)
-// Scalars: --cluster=bridges|stampede2, --servers=N,
+//   --straggler=1x4        (chaos: <count> consumers <factor>x slower)
+//   --fault=2x8@0.5        (chaos: <events> transient <factor>x slowdowns,
+//                           ~<seconds> each, with recovery)
+//   --burst=0.7,0.7@2      (chaos: bursty PFS interference <intensity>[@<period_s>])
+//   --drift=3,3@6          (chaos: compute phases drift <factor>[@<period_steps>])
+//   --adapt=0,1            (attach the online adaptive controller)
+// Scalars: --cluster=bridges|stampede2, --servers=N, --chaos-seed=N,
 //   --low-water=0.25 (hysteresis stop fraction), --steal-min=N,
 //   --bg-intensity=0.4 (shared-PFS interference, pairs with --seeds),
 //   --model (emit model::predict comparison columns), --trace
@@ -46,6 +52,7 @@
 #include <string>
 #include <vector>
 
+#include "core/chaos/chaos.hpp"
 #include "core/sched/sched.hpp"
 #include "exp/analyze.hpp"
 #include "opt/tuner.hpp"
@@ -119,11 +126,17 @@ constexpr const char* kSweepAxisHelp[] = {
     "--consumer-steal=0,1        idle consumers pull from overloaded peers",
     "--adaptive-block=0,1        stall-adaptive block sizing",
     "--seeds=11,22,33            background-load replication seeds",
+    "--straggler=1x4             chaos: <count> consumers <factor>x slower",
+    "--fault=2x8@0.5             chaos: <events> transient <factor>x slowdowns, ~<seconds> each",
+    "--burst=0.7,0.7@2           chaos: bursty PFS interference <intensity>[@<period_s>]",
+    "--drift=3,3@6               chaos: compute drift <factor>[@<period_steps>]",
+    "--adapt=0,1                 attach the online adaptive controller",
 };
 constexpr const char* kSweepScalarHelp[] = {
     "--cluster=bridges|stampede2", "--servers=N",
     "--low-water=0.25 (hysteresis stop fraction)",
     "--steal-min=N (min victim queue depth for consumer stealing)",
+    "--chaos-seed=N (chaos-engine seed; the chaos axes replay bit-for-bit)",
     "--bg-intensity=0.4", "--label=PREFIX", "--model", "--trace",
     "--csv=FILE", "--json=FILE", "-j N", "--quiet",
 };
@@ -326,6 +339,63 @@ int parse_one_sweep_flag(int argc, char** argv, int* i, SweepCli* cli) {
       for (const auto& tok : split_csv(v)) {
         grid.adaptive_block.push_back(std::atoi(tok.c_str()));
       }
+    } else if (flag_value(arg, "--straggler", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const auto s = core::chaos::parse_straggler(tok);
+        if (!s) {
+          std::fprintf(stderr,
+                       "invalid straggler spec '%s' (grammar: "
+                       "<count>x<factor>, e.g. 1x4; factor > 1; or off)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.stragglers.push_back(*s);
+      }
+    } else if (flag_value(arg, "--fault", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const auto f = core::chaos::parse_fault(tok);
+        if (!f) {
+          std::fprintf(stderr,
+                       "invalid fault spec '%s' (grammar: "
+                       "<events>x<factor>@<seconds>, e.g. 2x8@0.5; factor > 1; "
+                       "or off)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.faults.push_back(*f);
+      }
+    } else if (flag_value(arg, "--burst", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const auto b = core::chaos::parse_burst(tok);
+        if (!b) {
+          std::fprintf(stderr,
+                       "invalid burst spec '%s' (grammar: "
+                       "<intensity>[@<period_s>], e.g. 0.7 or 0.7@2; "
+                       "intensity in (0, 1]; or off)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.bursts.push_back(*b);
+      }
+    } else if (flag_value(arg, "--drift", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const auto d = core::chaos::parse_drift(tok);
+        if (!d) {
+          std::fprintf(stderr,
+                       "invalid drift spec '%s' (grammar: "
+                       "<factor>[@<period_steps>], e.g. 3 or 3@6; factor > 1; "
+                       "or off)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.drifts.push_back(*d);
+      }
+    } else if (flag_value(arg, "--adapt", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        grid.adaptive_control.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (flag_value(arg, "--chaos-seed", &v)) {
+      grid.base.chaos.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag_value(arg, "--low-water", &v)) {
       grid.base.zipper.sched.low_water = std::atof(v.c_str());
     } else if (flag_value(arg, "--steal-min", &v)) {
