@@ -29,8 +29,6 @@ struct MixedMsg {
   int producer = -1;
 };
 
-std::string spill_name(const BlockId& id) { return "zspill_" + id.to_string(); }
-
 }  // namespace
 
 // ----------------------------------------------------------- producer side --
@@ -129,7 +127,7 @@ sim::Task SimZipper::put_header(int p, BlockHeader h) {
     while (pm.q.size() >= pm.spill.capacity()) co_await pm.not_full.wait(pm.m);
     stats_.producer_stall += sim_->now() - t0;
     ctx_.add_stall(p, static_cast<std::uint64_t>(sim_->now() - t0));
-    rec_->record(p, trace::Cat::kStall, t0, sim_->now());
+    rec_->record(producer_rank(p), trace::Cat::kStall, t0, sim_->now());
   }
   pm.q.push_back(h);
   ++stats_.blocks_total;
@@ -159,6 +157,10 @@ sim::Task SimZipper::producer_put_block(int p, int step, int b, int num_blocks) 
     h.offset = total * i / nb;
     h.bytes = total * (i + 1) / nb - h.offset;
   }
+  return put_header(p, h);
+}
+
+sim::Task SimZipper::producer_put_raw(int p, BlockHeader h) {
   return put_header(p, h);
 }
 
@@ -229,7 +231,8 @@ sim::Task SimZipper::sender_main(int p) {
       }
       // Backoff is transmit stall (data ready, peer won't take it), charged
       // like any congestion-control wait.
-      world_->fabric().charge_xmit_wait(world_->host_of(p), sim_->now() - w0);
+      world_->fabric().charge_xmit_wait(world_->host_of(producer_rank(p)),
+                                        sim_->now() - w0);
       if (degraded) {
         co_await spill_slow(p, h, c);
         continue;
@@ -239,10 +242,11 @@ sim::Task SimZipper::sender_main(int p) {
     MixedMsg msg;
     msg.has_block = true;
     msg.block = h;
-    msg.producer = p;
+    msg.producer = producer_rank(p);
     msg.ids_on_disk = pm.take_spilled(c);
     {
-      trace::ScopedSpan span(*rec_, *sim_, p, trace::Cat::kTransfer);
+      trace::ScopedSpan span(*rec_, *sim_, producer_rank(p),
+                             trace::Cat::kTransfer);
       const Time t0 = sim_->now();
       // Flow control: wait for credits before injecting another block. The
       // credit wait is a transmit stall (data ready, fabric won't take it),
@@ -252,14 +256,16 @@ sim::Task SimZipper::sender_main(int p) {
         const Time w0 = sim_->now();
         while (in_flight >= cfg_.sender_window) {
           mpi::Envelope ack;
-          co_await world_->recv(p, mpi::kAnySource, kZipperAckTag, ack);
+          co_await world_->recv(producer_rank(p), mpi::kAnySource,
+                                kZipperAckTag, ack);
           --in_flight;
         }
-        world_->fabric().charge_xmit_wait(world_->host_of(p), sim_->now() - w0);
+        world_->fabric().charge_xmit_wait(world_->host_of(producer_rank(p)),
+                                          sim_->now() - w0);
       }
       co_await sim_->delay(cost(h.bytes, cfg_.sender_bandwidth));
-      co_await world_->send(p, consumer_rank(c), kZipperTag, h.bytes,
-                            std::any{std::move(msg)});
+      co_await world_->send(producer_rank(p), consumer_rank(c), kZipperTag,
+                            h.bytes, std::any{std::move(msg)});
       ++in_flight;
       stats_.sender_busy += sim_->now() - t0;
       stats_.bytes_via_network += h.bytes;
@@ -280,9 +286,9 @@ sim::Task SimZipper::sender_main(int p) {
   for (int c : fed) {
     MixedMsg msg;
     msg.done = true;
-    msg.producer = p;
+    msg.producer = producer_rank(p);
     msg.ids_on_disk = pm.take_spilled(c);
-    co_await world_->send(p, consumer_rank(c), kZipperTag, 64,
+    co_await world_->send(producer_rank(p), consumer_rank(c), kZipperTag, 64,
                           std::any{std::move(msg)});
   }
 }
@@ -304,11 +310,11 @@ sim::Task SimZipper::writer_main(int p) {
     pm.m.unlock();
 
     {
-      trace::ScopedSpan span(*rec_, *sim_, p, trace::Cat::kSteal);
+      trace::ScopedSpan span(*rec_, *sim_, producer_rank(p), trace::Cat::kSteal);
       const Time t0 = sim_->now();
       co_await sim_->delay(cost(h.bytes, cfg_.writer_bandwidth));
       pfs::FileId fid = 0;
-      const int host = world_->host_of(p);
+      const int host = world_->host_of(producer_rank(p));
       co_await fs_->create(host, spill_name(h.id), fid);
       co_await fs_->write(host, fid, 0, h.bytes);
       stats_.writer_busy += sim_->now() - t0;
@@ -326,11 +332,11 @@ sim::Task SimZipper::writer_main(int p) {
 sim::Task SimZipper::spill_slow(int p, BlockHeader h, int c) {
   Producer& pm = *producers_[static_cast<std::size_t>(p)];
   {
-    trace::ScopedSpan span(*rec_, *sim_, p, trace::Cat::kSteal);
+    trace::ScopedSpan span(*rec_, *sim_, producer_rank(p), trace::Cat::kSteal);
     const Time t0 = sim_->now();
     co_await sim_->delay(cost(h.bytes, cfg_.writer_bandwidth));
     pfs::FileId fid = 0;
-    const int host = world_->host_of(p);
+    const int host = world_->host_of(producer_rank(p));
     co_await fs_->create(host, spill_name(h.id), fid);
     co_await fs_->write(host, fid, 0, h.bytes);
     stats_.writer_busy += sim_->now() - t0;
@@ -437,7 +443,8 @@ sim::Task SimZipper::output_main(int c) {
   const int rank = consumer_rank(c);
   const int host = world_->host_of(rank);
   pfs::FileId fid = 0;
-  co_await fs_->create(host, "zpreserve_c" + std::to_string(c), fid);
+  co_await fs_->create(host, cfg_.file_tag + "preserve_c" + std::to_string(c),
+                       fid);
   std::uint64_t offset = 0;
   while (true) {
     auto h = co_await cm.output_q.recv();
@@ -528,6 +535,7 @@ sim::Task SimZipper::consumer_run(int c) {
     co_await sim_->delay(at);
     stats_.analysis_busy += sim_->now() - t0;
     ++stats_.blocks_analyzed;
+    if (cfg_.on_output) cfg_.on_output(c, *h);
   }
   cm.output_q.close();
   co_await cm.output_done.wait();

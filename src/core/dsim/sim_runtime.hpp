@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -63,6 +64,24 @@ struct SimZipperConfig {
   /// order) right before consumer `c` analyzes a block — including blocks
   /// it stole from a peer. Null by default.
   std::function<void(int c, const BlockHeader&)> on_analyzed;
+
+  /// Pipeline-chaining hook: called (synchronously, in deterministic DES
+  /// order) right after consumer `c` finishes analyzing a block — i.e. after
+  /// the analysis delay, the causal point where a downstream stage may pick
+  /// the result up. Null by default.
+  std::function<void(int c, const BlockHeader&)> on_output;
+
+  /// World rank of producer index 0. The legacy single-coupling layout keeps
+  /// the default (producer p IS world rank p); a downstream edge of a
+  /// multi-stage pipeline runs its producers on the upstream stage's
+  /// consumer ranks, so its coupling instance sets the base accordingly.
+  int first_producer_rank = 0;
+
+  /// PFS-name prefix for this instance's spill/preserve files ("z" in the
+  /// legacy layout => "zspill_…"/"zpreserve_c…"). Multi-edge pipelines give
+  /// each edge its own tag so spilled blocks with equal BlockIds from
+  /// different edges cannot collide on disk.
+  std::string file_tag = "z";
 
   /// Chaos injection oracle (core/chaos): consumer-side service times are
   /// scaled by its straggler/fault multipliers, and puts routed to a
@@ -133,6 +152,11 @@ class SimZipper {
   /// evenly across `num_blocks` blocks.
   sim::Task producer_put_block(int p, int step, int block, int num_blocks);
 
+  /// Raw-header put for pipeline chaining: pushes a caller-built header into
+  /// producer p's buffer with the same stall accounting as the step-based
+  /// puts. The caller owns the BlockId numbering (FIFO per producer).
+  sim::Task producer_put_raw(int p, BlockHeader h);
+
   /// Ends producer p's stream: the sender drains, waits for the writer, and
   /// flushes the end-of-stream control message(s).
   sim::Task producer_finalize(int p);
@@ -175,6 +199,12 @@ class SimZipper {
   bool all_consumer_buffers_drained() const;
 
   int consumer_rank(int c) const noexcept { return first_consumer_rank_ + c; }
+  int producer_rank(int p) const noexcept {
+    return cfg_.first_producer_rank + p;
+  }
+  std::string spill_name(const BlockId& id) const {
+    return cfg_.file_tag + "spill_" + id.to_string();
+  }
   static sim::Time cost(std::uint64_t bytes, double rate) {
     return static_cast<sim::Time>(static_cast<double>(bytes) / rate * 1e9);
   }

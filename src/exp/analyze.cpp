@@ -25,6 +25,25 @@ double compute_total_s(const ScenarioSpec& spec, const ScenarioResult& r) {
   return (r.get("compute_s") + r.get("halo_s")) * spec.producers;
 }
 
+bool pipelined(const ScenarioSpec& spec) {
+  return spec.pipeline.enabled && !spec.pipeline.trivial();
+}
+
+/// One rank band per pipeline stage, mirroring PipelineCoupling's contiguous
+/// world-rank layout (stage i occupies [sum(r[0..i)), sum(r[0..i]))).
+std::vector<trace::RankBand> stage_bands(const ScenarioSpec& spec) {
+  const auto ranks = spec.pipeline.resolved_ranks(
+      spec.producers, std::max(1, spec.effective_consumers()));
+  std::vector<trace::RankBand> bands;
+  bands.reserve(ranks.size());
+  std::int32_t base = 0;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    bands.push_back(trace::RankBand{spec.pipeline.stages[i].name, base, ranks[i]});
+    base += ranks[i];
+  }
+  return bands;
+}
+
 }  // namespace
 
 bool observe(const ScenarioSpec& spec, const ScenarioResult& r,
@@ -42,6 +61,14 @@ bool observe(const ScenarioSpec& spec, const ScenarioResult& r,
   obs.analysis_total_s = r.get("analysis_busy_s");
   obs.store_total_s = r.get("store_busy_s");
   obs.preserve = spec.zipper.preserve;
+  if (pipelined(spec)) {
+    // The legacy metric keys a pipelined run publishes come from edge 0,
+    // whose consumers are stage 1's ranks and whose store term is zero
+    // (Preserve rides the last edge only).
+    obs.consumers = spec.pipeline.resolved_ranks(
+        spec.producers, std::max(1, spec.effective_consumers()))[1];
+    obs.preserve = false;
+  }
   *out = obs;
   return true;
 }
@@ -64,6 +91,24 @@ model::ModelInput calibrated_input_for(const ScenarioSpec& spec,
     in.pfs_write_bandwidth = calib.pfs_write_bandwidth;
   }
   return in;
+}
+
+/// The pipelined analogue of calibrated_input_for: per-edge inputs through
+/// model::calibrated_pipeline (runtime rates from the fit), then the edge-0
+/// compute rate replaced by this scenario's own traced rate — deeper edges
+/// have no compute term.
+std::vector<model::ModelInput> calibrated_pipeline_for(
+    const ScenarioSpec& spec, const ScenarioResult& r,
+    const model::Calibration& calib) {
+  auto edges = model::calibrated_pipeline(calib, pipeline_model_inputs(spec));
+  if (!edges.empty()) {
+    const double d = static_cast<double>(edges.front().total_bytes);
+    if (d > 0) {
+      edges.front().tc_s = compute_total_s(spec, r) / d *
+                           static_cast<double>(edges.front().block_bytes);
+    }
+  }
+  return edges;
 }
 
 bool predictable(const ScenarioSpec& spec, const ScenarioResult& r) {
@@ -105,6 +150,12 @@ int analyze_scenarios(const std::string& name, std::vector<ScenarioSpec> specs,
     }
     const auto attr = trace::analyze(r.cluster->recorder);
     std::printf("%s", trace::attribution_table(attr, opts.table_ranks).c_str());
+    if (pipelined(specs[i])) {
+      std::printf("per-stage attribution (rank bands):\n%s",
+                  trace::band_table(trace::band_attribution(
+                                        attr, stage_bands(specs[i])))
+                      .c_str());
+    }
     chrome.add_process(static_cast<int>(i), r.label, r.cluster->recorder);
     // The cluster (whole simulation universe + span vectors) served its
     // purpose; release it so a large grid's peak memory doesn't hold every
@@ -142,20 +193,36 @@ int analyze_scenarios(const std::string& name, std::vector<ScenarioSpec> specs,
                 "model(s)", "err", "dominant");
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!predictable(specs[i], results[i])) continue;
-      const auto pred =
-          model::predict(calibrated_input_for(specs[i], results[i], calib));
+      double predicted = 0.0;
+      std::string dominant;
+      if (pipelined(specs[i])) {
+        const auto pp = model::predict_pipeline(
+            calibrated_pipeline_for(specs[i], results[i], calib));
+        predicted = pp.t_end_to_end;
+        dominant = "edge " + std::to_string(pp.dominant_edge) + " " + pp.dominant;
+        results[i].put("calib_dominant_edge", pp.dominant_edge);
+        for (std::size_t e = 0; e < pp.edges.size(); ++e) {
+          results[i].put("calib_e" + std::to_string(e) + "_s",
+                         pp.edges[e].t_end_to_end);
+        }
+      } else {
+        const auto pred =
+            model::predict(calibrated_input_for(specs[i], results[i], calib));
+        predicted = pred.t_end_to_end;
+        dominant = pred.dominant;
+      }
       const double measured = results[i].get("end_to_end_s");
-      const double err = model::relative_error(measured, pred);
-      results[i].put("calib_end_to_end_s", pred.t_end_to_end);
+      const double err = model::relative_error(measured, predicted);
+      results[i].put("calib_end_to_end_s", predicted);
       results[i].put("calib_rel_err", err);
       if (std::isfinite(err)) {
         std::printf("%-44s %12.2f %12.2f %8.1f%%  %s%s\n",
-                    results[i].label.c_str(), measured, pred.t_end_to_end,
-                    err * 100.0, pred.dominant.c_str(),
+                    results[i].label.c_str(), measured, predicted, err * 100.0,
+                    dominant.c_str(),
                     i == calib_idx ? "  (calibration run)" : "");
       } else {
         std::printf("%-44s %12.2f %12.2f %9s  %s\n", results[i].label.c_str(),
-                    measured, pred.t_end_to_end, "n/a", pred.dominant.c_str());
+                    measured, predicted, "n/a", dominant.c_str());
       }
     }
   } else {

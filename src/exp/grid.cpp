@@ -42,6 +42,10 @@ std::size_t SweepGrid::size() const {
   n *= std::max<std::size_t>(1, bursts.size());
   n *= std::max<std::size_t>(1, drifts.size());
   n *= std::max<std::size_t>(1, adaptive_control.size());
+  n *= std::max<std::size_t>(1, pipeline_stages.size());
+  n *= std::max<std::size_t>(1, pipeline_fan.size());
+  n *= std::max<std::size_t>(1, pipeline_compress.size());
+  n *= std::max<std::size_t>(1, pipeline_staging.size());
   return n;
 }
 
@@ -67,6 +71,13 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   const Axis<core::chaos::Burst> a_burst{bursts};
   const Axis<core::chaos::Drift> a_drift{drifts};
   const Axis<int> a_adapt{adaptive_control};
+  const Axis<int> a_pstages{pipeline_stages};
+  const Axis<int> a_pfan{pipeline_fan};
+  const Axis<double> a_pcomp{pipeline_compress};
+  const Axis<int> a_pstag{pipeline_staging};
+  const bool pipeline_axes = !pipeline_stages.empty() || !pipeline_fan.empty() ||
+                             !pipeline_compress.empty() ||
+                             !pipeline_staging.empty();
 
   std::vector<ScenarioSpec> out;
   out.reserve(size());
@@ -87,7 +98,11 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   for (std::size_t ifa = 0; ifa < a_fault.size(); ++ifa)
   for (std::size_t ibu = 0; ibu < a_burst.size(); ++ibu)
   for (std::size_t idr = 0; idr < a_drift.size(); ++idr)
-  for (std::size_t iad = 0; iad < a_adapt.size(); ++iad) {
+  for (std::size_t iad = 0; iad < a_adapt.size(); ++iad)
+  for (std::size_t ips = 0; ips < a_pstages.size(); ++ips)
+  for (std::size_t ipf = 0; ipf < a_pfan.size(); ++ipf)
+  for (std::size_t ipc = 0; ipc < a_pcomp.size(); ++ipc)
+  for (std::size_t ipg = 0; ipg < a_pstag.size(); ++ipg) {
     ScenarioSpec s = base;
     std::string label = label_prefix;
     if (const auto* m = a_method.at(im)) {
@@ -166,6 +181,34 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
     if (const auto* ad = a_adapt.at(iad)) {
       s.adaptive_control = *ad != 0;
       label += *ad ? "/adapt" : "/no-adapt";
+    }
+    if (pipeline_axes) {
+      int depth = 2;
+      int fan = 1;
+      double compress = 1.0;
+      bool staging = true;
+      if (const auto* ps = a_pstages.at(ips)) {
+        depth = *ps;
+        label += "/stages" + std::to_string(*ps);
+      }
+      if (const auto* pf = a_pfan.at(ipf)) {
+        fan = *pf;
+        label += "/fan" + std::to_string(*pf);
+      }
+      if (const auto* pc = a_pcomp.at(ipc)) {
+        compress = *pc;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "/cx%.3g", *pc);
+        label += buf;
+      }
+      if (const auto* pg = a_pstag.at(ipg)) {
+        staging = *pg != 0;
+        label += *pg ? "/staging" : "/colocated";
+      }
+      s.pipeline = workflow::make_chain(depth, fan, compress, staging);
+      s.pipeline.chaos_edge = base.pipeline.chaos_edge < s.pipeline.num_edges()
+                                  ? base.pipeline.chaos_edge
+                                  : 0;
     }
     s.label = label;
     out.push_back(std::move(s));

@@ -45,6 +45,15 @@ struct SweepGrid {
   std::vector<core::chaos::Burst> bursts;          // chaos.burst
   std::vector<core::chaos::Drift> drifts;          // chaos.drift
   std::vector<int> adaptive_control;               // adaptive_control (0/1)
+  // Pipeline axes (workflow/pipeline.hpp; docs/pipelines.md): any non-empty
+  // axis switches the point to a workflow::make_chain pipeline composed of
+  // (stages, fan, compress, staging), defaulting the others to
+  // depth 2 / fan 1 / compress 1 / staging on. --stages 1 is the trivial
+  // chain, i.e. the legacy single-coupling path.
+  std::vector<int> pipeline_stages;      // chain depth (downstream stages)
+  std::vector<int> pipeline_fan;         // fan-in divisor per derived stage
+  std::vector<double> pipeline_compress; // per-edge compression (edges >= 1)
+  std::vector<int> pipeline_staging;     // staging nodes (1) vs colocated (0)
 
   /// Number of scenarios expand() will produce.
   std::size_t size() const;

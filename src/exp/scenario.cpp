@@ -115,6 +115,47 @@ workflow::ClusterSpec make_cluster_spec(const ScenarioSpec& spec) {
   return *cs;
 }
 
+std::vector<model::ModelInput> pipeline_model_inputs(const ScenarioSpec& spec) {
+  if (!spec.pipeline.enabled) return {model_input_for(spec)};
+  spec.pipeline.validate();
+  const auto& pl = spec.pipeline;
+  const auto profile = make_profile(spec);
+  const auto base = model_input_for(spec);
+  const auto ranks =
+      pl.resolved_ranks(spec.producers, std::max(1, spec.effective_consumers()));
+  std::vector<model::ModelInput> edges;
+  edges.reserve(static_cast<std::size_t>(pl.num_edges()));
+  double cum = 1.0;  // cumulative compression upstream of this edge's wire
+  for (int e = 0; e < pl.num_edges(); ++e) {
+    const auto& pe = pl.edges[static_cast<std::size_t>(e)];
+    const auto& down = pl.stages[static_cast<std::size_t>(e) + 1];
+    cum *= pe.compression;
+    model::ModelInput in = base;
+    in.producers = ranks[static_cast<std::size_t>(e)];
+    in.consumers = ranks[static_cast<std::size_t>(e) + 1];
+    in.total_bytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(base.total_bytes) / cum));
+    in.block_bytes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(base.block_bytes) / cum));
+    // Only the simulation computes; forwarding stages' per-block work is the
+    // transfer + analysis below.
+    in.tc_s = e == 0 ? base.tc_s : 0.0;
+    // The edge's wire rate follows its method preset (and the memory-speed
+    // upgrade of a colocated downstream stage) — mirrors
+    // PipelineCoupling::edge_config.
+    double bw = pe.method == workflow::EdgeMethod::kPfs
+                    ? spec.zipper.writer_bandwidth
+                    : spec.zipper.sender_bandwidth;
+    if (e >= 1 && !down.staging) bw *= 4;
+    in.tm_s = static_cast<double>(in.block_bytes) / bw;
+    in.ta_s = profile.analysis_ns_per_byte * down.work_factor *
+              static_cast<double>(in.block_bytes) / 1e9;
+    in.preserve = spec.zipper.preserve && e + 1 == pl.num_edges();
+    edges.push_back(in);
+  }
+  return edges;
+}
+
 model::ModelInput model_input_for(const ScenarioSpec& spec) {
   const auto profile = make_profile(spec);
   const auto cs = make_cluster_spec(spec);
@@ -169,11 +210,33 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const auto cspec = make_cluster_spec(spec);
   const int P = spec.producers;
   const int Q = spec.effective_consumers();
-  const int servers =
+  // Trivial pipelines (1 all-default zip edge) lower onto the legacy path so
+  // their artifacts are byte-identical to the equivalent plain spec.
+  spec.pipeline.validate();
+  const bool pipelined = spec.pipeline.enabled && !spec.pipeline.trivial();
+  std::vector<int> stage_ranks;
+  if (pipelined) {
+    if (!spec.method || *spec.method != transports::Method::kZipper) {
+      throw std::invalid_argument(
+          "pipeline scenarios require --method zipper (the chain reuses the "
+          "Zipper runtime per edge)");
+    }
+    stage_ranks = spec.pipeline.resolved_ranks(P, std::max(1, Q));
+  }
+  int servers =
       spec.servers ? *spec.servers
                    : (spec.method ? transports::servers_for(*spec.method, P) : 0);
   // Simulation-only runs drop the analysis ranks, like the paper's baseline.
   workflow::Layout layout{P, spec.method ? Q : 0, servers};
+  if (pipelined) {
+    // Stage 1 takes the consumer allocation; deeper stages occupy the
+    // layout's server slots (dedicated staging nodes — or colocated helper
+    // ranks whose edges run at memory speed, see workflow/pipeline.hpp).
+    servers = 0;
+    for (std::size_t i = 2; i < stage_ranks.size(); ++i)
+      servers += stage_ranks[i];
+    layout = workflow::Layout{P, stage_ranks[1], servers};
+  }
 
   auto cluster = std::make_shared<workflow::Cluster>(cspec, layout);
   cluster->recorder.set_enabled(spec.record_traces);
@@ -192,8 +255,16 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     const double horizon_s =
         std::max(1e-3, sim::to_seconds(profile.compute_per_step()) *
                            profile.steps * 1.5);
-    chaos_engine = std::make_shared<core::chaos::ChaosEngine>(
-        spec.chaos, P, std::max(Q, 1), horizon_s);
+    // The producer dimension only feeds the drift axis, which always targets
+    // the simulation's compute (stage 0); straggler/fault consumers follow
+    // the pipeline's chaos edge.
+    const int chaos_q = pipelined
+                            ? stage_ranks[static_cast<std::size_t>(
+                                  spec.pipeline.chaos_edge) + 1]
+                            : std::max(Q, 1);
+    chaos_engine = std::make_shared<core::chaos::ChaosEngine>(spec.chaos, P,
+                                                              chaos_q,
+                                                              horizon_s);
     zcfg.chaos = chaos_engine;
     if (spec.chaos.burst.enabled()) {
       cluster->sim.spawn(cluster->fs->bursty_load(spec.chaos.burst.intensity,
@@ -213,8 +284,11 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
   std::unique_ptr<workflow::Coupling> coupling;
   if (spec.method) {
-    coupling = transports::make_coupling(*spec.method, *cluster, profile,
-                                         spec.params, zcfg);
+    coupling = pipelined
+                   ? transports::make_pipeline_coupling(*cluster, profile,
+                                                        zcfg, spec.pipeline)
+                   : transports::make_coupling(*spec.method, *cluster, profile,
+                                               spec.params, zcfg);
   }
 
   out.put("steps", profile.steps);
@@ -243,13 +317,25 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   for (const auto& [k, v] : r.metrics) out.put(k, v);
 
   if (spec.with_model) {
-    const auto pred = model::predict(model_input_for(spec));
-    out.put("model_end_to_end_s", pred.t_end_to_end);
-    out.put("model_t_comp_s", pred.t_comp);
-    out.put("model_t_transfer_s", pred.t_transfer);
-    out.put("model_t_analysis_s", pred.t_analysis);
-    out.put("model_t_store_s", pred.t_store);
-    out.put("model_rel_error", model::relative_error(r.end_to_end_s, pred));
+    if (pipelined) {
+      const auto pp = model::predict_pipeline(pipeline_model_inputs(spec));
+      out.put("model_end_to_end_s", pp.t_end_to_end);
+      out.put("model_dominant_edge", pp.dominant_edge);
+      for (std::size_t e = 0; e < pp.edges.size(); ++e) {
+        out.put("model_e" + std::to_string(e) + "_s",
+                pp.edges[e].t_end_to_end);
+      }
+      out.put("model_rel_error",
+              model::relative_error(r.end_to_end_s, pp.t_end_to_end));
+    } else {
+      const auto pred = model::predict(model_input_for(spec));
+      out.put("model_end_to_end_s", pred.t_end_to_end);
+      out.put("model_t_comp_s", pred.t_comp);
+      out.put("model_t_transfer_s", pred.t_transfer);
+      out.put("model_t_analysis_s", pred.t_analysis);
+      out.put("model_t_store_s", pred.t_store);
+      out.put("model_rel_error", model::relative_error(r.end_to_end_s, pred));
+    }
   }
 
   if (spec.record_traces) out.cluster = cluster;

@@ -25,6 +25,7 @@
 #include "transports/factory.hpp"
 #include "transports/params.hpp"
 #include "workflow/cluster.hpp"
+#include "workflow/pipeline.hpp"
 
 namespace zipper::exp {
 
@@ -85,6 +86,16 @@ struct ScenarioSpec {
   // error is a standard artifact output (meaningful for the Zipper pipeline).
   bool with_model = false;
 
+  // N-stage pipeline graph (workflow/pipeline.hpp): disabled by default, in
+  // which case the scenario is the single producer->consumer coupling above.
+  // An enabled-but-trivial() spec (1 all-default zip edge) lowers onto the
+  // exact legacy code path, so its artifacts are byte-identical. Non-trivial
+  // pipelines require method == kZipper; stage-1 ranks default to
+  // effective_consumers(), deeper stages occupy the layout's server slots.
+  // With chaos enabled, the engine's rank dimensions follow
+  // pipeline.chaos_edge so fault windows land on that edge's consumers.
+  workflow::PipelineSpec pipeline;
+
   // Chaos injection (core/chaos): the four hostile-condition axes, all off
   // by default. Seeded from chaos.seed so the same spec replays
   // bit-for-bit; the straggler/fault axes act inside the Zipper runtime,
@@ -132,6 +143,12 @@ workflow::ClusterSpec make_cluster_spec(const ScenarioSpec& spec);
 
 /// The paper's §4.4 model input for this spec (Zipper pipeline view).
 model::ModelInput model_input_for(const ScenarioSpec& spec);
+
+/// Per-edge §4.4 inputs for a pipeline spec (model::predict_pipeline): edge 0
+/// is model_input_for's view; deeper edges carry compressed volumes, resolved
+/// rank counts, method bandwidth presets and stage work factors. Falls back
+/// to {model_input_for(spec)} when the spec has no enabled pipeline.
+std::vector<model::ModelInput> pipeline_model_inputs(const ScenarioSpec& spec);
 
 /// Runs one scenario to completion on a fresh, private simulation universe.
 /// Thread-safe: concurrent calls share no mutable state.

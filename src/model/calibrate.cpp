@@ -47,6 +47,30 @@ ModelInput calibrated_input(const Calibration& c, std::uint64_t total_bytes,
   return in;
 }
 
+std::vector<ModelInput> calibrated_pipeline(const Calibration& c,
+                                            std::vector<ModelInput> edges) {
+  if (edges.empty() || !c.valid) return edges;
+  const auto& e0 = edges.front();
+  const double b0 = static_cast<double>(e0.block_bytes);
+  // Per-byte analytic rates of the observed edge; guard zeros so an edge
+  // with no modeled cost for a stage cannot blow the scale up to inf.
+  auto scale_for = [&](double fitted, double analytic_s) {
+    const double analytic = analytic_s / b0;
+    return analytic > 0 && fitted > 0 ? fitted / analytic : 1.0;
+  };
+  const double k_tc = scale_for(c.tc_s_per_byte, e0.tc_s);
+  const double k_tm = scale_for(c.tm_s_per_byte, e0.tm_s);
+  const double k_ta = scale_for(c.ta_s_per_byte, e0.ta_s);
+  for (auto& in : edges) {
+    in.tc_s *= k_tc;
+    in.tm_s *= k_tm;
+    in.ta_s *= k_ta;
+    if (c.pfs_write_bandwidth > 0)
+      in.pfs_write_bandwidth = c.pfs_write_bandwidth;
+  }
+  return edges;
+}
+
 std::string summary(const Calibration& c) {
   if (!c.valid) return "calibration invalid: " + c.note;
   char buf[200];

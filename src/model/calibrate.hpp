@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "model/perf_model.hpp"
 
@@ -50,6 +51,18 @@ Calibration fit(const TraceObservation& obs);
 ModelInput calibrated_input(const Calibration& c, std::uint64_t total_bytes,
                             std::uint64_t block_bytes, int producers,
                             int consumers, bool preserve);
+
+/// Multi-stage variant: re-anchors a chain of analytic per-edge inputs
+/// (exp::pipeline_model_inputs) to a fitted calibration. The calibration
+/// observes edge 0 (the legacy-named metrics a pipeline run publishes for its
+/// first hop), so each rate family is scaled by
+///     k = fitted per-byte rate / edge-0 analytic per-byte rate
+/// and the scale is applied to every edge — per-edge structure (compression,
+/// fan-in, work factors, method presets) stays analytic while absolute rates
+/// come from measurement. Rates whose edge-0 analytic value is zero are left
+/// untouched; a fitted PFS bandwidth replaces the default on every edge.
+std::vector<ModelInput> calibrated_pipeline(const Calibration& c,
+                                            std::vector<ModelInput> edges);
 
 /// One-line human summary of a calibration, for CLIs.
 std::string summary(const Calibration& c);

@@ -63,6 +63,49 @@ double relative_error(double measured_s, const ModelPrediction& p) {
   return (measured_s - p.t_end_to_end) / p.t_end_to_end;
 }
 
+double relative_error(double measured_s, double predicted_s) {
+  if (predicted_s <= 0) {
+    return measured_s == 0 ? 0.0 : std::numeric_limits<double>::quiet_NaN();
+  }
+  return (measured_s - predicted_s) / predicted_s;
+}
+
+PipelinePrediction predict_pipeline(const std::vector<ModelInput>& edges) {
+  PipelinePrediction out;
+  if (edges.empty()) {
+    out.dominant = "none";
+    return out;
+  }
+  out.edges.reserve(edges.size());
+  for (const auto& in : edges) out.edges.push_back(predict(in));
+  out.t_end_to_end = 0;
+  for (const auto& e : out.edges)
+    out.t_end_to_end = std::max(out.t_end_to_end, e.t_end_to_end);
+  // First maximal edge in pipeline order, matching predict()'s tie rule:
+  // report the upstream bottleneck when two edges bound equally.
+  for (std::size_t e = 0; e < out.edges.size(); ++e) {
+    if (out.edges[e].t_end_to_end == out.t_end_to_end) {
+      out.dominant_edge = static_cast<int>(e);
+      out.dominant = out.edges[e].dominant;
+      break;
+    }
+  }
+  return out;
+}
+
+std::string summary(const PipelinePrediction& p) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "Tt2s %.2f s (dominant: edge %d %s;",
+                p.t_end_to_end, p.dominant_edge, p.dominant.c_str());
+  std::string out = buf;
+  for (std::size_t e = 0; e < p.edges.size(); ++e) {
+    std::snprintf(buf, sizeof buf, " e%zu %.2f", e, p.edges[e].t_end_to_end);
+    out += buf;
+  }
+  out += ")";
+  return out;
+}
+
 std::vector<StageSpan> schedule_non_integrated(int blocks, const double stage_s[4]) {
   std::vector<StageSpan> out;
   double t = 0;

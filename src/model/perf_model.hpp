@@ -56,6 +56,34 @@ std::string summary(const ModelPrediction& p);
 /// masquerade as a perfect fit.
 double relative_error(double measured_s, const ModelPrediction& p);
 
+/// Same NaN semantics against a plain predicted value (multi-stage
+/// predictions and other derived quantities).
+double relative_error(double measured_s, double predicted_s);
+
+// ----------------------------------------------------- multi-stage pipeline --
+
+/// Multi-stage extension of the §4.4 model for N-stage pipeline graphs
+/// (workflow::PipelineSpec): each edge e of the chain gets its own ModelInput
+/// — edge-local D (after upstream compression), block size, producer/consumer
+/// counts and per-block times — and its own four-stage prediction. Steady
+/// state composes like the single-edge model composes its stages: every edge
+/// streams concurrently, so end-to-end time is bounded by the slowest edge,
+/// and fill/drain is ignored (nb >> #edges).
+struct PipelinePrediction {
+  std::vector<ModelPrediction> edges;
+  double t_end_to_end = 0;
+  int dominant_edge = 0;  // first maximal edge in pipeline order
+  std::string dominant;   // that edge's dominant stage
+};
+
+/// Predicts a chain from per-edge inputs (exp::pipeline_model_inputs builds
+/// them from a ScenarioSpec). Empty input yields an empty prediction with
+/// dominant "none".
+PipelinePrediction predict_pipeline(const std::vector<ModelInput>& edges);
+
+/// One-line human summary with per-edge bottleneck attribution.
+std::string summary(const PipelinePrediction& p);
+
 // ------------------------------------------------------------------ Fig 11 --
 
 /// One stage occupancy interval in a pipeline schedule.

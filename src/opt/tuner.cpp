@@ -175,6 +175,18 @@ Tuner::Tuner(exp::ScenarioSpec base, SearchSpace space, TuneOptions opts)
 
 double Tuner::predict_objective(const Candidate& cand,
                                 const model::Calibration& calib) const {
+  if (opts_.objective == Objective::kEndToEnd && base_.pipeline.enabled &&
+      !base_.pipeline.trivial()) {
+    // Pipelined base: the end-to-end bound is the bottleneck edge of the
+    // stage chain, so score the candidate's knobs through the per-edge
+    // equations (the candidate's block size reshapes every edge's input).
+    const auto pp = model::predict_pipeline(model::calibrated_pipeline(
+        calib, exp::pipeline_model_inputs(cand.apply(base_))));
+    return pp.t_end_to_end;
+  }
+  // The producer-stall objective (and the trivial-pipeline e2e) reduces to
+  // the legacy single-coupling view: stall is an edge-0 phenomenon — the
+  // producers only ever see the first edge's backpressure.
   const int P = base_.producers;
   const int Q = std::max(1, base_.effective_consumers());
   const auto profile = exp::make_profile(base_);

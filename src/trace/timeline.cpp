@@ -205,6 +205,56 @@ std::string attribution_table(const Attribution& a, std::size_t max_ranks) {
   return out;
 }
 
+std::vector<BandAttribution> band_attribution(const Attribution& a,
+                                              const std::vector<RankBand>& bands) {
+  std::vector<BandAttribution> out;
+  out.reserve(bands.size());
+  for (const auto& band : bands) {
+    BandAttribution ba;
+    ba.band = band;
+    for (const auto& r : a.ranks) {
+      if (r.rank < band.first_rank || r.rank >= band.first_rank + band.num_ranks)
+        continue;
+      ba.busy += r.busy;
+      ba.idle += r.idle;
+      for (std::size_t s = 0; s < kNumStages; ++s) ba.by_stage[s] += r.by_stage[s];
+    }
+    sim::Time best = -1;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      if (ba.by_stage[s] > best) {
+        best = ba.by_stage[s];
+        ba.bounding_stage = static_cast<Stage>(s);
+      }
+    }
+    out.push_back(std::move(ba));
+  }
+  return out;
+}
+
+std::string band_table(const std::vector<BandAttribution>& bands) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-12s %11s %9s %9s %9s %9s %9s %9s   %s\n",
+                "stage", "ranks", "compute", "transfer", "analysis", "store",
+                "stall", "idle", "bound by");
+  out += line;
+  for (const auto& b : bands) {
+    std::snprintf(line, sizeof line, "%-12s %5d..%-5d", b.band.name.c_str(),
+                  b.band.first_rank, b.band.first_rank + b.band.num_ranks - 1);
+    out += line;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+      out += ' ';
+      out += format_seconds(b.by_stage[s]);
+    }
+    out += ' ';
+    out += format_seconds(b.idle);
+    std::snprintf(line, sizeof line, "   %s\n",
+                  std::string(stage_name(b.bounding_stage)).c_str());
+    out += line;
+  }
+  return out;
+}
+
 // --------------------------------------------------------------- chrome ----
 
 void ChromeTrace::add_process(int pid, const std::string& name,

@@ -79,6 +79,35 @@ Attribution analyze(const Recorder& rec);
 /// the run-level critical-path summary.
 std::string attribution_table(const Attribution& a, std::size_t max_ranks = 12);
 
+// ---------------------------------------------------- pipeline rank bands ----
+// Multi-stage pipelines place each stage on a contiguous world-rank band
+// (workflow::PipelineCoupling). Rolling the per-rank attribution up per band
+// attributes stalls per (stage, edge) instead of per rank.
+
+/// A named contiguous rank range [first_rank, first_rank + num_ranks).
+struct RankBand {
+  std::string name;
+  std::int32_t first_rank = 0;
+  int num_ranks = 0;
+};
+
+struct BandAttribution {
+  RankBand band;
+  sim::Time busy = 0;
+  sim::Time idle = 0;
+  std::array<sim::Time, kNumStages> by_stage{};
+  Stage bounding_stage = Stage::kCompute;  // largest aggregate within the band
+};
+
+/// Rolls `a` up over the given bands (ranks outside every band are ignored;
+/// empty bands produce all-zero rows so the table always mirrors the
+/// pipeline's shape).
+std::vector<BandAttribution> band_attribution(const Attribution& a,
+                                              const std::vector<RankBand>& bands);
+
+/// Human table: one row per band with its stage decomposition and bound.
+std::string band_table(const std::vector<BandAttribution>& bands);
+
 /// Chrome-trace ("traceEvents") builder. add_process() appends one process
 /// (pid = scenario, tid = rank) worth of spans; json() closes the document.
 class ChromeTrace {

@@ -6,6 +6,7 @@
 #include "transports/flexpath.hpp"
 #include "transports/mpiio.hpp"
 #include "transports/staging.hpp"
+#include "workflow/pipeline_coupling.hpp"
 #include "workflow/zipper_coupling.hpp"
 
 namespace zipper::transports {
@@ -108,6 +109,14 @@ std::unique_ptr<workflow::Coupling> make_coupling(
                                                         zipper_cfg);
   }
   return nullptr;
+}
+
+std::unique_ptr<workflow::Coupling> make_pipeline_coupling(
+    workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
+    const core::dsim::SimZipperConfig& zipper_cfg,
+    const workflow::PipelineSpec& pipeline) {
+  return std::make_unique<workflow::PipelineCoupling>(cluster, profile,
+                                                      zipper_cfg, pipeline);
 }
 
 }  // namespace zipper::transports

@@ -12,6 +12,7 @@
 #include "transports/params.hpp"
 #include "workflow/cluster.hpp"
 #include "workflow/coupling.hpp"
+#include "workflow/pipeline.hpp"
 
 namespace zipper::transports {
 
@@ -51,5 +52,14 @@ std::unique_ptr<workflow::Coupling> make_coupling(
     Method m, workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
     const TransportParams& params = {},
     const core::dsim::SimZipperConfig& zipper_cfg = {});
+
+/// Multi-stage variant: builds a PipelineCoupling executing `pipeline` with
+/// `zipper_cfg` as the per-edge template (each edge applies its method's
+/// flow-control/rate preset on top). The cluster's layout must be
+/// {ranks[0], ranks[1], sum(ranks[2..])} of pipeline.resolved_ranks.
+std::unique_ptr<workflow::Coupling> make_pipeline_coupling(
+    workflow::Cluster& cluster, const apps::WorkloadProfile& profile,
+    const core::dsim::SimZipperConfig& zipper_cfg,
+    const workflow::PipelineSpec& pipeline);
 
 }  // namespace zipper::transports

@@ -1,0 +1,96 @@
+// Multi-stage pipeline coupling: executes a PipelineSpec chain by running one
+// SimZipper instance per edge and splicing them together with forwarding
+// coroutines.
+//
+// Edge e's consumers ARE edge e+1's producers — the same world ranks, with
+// the downstream SimZipper's first_producer_rank pointing at them. When a
+// block finishes analysis on edge e, the runtime's on_output hook drops its
+// header into an unbounded relay channel; a forwarder coroutine on that rank
+// re-stamps the BlockId (each stage owns its own per-producer FIFO numbering),
+// applies the edge's compression factor to the byte count, and pushes it into
+// the downstream SimZipper with the normal backpressure/stall accounting.
+// End-of-stream cascades the same way: when an edge-e consumer finishes, it
+// closes its relay; the forwarder drains and finalizes, which terminates the
+// downstream consumers in turn.
+//
+// The edge transport method (zip / staged / pfs) and stage placement
+// (staging vs colocated) are modeled as config flavors of the one runtime —
+// credit-window, steal, and bandwidth presets — documented in
+// docs/pipelines.md.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dsim/sim_runtime.hpp"
+#include "sim/channel.hpp"
+#include "sim/latch.hpp"
+#include "workflow/cluster.hpp"
+#include "workflow/coupling.hpp"
+#include "workflow/pipeline.hpp"
+
+namespace zipper::workflow {
+
+class PipelineCoupling : public Coupling {
+ public:
+  /// `cfg` is the edge template: every edge starts from it and applies its
+  /// method preset (see edge_config in the .cpp). Chaos engine/controller
+  /// attach only to pipeline.chaos_edge. The cluster's layout must match
+  /// pipeline.resolved_ranks: {ranks[0], ranks[1], sum(ranks[2..])}.
+  PipelineCoupling(Cluster& cluster, const apps::WorkloadProfile& profile,
+                   const core::dsim::SimZipperConfig& cfg,
+                   const PipelineSpec& pipeline);
+
+  std::string name() const override { return "Pipeline"; }
+  void spawn_services() override;
+  sim::Task producer_step(int p, int step) override;
+  sim::Task producer_block(int p, int step, int block, int num_blocks) override;
+  int producer_blocks_per_step() const override;
+  sim::Task producer_finalize(int p) override;
+  /// Drives the whole chain hanging off stage-1 consumer c: runs edge 0's
+  /// consumer, then waits for every deeper stage to finish, so the runner's
+  /// end-to-end clock covers the full pipeline.
+  sim::Task consumer_run(int c) override;
+  std::map<std::string, double> metrics() const override;
+
+  /// Test hook: fires for every analyzed block on every edge (in
+  /// deterministic DES order), independent of the template cfg's own
+  /// on_analyzed (which fires on the final edge only).
+  std::function<void(int edge, int c, const core::BlockHeader&)>
+      on_edge_analyzed;
+
+  int num_edges() const { return static_cast<int>(zips_.size()); }
+  const core::dsim::SimZipperStats& edge_stats(int e) const {
+    return zips_[static_cast<std::size_t>(e)]->stats();
+  }
+  const std::vector<int>& stage_ranks() const { return ranks_; }
+  /// World rank of stage i's first rank (stage bands are contiguous).
+  int stage_base_rank(int i) const {
+    return base_rank_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  /// Stage-(e) rank p's forwarding loop on edge e >= 1: relay -> re-stamp ->
+  /// downstream put; finalizes the downstream producer when the relay closes.
+  sim::Task forward_main(std::size_t e, int p);
+  /// Interior/final stage consumer for edge e >= 1.
+  sim::Task stage_consumer(std::size_t e, int c);
+
+  Cluster* cl_;
+  PipelineSpec pl_;
+  bool chaos_ = false;
+  std::vector<int> ranks_;      // per-stage rank counts (resolved)
+  std::vector<int> base_rank_;  // per-stage world-rank base
+  std::vector<std::unique_ptr<core::dsim::SimZipper>> zips_;  // one per edge
+  // relays_[e][p]: header handoff from edge e-1's consumer p to edge e's
+  // producer p (same rank). Unbounded — backpressure is carried by the
+  // downstream producer buffer via producer_put_raw, not the relay.
+  std::vector<std::vector<std::unique_ptr<sim::Channel<core::BlockHeader>>>>
+      relays_;
+  std::unique_ptr<sim::Latch> chain_done_;  // one count per interior consumer
+};
+
+}  // namespace zipper::workflow

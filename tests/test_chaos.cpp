@@ -22,6 +22,7 @@
 #include "opt/adaptive.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulation.hpp"
+#include "workflow/pipeline.hpp"
 
 namespace fs = std::filesystem;
 using namespace zipper;
@@ -376,6 +377,71 @@ TEST(ChaosScenario, AdaptiveControllerActsUnderChaos) {
   // (time, seq) event order, not a wall-clock actor.
   const auto r2 = exp::run_scenario(spec);
   EXPECT_EQ(exp::to_csv({r}), exp::to_csv({r2}));
+}
+
+// ------------------------------------- chaos on an interior pipeline stage ----
+
+TEST(ChaosPipeline, FaultOnInteriorEdgePreservesExactlyOnce) {
+  // Fault the staging edge of a sim -> reduce -> analyze chain: the interior
+  // hop's retry/backoff/spill-degrade path engages, and still every edge
+  // delivers each block exactly once — the multi-hop done protocol survives
+  // mid-chain outages.
+  auto spec = small_zipper_spec("hybrid-fault");
+  spec.pipeline = workflow::make_chain(2);
+  spec.pipeline.chaos_edge = 1;
+  spec.chaos.seed = 3;
+  spec.chaos.fault = {3, 8.0, 1.0};
+  const auto r = exp::run_scenario(spec);
+  ASSERT_FALSE(r.crashed);
+  EXPECT_EQ(r.get("pipeline_edges"), 2.0);
+
+  // Resilience engaged on the targeted edge only; the calm edge publishes
+  // no resilience columns at all (the byte-identity guard, per edge).
+  EXPECT_GT(r.get("e1_put_retries") + r.get("e1_blocks_spilled_slow"), 0.0);
+  EXPECT_FALSE(r.has("e0_put_retries"));
+  EXPECT_FALSE(r.has("e0_blocks_spilled_slow"));
+
+  // Exactly-once across the hops: each edge analyzes everything it admits,
+  // and the interior edge admits exactly what the upstream edge analyzed.
+  EXPECT_GT(r.get("e0_blocks_total"), 0.0);
+  EXPECT_EQ(r.get("e0_blocks_analyzed"), r.get("e0_blocks_total"));
+  EXPECT_EQ(r.get("e1_blocks_total"), r.get("e0_blocks_analyzed"));
+  EXPECT_EQ(r.get("e1_blocks_analyzed"), r.get("e1_blocks_total"));
+}
+
+TEST(ChaosPipeline, StragglerOnInteriorStageSlowsTheChain) {
+  auto base = small_zipper_spec("hybrid-calm");
+  base.pipeline = workflow::make_chain(2);
+  const auto calm = exp::run_scenario(base);
+  ASSERT_FALSE(calm.crashed);
+  EXPECT_FALSE(calm.has("e1_put_retries"));  // no chaos, no columns
+
+  auto strag = base;
+  strag.label = "hybrid-straggler";
+  strag.pipeline.chaos_edge = 1;
+  strag.chaos.seed = 11;
+  strag.chaos.straggler = {1, 8.0};
+  const auto hit = exp::run_scenario(strag);
+  ASSERT_FALSE(hit.crashed);
+  // A straggling interior consumer backpressures the whole chain.
+  EXPECT_GT(hit.get("end_to_end_s"), calm.get("end_to_end_s"));
+  EXPECT_TRUE(hit.has("e1_put_retries"));
+  // Conservation holds under the straggler too.
+  EXPECT_EQ(hit.get("e1_blocks_total"), hit.get("e0_blocks_analyzed"));
+  EXPECT_EQ(hit.get("e1_blocks_analyzed"), hit.get("e1_blocks_total"));
+}
+
+TEST(ChaosPipeline, InteriorChaosRunsAreDeterministic) {
+  auto spec = small_zipper_spec("hybrid-det");
+  spec.pipeline = workflow::make_chain(3);
+  spec.pipeline.chaos_edge = 1;
+  spec.chaos.seed = 7;
+  spec.chaos.fault = {2, 8.0, 0.5};
+  spec.adaptive_control = true;
+  const auto a = exp::run_scenario(spec);
+  const auto b = exp::run_scenario(spec);
+  ASSERT_FALSE(a.crashed);
+  EXPECT_EQ(exp::to_csv({a}), exp::to_csv({b}));
 }
 
 // ------------------------------------------- sweep error capture (column) ----

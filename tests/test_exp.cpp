@@ -19,6 +19,7 @@
 #include "exp/grid.hpp"
 #include "exp/lab.hpp"
 #include "exp/registry.hpp"
+#include "workflow/pipeline.hpp"
 
 using namespace zipper;
 using namespace zipper::exp;
@@ -257,6 +258,48 @@ TEST(SweepEngine, ThrowingScenarioReportsCrashNotAbort) {
   ASSERT_EQ(rs.size(), 1u);
   EXPECT_TRUE(rs[0].crashed);
   EXPECT_NE(rs[0].note.find("summit"), std::string::npos);
+}
+
+TEST(SweepEngine, PartialFailureKeepsOtherRowsAndCsvSchema) {
+  // One mid-sweep scenario throws (a non-trivial pipeline on a non-Zipper
+  // transport is rejected by run_scenario); the surviving rows still emit
+  // full metrics and the CSV schema stays stable — same metric columns,
+  // plus the `error` column exactly because a row carries an error.
+  SweepGrid g = small_grid();
+  auto specs = g.expand();
+  ASSERT_EQ(specs.size(), 1u);
+  specs.push_back(specs[0]);
+  specs.push_back(specs[0]);
+  specs[0].label = "t/ok0";
+  specs[1].label = "t/bad";
+  specs[1].method = Method::kDecaf;
+  specs[1].pipeline = workflow::make_chain(2);
+  specs[2].label = "t/ok1";
+
+  SweepOptions opts;
+  opts.jobs = 2;
+  const auto rs = run_sweep(specs, opts);
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_FALSE(rs[0].crashed);
+  EXPECT_TRUE(rs[0].has("end_to_end_s"));
+  EXPECT_TRUE(rs[1].crashed);
+  EXPECT_NE(rs[1].error.find("--method zipper"), std::string::npos);
+  EXPECT_FALSE(rs[2].crashed);
+  EXPECT_TRUE(rs[2].has("end_to_end_s"));
+  // The crash is per-row: the survivors match a sweep that never saw the
+  // bad scenario.
+  const auto clean = run_sweep({specs[0], specs[2]}, {});
+  EXPECT_EQ(to_csv({rs[0], rs[2]}), to_csv(clean));
+
+  const auto csv = to_csv(rs);
+  const auto clean_csv = to_csv(clean);
+  auto header = csv.substr(0, csv.find('\n'));
+  const auto clean_header = clean_csv.substr(0, clean_csv.find('\n'));
+  // `error` slots in after the fixed columns; the metric union is unchanged.
+  const auto pos = header.find(",error");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(header.erase(pos, 6), clean_header);
+  EXPECT_NE(csv.find("--method zipper"), std::string::npos);
 }
 
 // -------------------------------------------------------------- artifacts --

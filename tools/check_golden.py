@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Golden-digest harness for the scenario lab's quick-mode figures.
+
+Every registered figure is deterministic by contract: the DES replays the
+same (time, seq) event order on every run, so a figure's quick-mode CSV is
+byte-stable. This script pins that contract with checked-in SHA-256 digests:
+
+    # refresh the manifest after an intentional output change
+    python3 tools/check_golden.py generate --lab build/zipper_lab
+
+    # CI: re-run every figure and fail on any drift
+    python3 tools/check_golden.py check --lab build/zipper_lab
+
+An unintentional digest change means a scenario's observable behaviour moved
+— a scheduling change, a metric rename, a pipeline-lowering regression —
+and must be either fixed or acknowledged by regenerating the manifest in
+the same commit that explains why.
+
+Digests are compiler/runner-sensitive in principle (floating-point
+formatting), so CI runs the check on the primary toolchain only.
+"""
+
+import argparse
+import hashlib
+import os
+import subprocess
+import sys
+import tempfile
+
+DEFAULT_MANIFEST = os.path.join(os.path.dirname(__file__), "golden_quick.sha256")
+
+
+def registered_figures(lab):
+    out = subprocess.run([lab, "list", "--names"], check=True,
+                         capture_output=True, text=True).stdout
+    return [line.strip() for line in out.splitlines() if line.strip()]
+
+
+def run_figures(lab, figures, artifacts_dir, jobs):
+    cmd = [lab, "run", *figures, f"--artifacts-dir={artifacts_dir}"]
+    if jobs > 1:
+        cmd += ["-j", str(jobs)]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+
+def digest(fig, artifacts_dir):
+    """One digest per figure, over all its CSV artifacts (name + content).
+
+    Most figures emit `<fig>.csv`; the tuner figure emits `<fig>.tune.csv`.
+    Folding every CSV the run produced into one hash keeps the manifest
+    format stable if a figure grows artifacts.
+    """
+    names = sorted(n for n in os.listdir(artifacts_dir)
+                   if (n == fig + ".csv" or n.startswith(fig + "."))
+                   and n.endswith(".csv"))
+    if not names:
+        raise FileNotFoundError(f"{fig}: no CSV artifacts in {artifacts_dir}")
+    h = hashlib.sha256()
+    for name in names:
+        h.update(name.encode())
+        h.update(b"\0")
+        with open(os.path.join(artifacts_dir, name), "rb") as f:
+            for chunk in iter(lambda: f.read(1 << 16), b""):
+                h.update(chunk)
+    return h.hexdigest()
+
+
+def collect(lab, figures, jobs):
+    digests = {}
+    for fig in figures:
+        # One directory per figure: a figure whose name prefixes another's
+        # (fig01 / fig01b) must not fold the other's artifacts into its hash.
+        with tempfile.TemporaryDirectory(prefix="golden_") as tmp:
+            run_figures(lab, [fig], tmp, jobs)
+            digests[fig] = digest(fig, tmp)
+    return digests
+
+
+def load_manifest(path):
+    entries = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            sha, name = line.split(None, 1)
+            entries[name.removesuffix(".csv")] = sha
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("mode", choices=["generate", "check"])
+    ap.add_argument("figures", nargs="*",
+                    help="figures to pin (default: every registered figure)")
+    ap.add_argument("--lab", default="build/zipper_lab",
+                    help="path to the zipper_lab binary")
+    ap.add_argument("--manifest", default=DEFAULT_MANIFEST)
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 1)
+    args = ap.parse_args()
+
+    figures = args.figures or registered_figures(args.lab)
+    digests = collect(args.lab, figures, args.jobs)
+
+    if args.mode == "generate":
+        with open(args.manifest, "w", encoding="utf-8") as f:
+            f.write("# Quick-mode figure CSV digests — tools/check_golden.py\n")
+            f.write("# Regenerate: python3 tools/check_golden.py generate "
+                    "--lab build/zipper_lab\n")
+            for fig in figures:
+                f.write(f"{digests[fig]}  {fig}.csv\n")
+        print(f"golden manifest: wrote {len(figures)} digests to {args.manifest}")
+        return 0
+
+    want = load_manifest(args.manifest)
+    fail = 0
+    for fig in figures:
+        expect = want.get(fig)
+        if expect is None:
+            print(f"FAIL: {fig} is not in {args.manifest} — regenerate")
+            fail = 1
+        elif digests[fig] != expect:
+            print(f"FAIL: {fig}.csv drifted: {digests[fig]} != {expect}")
+            fail = 1
+    stale = sorted(set(want) - set(figures))
+    if stale and not args.figures:
+        print(f"FAIL: manifest pins unregistered figures: {', '.join(stale)}")
+        fail = 1
+    if not fail:
+        print(f"golden check: OK ({len(figures)} figures byte-stable)")
+    return fail
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,10 @@
 //   --burst=0.7,0.7@2      (chaos: bursty PFS interference <intensity>[@<period_s>])
 //   --drift=3,3@6          (chaos: compute phases drift <factor>[@<period_steps>])
 //   --adapt=0,1            (attach the online adaptive controller)
+//   --stages=1,2,3         (pipeline chain depth; 1 = legacy single coupling)
+//   --fan=1,2,4            (pipeline fan-in divisor per derived stage)
+//   --compress=1,2,8       (pipeline per-edge compression, edges >= 1)
+//   --staging=0,1          (pipeline interior stages: staging nodes vs colocated)
 // Scalars: --cluster=bridges|stampede2, --servers=N, --chaos-seed=N,
 //   --low-water=0.25 (hysteresis stop fraction), --steal-min=N,
 //   --bg-intensity=0.4 (shared-PFS interference, pairs with --seeds),
@@ -131,6 +135,10 @@ constexpr const char* kSweepAxisHelp[] = {
     "--burst=0.7,0.7@2           chaos: bursty PFS interference <intensity>[@<period_s>]",
     "--drift=3,3@6               chaos: compute drift <factor>[@<period_steps>]",
     "--adapt=0,1                 attach the online adaptive controller",
+    "--stages=1,2,3              pipeline chain depth (1 = legacy coupling)",
+    "--fan=1,2,4                 pipeline fan-in divisor per derived stage",
+    "--compress=1,2,8            pipeline per-edge compression (edges >= 1)",
+    "--staging=0,1               pipeline interior stages: staging nodes (1) or colocated (0)",
 };
 constexpr const char* kSweepScalarHelp[] = {
     "--cluster=bridges|stampede2", "--servers=N",
@@ -393,6 +401,51 @@ int parse_one_sweep_flag(int argc, char** argv, int* i, SweepCli* cli) {
     } else if (flag_value(arg, "--adapt", &v)) {
       for (const auto& tok : split_csv(v)) {
         grid.adaptive_control.push_back(std::atoi(tok.c_str()));
+      }
+    } else if (flag_value(arg, "--stages", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const int d = std::atoi(tok.c_str());
+        if (d < 1) {
+          std::fprintf(stderr,
+                       "invalid --stages value '%s' (chain depth >= 1; 1 is "
+                       "the legacy single coupling)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.pipeline_stages.push_back(d);
+      }
+    } else if (flag_value(arg, "--fan", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const int f = std::atoi(tok.c_str());
+        if (f < 1) {
+          std::fprintf(stderr, "invalid --fan value '%s' (fan-in >= 1)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.pipeline_fan.push_back(f);
+      }
+    } else if (flag_value(arg, "--compress", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const double c = std::atof(tok.c_str());
+        if (!(c > 0)) {
+          std::fprintf(stderr,
+                       "invalid --compress value '%s' (compression factor "
+                       "> 0, e.g. 2 halves the forwarded bytes)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.pipeline_compress.push_back(c);
+      }
+    } else if (flag_value(arg, "--staging", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        if (tok != "0" && tok != "1") {
+          std::fprintf(stderr,
+                       "invalid --staging value '%s' (0 = colocated helper "
+                       "ranks, 1 = dedicated staging nodes)\n",
+                       tok.c_str());
+          return 2;
+        }
+        grid.pipeline_staging.push_back(tok == "1" ? 1 : 0);
       }
     } else if (flag_value(arg, "--chaos-seed", &v)) {
       grid.base.chaos.seed = std::strtoull(v.c_str(), nullptr, 10);
