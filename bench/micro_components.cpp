@@ -4,6 +4,7 @@
 // moment/MSD analysis).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <thread>
 
 #include "apps/analysis/moments.hpp"
@@ -16,6 +17,7 @@
 #include "net/fabric.hpp"
 #include "sim/channel.hpp"
 #include "sim/latch.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulation.hpp"
 
 using namespace zipper;
@@ -55,6 +57,68 @@ static void BM_SimEventThroughputFarHorizon(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n_processes * 100);
 }
 BENCHMARK(BM_SimEventThroughputFarHorizon)->Arg(1024);
+
+// --------------------------------------------------- sharded DES engine ----
+
+// Four decomposed shards of the BM_SimEventThroughput workload, free-running
+// on 1/2/4 worker threads. UseRealTime: worker threads do the dispatching, so
+// main-thread CPU time would be meaningless. On a single hardware core the
+// >1x scaling comes from the smaller per-shard event queues, not parallelism.
+static void BM_ShardedEventThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kShards = 4, kProcs = 256, kLoops = 100;
+  for (auto _ : state) {
+    sim::ShardedSimulation d(kShards, sim::ShardedConfig{threads, 0});
+    for (int s = 0; s < kShards; ++s) {
+      auto& sh = d.shard(s);
+      for (int i = 0; i < kProcs; ++i) {
+        sh.spawn([](sim::Simulation& sim) -> sim::Task {
+          for (int k = 0; k < kLoops; ++k) co_await sim.delay(10);
+        }(sh));
+      }
+    }
+    const auto stats = d.run_free();
+    benchmark::DoNotOptimize(stats.events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kShards * kProcs * kLoops);
+}
+BENCHMARK(BM_ShardedEventThroughput)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// Cross-shard mailbox + window-barrier overhead: a token ring posts one
+// message per shard per window for many rounds (windowed mode). Items are
+// delivered messages, so this prices a full round: run_until to the window
+// edge, barrier, merge-sort of the mailboxes, spawn_at injection. The
+// outbox/merge vectors are the per-shard mailbox arena — cleared with
+// capacity retained each round, so steady-state rounds do not allocate.
+static void BM_ShardedCrossShardWindow(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kShards = 4;
+  constexpr int kHops = 512;
+  constexpr sim::Time kL = 64;
+  struct Hop {
+    sim::ShardedSimulation* d;
+    int left;
+    void operator()(int at, sim::Time t) const {
+      if (left <= 0) return;
+      Hop next{d, left - 1};
+      const int to = (at + 1) % kShards;
+      d->post(at, to, t + kL, [next, to, t2 = t + kL] { next(to, t2); });
+    }
+  };
+  for (auto _ : state) {
+    sim::ShardedSimulation d(kShards, sim::ShardedConfig{threads, kL});
+    for (int s = 0; s < kShards; ++s) {
+      Hop h{&d, kHops};
+      d.post(s, s, kL, [h, s] { h(s, kL); });
+    }
+    const auto stats = d.run();
+    benchmark::DoNotOptimize(stats.messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kShards * kHops);
+}
+BENCHMARK(BM_ShardedCrossShardWindow)->Arg(1)->Arg(4)->UseRealTime();
 
 // Request/reply round trips between a client and a server coroutine over a
 // ping and a pong channel. After the first round, every transfer in either

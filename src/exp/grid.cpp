@@ -46,6 +46,7 @@ std::size_t SweepGrid::size() const {
   n *= std::max<std::size_t>(1, pipeline_fan.size());
   n *= std::max<std::size_t>(1, pipeline_compress.size());
   n *= std::max<std::size_t>(1, pipeline_staging.size());
+  n *= std::max<std::size_t>(1, sim_threads.size());
   return n;
 }
 
@@ -75,6 +76,7 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   const Axis<int> a_pfan{pipeline_fan};
   const Axis<double> a_pcomp{pipeline_compress};
   const Axis<int> a_pstag{pipeline_staging};
+  const Axis<int> a_threads{sim_threads};
   const bool pipeline_axes = !pipeline_stages.empty() || !pipeline_fan.empty() ||
                              !pipeline_compress.empty() ||
                              !pipeline_staging.empty();
@@ -102,7 +104,8 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
   for (std::size_t ips = 0; ips < a_pstages.size(); ++ips)
   for (std::size_t ipf = 0; ipf < a_pfan.size(); ++ipf)
   for (std::size_t ipc = 0; ipc < a_pcomp.size(); ++ipc)
-  for (std::size_t ipg = 0; ipg < a_pstag.size(); ++ipg) {
+  for (std::size_t ipg = 0; ipg < a_pstag.size(); ++ipg)
+  for (std::size_t it = 0; it < a_threads.size(); ++it) {
     ScenarioSpec s = base;
     std::string label = label_prefix;
     if (const auto* m = a_method.at(im)) {
@@ -209,6 +212,11 @@ std::vector<ScenarioSpec> SweepGrid::expand() const {
       s.pipeline.chaos_edge = base.pipeline.chaos_edge < s.pipeline.num_edges()
                                   ? base.pipeline.chaos_edge
                                   : 0;
+    }
+    if (const auto* t = a_threads.at(it)) {
+      s.sim_threads = *t;
+      s.shard_metrics = true;
+      label += "/t" + std::to_string(*t);
     }
     s.label = label;
     out.push_back(std::move(s));

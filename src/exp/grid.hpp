@@ -54,6 +54,12 @@ struct SweepGrid {
   std::vector<int> pipeline_fan;         // fan-in divisor per derived stage
   std::vector<double> pipeline_compress; // per-edge compression (edges >= 1)
   std::vector<int> pipeline_staging;     // staging nodes (1) vs colocated (0)
+  // Sharded parallel DES axis: spec.sim_threads values. Tags labels (/tN)
+  // and switches the points to shard_metrics so the shard_* diagnostic
+  // columns land next to each thread count. The simulated numbers are
+  // byte-identical across the axis — that invariance is what the axis is
+  // for auditing.
+  std::vector<int> sim_threads;
 
   /// Number of scenarios expand() will produce.
   std::size_t size() const;

@@ -13,7 +13,10 @@ namespace zipper::exp {
 
 int run_figure(const FigureDef& fig, const LabOptions& opts) {
   if (fig.run_tuned) return fig.run_tuned(fig, opts);
-  const auto specs = fig.scenarios(opts.full);
+  auto specs = fig.scenarios(opts.full);
+  if (opts.sim_threads > 1) {
+    for (auto& s : specs) s.sim_threads = opts.sim_threads;
+  }
 
   SweepOptions sweep;
   sweep.jobs = opts.jobs;
@@ -68,8 +71,8 @@ int figure_main(const char* figure_name, int argc, char** argv) {
   }
   const auto usage = [&]() {
     std::fprintf(stderr,
-                 "usage: %s [--full] [-j N] [--artifacts[-dir=DIR]] "
-                 "[--progress]\n",
+                 "usage: %s [--full] [-j N] [--sim-threads N] "
+                 "[--artifacts[-dir=DIR]] [--progress]\n",
                  argv[0]);
     return 2;
   };
@@ -87,6 +90,12 @@ int figure_main(const char* figure_name, int argc, char** argv) {
       if (!parse_jobs(argv[++i], &opts.jobs)) return usage();
     } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
       if (!parse_jobs(arg.c_str() + 2, &opts.jobs)) return usage();
+    } else if (arg == "--sim-threads" && i + 1 < argc) {
+      if (!parse_jobs(argv[++i], &opts.sim_threads)) return usage();
+    } else if (arg.rfind("--sim-threads=", 0) == 0) {
+      if (!parse_jobs(arg.c_str() + std::strlen("--sim-threads="),
+                      &opts.sim_threads))
+        return usage();
     } else if (arg == "--progress") {
       opts.progress = true;
     } else {
@@ -94,6 +103,7 @@ int figure_main(const char* figure_name, int argc, char** argv) {
     }
   }
   if (opts.jobs < 1) opts.jobs = 1;
+  if (opts.sim_threads < 1) opts.sim_threads = 1;
   return run_figure(*fig, opts);
 }
 

@@ -15,6 +15,11 @@ struct LabOptions {
   bool write_artifacts = false;
   std::string artifacts_dir = "artifacts";
   bool progress = false;       // per-scenario progress lines to stderr
+  // Sharded parallel DES: > 1 sets sim_threads on every expanded scenario
+  // (exp/partition.hpp decides per spec whether sharding is provably safe).
+  // Deliberately changes no label and adds no column — a run with any
+  // --sim-threads value produces byte-identical artifacts.
+  int sim_threads = 1;
 };
 
 /// Runs one registered figure end to end. Returns a process exit code.

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "exp/partition.hpp"
 #include "opt/adaptive.hpp"
 #include "transports/decaf.hpp"
 #include "workflow/runner.hpp"
@@ -87,12 +88,14 @@ apps::WorkloadProfile make_profile(const ScenarioSpec& spec) {
               ? apps::synthetic_profile(c, spec.synthetic_block_bytes, spec.steps,
                                         spec.bytes_per_rank_per_step)
               : apps::synthetic_profile(c, spec.synthetic_block_bytes, spec.steps);
+      if (spec.halo_neighbors) p.halo_neighbors = *spec.halo_neighbors;
       return p;
     }
   }
   if (spec.bytes_per_rank_per_step) {
     p.bytes_per_rank_per_step = spec.bytes_per_rank_per_step;
   }
+  if (spec.halo_neighbors) p.halo_neighbors = *spec.halo_neighbors;
   return p;
 }
 
@@ -238,7 +241,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     layout = workflow::Layout{P, stage_ranks[1], servers};
   }
 
-  auto cluster = std::make_shared<workflow::Cluster>(cspec, layout);
+  // Sharded parallel execution: only a plan the partitioner proved fully
+  // decomposable runs sharded; everything else (including every legacy spec,
+  // which defaults to sim_threads == 1) takes the sequential path below with
+  // byte-identical artifacts.
+  workflow::ShardPlan plan;
+  if (spec.sim_threads > 1) plan = plan_shards(spec, spec.sim_threads);
+
+  auto cluster =
+      plan.sharded()
+          ? std::make_shared<workflow::Cluster>(
+                cspec, layout,
+                workflow::ShardMap{plan.num_shards, plan.rank_to_shard})
+          : std::make_shared<workflow::Cluster>(cspec, layout);
   cluster->recorder.set_enabled(spec.record_traces);
   if (spec.background_load_intensity > 0) {
     cluster->sim.spawn(cluster->fs->background_load(
@@ -282,8 +297,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     };
   }
 
+  // The sharded path builds its own per-shard slice couplings from zcfg.
   std::unique_ptr<workflow::Coupling> coupling;
-  if (spec.method) {
+  if (spec.method && !plan.sharded()) {
     coupling = pipelined
                    ? transports::make_pipeline_coupling(*cluster, profile,
                                                         zcfg, spec.pipeline)
@@ -297,9 +313,13 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   out.put("servers", servers);
 
   workflow::RunResult r;
+  workflow::ShardRunInfo shard_info;
   try {
-    r = workflow::run_workflow(*cluster, profile, coupling.get(),
-                               chaos_engine.get());
+    r = plan.sharded()
+            ? workflow::run_workflow_sharded(*cluster, profile, zcfg, plan,
+                                             &shard_info)
+            : workflow::run_workflow(*cluster, profile, coupling.get(),
+                                     chaos_engine.get());
   } catch (const transports::DecafCountOverflow& e) {
     out.crashed = true;
     out.note = e.what();
@@ -315,6 +335,19 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   out.put("analysis_s", r.analysis_s);
   out.put("xmit_wait", static_cast<double>(r.producer_xmit_wait));
   for (const auto& [k, v] : r.metrics) out.put(k, v);
+
+  // Shard diagnostics are opt-in: wall time is host-dependent, and even the
+  // deterministic counters must not perturb default artifact layouts.
+  if (spec.shard_metrics) {
+    out.put("shard_count", plan.num_shards);
+    out.put("shard_threads", plan.sharded() ? plan.threads : 1);
+    out.put("shard_lookahead_ns",
+            static_cast<double>(shard_lookahead(cspec)));
+    out.put("shard_events", static_cast<double>(shard_info.events));
+    out.put("shard_windows", static_cast<double>(shard_info.windows));
+    out.put("shard_messages", static_cast<double>(shard_info.messages));
+    out.put("shard_sync_wall_s", shard_info.wall_s);
+  }
 
   if (spec.with_model) {
     if (pipelined) {

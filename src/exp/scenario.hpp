@@ -76,6 +76,20 @@ struct ScenarioSpec {
 
   bool record_traces = false;
 
+  // Sharded parallel DES (exp/partition.hpp): > 1 asks run_scenario to
+  // partition the ranks across shard worker threads. The partitioner only
+  // shards fully decomposable specs — anything else silently runs
+  // sequentially — and a sharded run is byte-identical to the sequential
+  // one, so this knob never changes any artifact number.
+  int sim_threads = 1;
+  // Emit the shard_* diagnostic columns (shard count, events, windows,
+  // cross-shard messages, sync wall time). Off by default: wall time is
+  // host-dependent and must never reach default artifacts.
+  bool shard_metrics = false;
+  // Override the profile's halo_neighbors (e.g. 0 to detach the producer
+  // ring so a CFD scaling run becomes partitionable; scaling_xl uses this).
+  std::optional<int> halo_neighbors;
+
   // Shared-file-system interference (Fig 2's MPI-IO spread): when
   // intensity > 0, other users' load hits the PFS, seeded deterministically —
   // the replication-seed axis of a sweep.

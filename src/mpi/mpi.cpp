@@ -10,6 +10,11 @@ World::World(sim::Simulation& sim, net::Fabric& fabric, std::vector<int> rank_to
   parked_.resize(rank_to_host_.size());
 }
 
+void World::bind_rank_sims(std::vector<sim::Simulation*> rank_sims) {
+  assert(rank_sims.size() == rank_to_host_.size());
+  rank_sim_ = std::move(rank_sims);
+}
+
 void World::deliver(int dst_rank, Envelope&& env) {
   auto& parked = parked_[static_cast<std::size_t>(dst_rank)];
   for (auto it = parked.begin(); it != parked.end(); ++it) {
@@ -17,7 +22,7 @@ void World::deliver(int dst_rank, Envelope&& env) {
       *it->out = std::move(env);
       auto h = it->h;
       parked.erase(it);
-      sim_->schedule_now(h);
+      sim_of(dst_rank).schedule_now(h);
       return;
     }
   }
@@ -35,7 +40,7 @@ sim::Task World::send(int src_rank, int dst_rank, int tag, std::uint64_t bytes,
 
 void World::isend(int src_rank, int dst_rank, int tag, std::uint64_t bytes,
                   std::any payload, sim::Latch* done, net::TrafficClass cls) {
-  sim_->spawn([](World& w, int s, int d, int t, std::uint64_t b, std::any p,
+  sim_of(src_rank).spawn([](World& w, int s, int d, int t, std::uint64_t b, std::any p,
                  sim::Latch* l, net::TrafficClass c) -> sim::Task {
     co_await w.send(s, d, t, b, std::move(p), c);
     if (l) l->count_down();
@@ -68,7 +73,7 @@ sim::Task World::sendrecv(int rank, int send_to, int send_tag,
   std::vector<sim::Task> both;
   both.push_back(send(rank, send_to, send_tag, send_bytes));
   both.push_back(recv_into(rank, recv_from, recv_tag, out));
-  co_await sim::when_all(*sim_, std::move(both));
+  co_await sim::when_all(sim_of(rank), std::move(both));
 }
 
 Communicator::Communicator(World& world, std::vector<int> world_ranks, int tag_space)

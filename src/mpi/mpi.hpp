@@ -48,6 +48,20 @@ class World {
   sim::Simulation& simulation() noexcept { return *sim_; }
   net::Fabric& fabric() noexcept { return *fabric_; }
 
+  /// Shard-aware binding: rank r's wakes, isend service coroutines, and
+  /// sendrecv join latches run on `rank_sims[r]` instead of the default sim.
+  /// Ranks of one shard only ever message ranks of the same shard (the
+  /// partitioner's job), so the per-rank unmatched/parked queues stay
+  /// shard-private. Pass size() entries; null entries keep the default.
+  void bind_rank_sims(std::vector<sim::Simulation*> rank_sims);
+
+  /// The Simulation rank `r` is bound to (the default sim unless sharded).
+  sim::Simulation& sim_of(int rank) {
+    if (rank_sim_.empty()) return *sim_;
+    sim::Simulation* s = rank_sim_[static_cast<std::size_t>(rank)];
+    return s ? *s : *sim_;
+  }
+
   /// Buffered send: completes when the message has fully arrived at the
   /// destination host (it is then receivable whether or not a recv is
   /// posted). No rendezvous: a sender never blocks on the receiver's code.
@@ -99,6 +113,7 @@ class World {
 
   sim::Simulation* sim_;
   net::Fabric* fabric_;
+  std::vector<sim::Simulation*> rank_sim_;  // empty unless sharded
   std::vector<int> rank_to_host_;
   std::vector<std::deque<Envelope>> unmatched_;
   std::vector<std::deque<Parked>> parked_;

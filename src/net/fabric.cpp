@@ -1,24 +1,58 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace zipper::net {
 
 Fabric::Fabric(sim::Simulation& sim, const FabricConfig& cfg)
+    : Fabric(sim, cfg, std::vector<sim::Simulation*>()) {}
+
+Fabric::Fabric(sim::Simulation& sim, const FabricConfig& cfg,
+               const std::vector<sim::Simulation*>& host_sims)
     : sim_(&sim), cfg_(cfg) {
   assert(cfg.num_hosts > 0 && cfg.hosts_per_leaf > 0 && cfg.num_core_switches > 0);
+  assert(host_sims.empty() ||
+         host_sims.size() == static_cast<std::size_t>(cfg.num_hosts));
   num_leaves_ = (cfg.num_hosts + cfg.hosts_per_leaf - 1) / cfg.hosts_per_leaf;
   flits_per_ns_ = cfg.port_bandwidth / 8.0 / 1e9;  // 8-byte FLITs
 
+  host_sim_.resize(static_cast<std::size_t>(cfg.num_hosts), sim_);
   for (int h = 0; h < cfg.num_hosts; ++h) {
-    nic_tx_.emplace_back(sim, cfg.nic_bandwidth, cfg.software_overhead);
-    nic_rx_.emplace_back(sim, cfg.nic_bandwidth);
-    shm_.emplace_back(sim, cfg.shm_bandwidth, cfg.software_overhead);
+    if (!host_sims.empty() && host_sims[static_cast<std::size_t>(h)]) {
+      host_sim_[static_cast<std::size_t>(h)] =
+          host_sims[static_cast<std::size_t>(h)];
+    }
   }
-  for (int i = 0; i < num_leaves_ * cfg.num_core_switches; ++i) {
-    up_.emplace_back(sim, cfg.port_bandwidth);
-    down_.emplace_back(sim, cfg.port_bandwidth);
+
+  for (int h = 0; h < cfg.num_hosts; ++h) {
+    sim::Simulation& hs = *host_sim_[static_cast<std::size_t>(h)];
+    nic_tx_.emplace_back(hs, cfg.nic_bandwidth, cfg.software_overhead);
+    nic_rx_.emplace_back(hs, cfg.nic_bandwidth);
+    shm_.emplace_back(hs, cfg.shm_bandwidth, cfg.software_overhead);
+  }
+  for (int leaf = 0; leaf < num_leaves_; ++leaf) {
+    // A leaf's ports bind to a shard only when every host of the leaf lives
+    // on that shard; otherwise they stay on the default sim, and the sharded
+    // partitioner guarantees no traffic crosses such a leaf.
+    sim::Simulation* leaf_sim = nullptr;
+    const int first = leaf * cfg.hosts_per_leaf;
+    const int last = std::min(first + cfg.hosts_per_leaf, cfg.num_hosts);
+    for (int h = first; h < last; ++h) {
+      sim::Simulation* hs = host_sim_[static_cast<std::size_t>(h)];
+      if (leaf_sim == nullptr) {
+        leaf_sim = hs;
+      } else if (leaf_sim != hs) {
+        leaf_sim = sim_;
+        break;
+      }
+    }
+    if (leaf_sim == nullptr) leaf_sim = sim_;
+    for (int c = 0; c < cfg.num_core_switches; ++c) {
+      up_.emplace_back(*leaf_sim, cfg.port_bandwidth);
+      down_.emplace_back(*leaf_sim, cfg.port_bandwidth);
+    }
   }
   counters_.resize(cfg.num_hosts);
   core_rr_.assign(cfg.num_hosts, 0);
@@ -47,6 +81,10 @@ sim::Task Fabric::transfer(int src_host, int dst_host, std::uint64_t bytes,
   HostCounters& src_ctr = counters_[src_host];
   HostCounters& dst_ctr = counters_[dst_host];
 
+  // Hop delays run on the shard that owns the source host; in a sharded run
+  // the partitioner only routes traffic between hosts of the same shard.
+  sim::Simulation& sim = *host_sim_[static_cast<std::size_t>(src_host)];
+
   if (src_host == dst_host) {
     // Same-host: shared-memory copy engine, no NIC involvement.
     co_await shm_[src_host].transfer(bytes);
@@ -60,7 +98,7 @@ sim::Task Fabric::transfer(int src_host, int dst_host, std::uint64_t bytes,
 
   sim::Time wait = co_await nic_tx_[src_host].transfer(bytes);
   charge_wait(src_host, wait, cls);
-  co_await sim_->delay(cfg_.hop_latency);
+  co_await sim.delay(cfg_.hop_latency);
 
   const int src_leaf = leaf_of(src_host);
   const int dst_leaf = leaf_of(dst_host);
@@ -68,10 +106,10 @@ sim::Task Fabric::transfer(int src_host, int dst_host, std::uint64_t bytes,
     const int core = pick_core(src_host, dst_host);
     wait = co_await up_[static_cast<std::size_t>(src_leaf * cfg_.num_core_switches + core)].transfer(bytes);
     charge_wait(src_host, wait, cls);
-    co_await sim_->delay(cfg_.hop_latency);
+    co_await sim.delay(cfg_.hop_latency);
     wait = co_await down_[static_cast<std::size_t>(dst_leaf * cfg_.num_core_switches + core)].transfer(bytes);
     charge_wait(src_host, wait, cls);
-    co_await sim_->delay(cfg_.hop_latency);
+    co_await sim.delay(cfg_.hop_latency);
   }
 
   wait = co_await nic_rx_[dst_host].transfer(bytes);

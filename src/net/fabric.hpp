@@ -60,6 +60,16 @@ class Fabric {
  public:
   Fabric(sim::Simulation& sim, const FabricConfig& cfg);
 
+  /// Shard-aware construction: each host's NIC/shm resources are bound to
+  /// that host's owning shard (`host_sims[h]`, size num_hosts), so a shard
+  /// worker only ever touches resources of hosts it owns. Leaf up/down ports
+  /// bind to a shard only when every host of the leaf lives on that shard;
+  /// leaves whose hosts span shards bind to `sim` — the sharded partitioner
+  /// guarantees no traffic crosses such a leaf (same-leaf traffic skips the
+  /// core hops; multi-leaf groups own their leaves exclusively).
+  Fabric(sim::Simulation& sim, const FabricConfig& cfg,
+         const std::vector<sim::Simulation*>& host_sims);
+
   /// Moves `bytes` from `src_host` to `dst_host`, occupying every port along
   /// the route. Completes when the last byte reaches the destination NIC.
   /// Store-and-forward at message granularity: fine-grain blocks therefore
@@ -102,6 +112,9 @@ class Fabric {
   int pick_core(int src_host, int dst_host);
 
   sim::Simulation* sim_;
+  // host_sim_[h]: the shard Simulation that owns host h's NIC/shm resources
+  // (all entries == sim_ in the sequential build).
+  std::vector<sim::Simulation*> host_sim_;
   FabricConfig cfg_;
   int num_leaves_;
   double flits_per_ns_;  // one 8-byte FLIT per this many ns at port rate

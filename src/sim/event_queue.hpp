@@ -10,13 +10,17 @@
 // `countr_zero` finds the next non-empty bucket without scanning slots).
 //
 // Tier 2 (far horizon): events at or beyond now + kRingSize go to an overflow
-// binary heap ordered by (time, insertion-seq). No migration between tiers is
-// ever needed: a time t is heap-eligible only while t >= now + kRingSize and
+// binary heap ordered by (time, insertion-seq). When the horizon advances far
+// enough that the heap top becomes ring-eligible, the pop path promotes every
+// ring-eligible heap entry into its bucket in one batch (instead of paying a
+// full O(log n) heap pop per dispatched event), so far-horizon-heavy
+// workloads run at ring speed. Promotion preserves global scheduling-order
+// FIFO: a time t is heap-eligible only while t >= now + kRingSize and
 // ring-eligible only after now has advanced past that point, and now is
 // monotone — so for any timestamp, all heap entries were scheduled before all
-// ring entries. The pop path compares the heap top against the next ring
-// bucket and drains the heap first on ties, which preserves global
-// scheduling-order FIFO across the two tiers.
+// ring entries, and the promoted chains (drained from the heap in (t, seq)
+// order) are prepended to their buckets ahead of any ring-scheduled events at
+// the same timestamp.
 //
 // Events are intrusive `SchedNode`s. Awaiters embed their node directly in
 // the coroutine frame (zero allocation on the park/wake path); the
@@ -166,36 +170,51 @@ class BucketQueue {
     l.n_ = 0;
   }
 
+  /// Earliest queued event time at or after `now`, or kNoDeadline when empty.
+  Time next_time(Time now) const noexcept {
+    Time best = kNoDeadline;
+    if (ring_count_ > 0) {
+      const std::size_t cur = static_cast<std::uint64_t>(now) & kRingMask;
+      const std::size_t slot = next_occupied(cur);
+      best = now + static_cast<Time>((slot - cur) & kRingMask);
+    }
+    if (!heap_.empty() && heap_.front().t < best) best = heap_.front().t;
+    return best;
+  }
+
   /// Pops the earliest event if its time is <= `deadline`; nullptr otherwise
   /// (or when empty). On success stores the event's time in `t_out`.
   SchedNode* pop(Time now, Time deadline, Time& t_out) {
-    Time ring_t = 0;
-    std::size_t slot = 0;
-    const bool have_ring = ring_count_ > 0;
-    if (have_ring) {
+    if (!heap_.empty() &&
+        static_cast<std::uint64_t>(heap_.front().t - now) < kRingSize) {
+      promote(now);
+    }
+    if (ring_count_ > 0) {
+      // After promotion any remaining heap entry lies beyond the ring span,
+      // so the ring holds the global minimum whenever it is non-empty.
       const std::size_t cur = static_cast<std::uint64_t>(now) & kRingMask;
-      slot = next_occupied(cur);
-      ring_t = now + static_cast<Time>((slot - cur) & kRingMask);
+      const std::size_t slot = next_occupied(cur);
+      const Time ring_t = now + static_cast<Time>((slot - cur) & kRingMask);
+      if (ring_t > deadline) return nullptr;
+      Bucket& b = buckets_[slot];
+      SchedNode* n = b.head;
+      b.head = n->next;
+      if (!b.head) {
+        b.tail = nullptr;
+        bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+      }
+      --ring_count_;
+      t_out = ring_t;
+      return n;
     }
-    if (!heap_.empty() && (!have_ring || heap_.front().t <= ring_t)) {
-      if (heap_.front().t > deadline) return nullptr;
-      std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-      const HeapEntry e = heap_.back();
-      heap_.pop_back();
-      t_out = e.t;
-      return e.n;
-    }
-    if (!have_ring || ring_t > deadline) return nullptr;
-    Bucket& b = buckets_[slot];
-    SchedNode* n = b.head;
-    b.head = n->next;
-    if (!b.head) {
-      b.tail = nullptr;
-      bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
-    }
-    --ring_count_;
-    t_out = ring_t;
-    return n;
+    if (heap_.empty() || heap_.front().t > deadline) return nullptr;
+    // Ring empty and the heap top still beyond now + kRingSize: dispatch it
+    // directly; once now lands there, the next pop promotes its cohort.
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    t_out = e.t;
+    return e.n;
   }
 
   /// Drops every queued event (nodes are abandoned, not freed — pooled nodes'
@@ -229,6 +248,38 @@ class BucketQueue {
 
   static constexpr std::size_t kWords = kRingSize / 64;
 
+  /// Moves every ring-eligible heap entry (t - now < kRingSize) into its
+  /// bucket. Draining via pop_heap yields (t, seq)-ascending order; each
+  /// run of equal-t entries becomes one chain, prepended to its bucket —
+  /// heap entries were scheduled before any ring entry at the same t.
+  void promote(Time now) {
+    promoted_.clear();
+    while (!heap_.empty() &&
+           static_cast<std::uint64_t>(heap_.front().t - now) < kRingSize) {
+      std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+      promoted_.push_back(heap_.back());
+      heap_.pop_back();
+    }
+    for (std::size_t i = 0; i < promoted_.size();) {
+      const Time t = promoted_[i].t;
+      std::size_t j = i;
+      while (j + 1 < promoted_.size() && promoted_[j + 1].t == t) ++j;
+      for (std::size_t k = i; k < j; ++k) {
+        promoted_[k].n->next = promoted_[k + 1].n;
+      }
+      const std::size_t s = static_cast<std::uint64_t>(t) & kRingMask;
+      Bucket& b = buckets_[s];
+      promoted_[j].n->next = b.head;
+      b.head = promoted_[i].n;
+      if (!b.tail) {
+        b.tail = promoted_[j].n;
+        bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
+      }
+      ring_count_ += j - i + 1;
+      i = j + 1;
+    }
+  }
+
   /// Index of the first occupied bucket at cyclic distance >= 0 from `start`
   /// (requires ring_count_ > 0).
   std::size_t next_occupied(std::size_t start) const noexcept {
@@ -251,6 +302,7 @@ class BucketQueue {
   std::array<std::uint64_t, kWords> bits_{};
   std::size_t ring_count_ = 0;
   std::vector<HeapEntry> heap_;
+  std::vector<HeapEntry> promoted_;  // reused batch-promotion scratch
   std::uint64_t heap_seq_ = 0;
 };
 

@@ -32,6 +32,19 @@ void Simulation::spawn(Task task) {
   schedule_now(h);
 }
 
+void Simulation::spawn_at(Time t, Task task) {
+  Task::Handle h = task.release();
+  assert(h && "spawn of an empty task");
+  roots_.push_back(h);
+  schedule_at(t, h);
+}
+
+namespace {
+thread_local Simulation* t_current_sim = nullptr;
+}  // namespace
+
+Simulation* Simulation::current() noexcept { return t_current_sim; }
+
 void Simulation::sweep_finished_roots() {
   for (auto& h : roots_) {
     if (h && h.done()) {
@@ -51,6 +64,13 @@ void Simulation::sweep_finished_roots() {
 
 void Simulation::run_loop(Time deadline) {
   stop_requested_ = false;
+  Simulation* const prev = t_current_sim;
+  t_current_sim = this;
+  struct Restore {
+    Simulation** slot;
+    Simulation* prev;
+    ~Restore() { *slot = prev; }
+  } restore{&t_current_sim, prev};
   Time t;
   SchedNode* n;
   while (!stop_requested_ && (n = queue_.pop(now_, deadline, t)) != nullptr) {

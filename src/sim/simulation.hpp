@@ -11,6 +11,7 @@
 // frame, so the steady-state schedule/dispatch path performs no allocation.
 #pragma once
 
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <memory>
@@ -39,7 +40,7 @@ class Simulation {
   void schedule_at(Time t, std::coroutine_handle<> h) {
     SchedNode* n = acquire_node();
     n->h = h;
-    queue_.push(n, t, now_);
+    schedule_node_at(t, n);
   }
 
   /// Schedules `h` to resume after `delay` nanoseconds.
@@ -54,7 +55,11 @@ class Simulation {
   /// Zero-allocation variants: `n` is an externally-owned node (typically
   /// embedded in the awaiter's coroutine frame) with n->h already set. The
   /// node must stay alive until its event is dispatched.
-  void schedule_node_at(Time t, SchedNode* n) { queue_.push(n, t, now_); }
+  void schedule_node_at(Time t, SchedNode* n) {
+    assert((current() == nullptr || current() == this) &&
+           "cross-shard wake outside the mailbox protocol");
+    queue_.push(n, t, now_);
+  }
   void schedule_node_after(Time delay, SchedNode* n) {
     queue_.push(n, now_ + delay, now_);
   }
@@ -67,6 +72,16 @@ class Simulation {
   /// Detaches `task` as a root simulated process; its first resume is
   /// scheduled at the current simulated time.
   void spawn(Task task);
+
+  /// Detaches `task` with its first resume scheduled at absolute time `t`
+  /// (must be >= now()). The sharded driver uses this to land cross-shard
+  /// messages at their exact delivery timestamp.
+  void spawn_at(Time t, Task task);
+
+  /// The Simulation currently dispatching events on this thread, or nullptr.
+  /// Shard workers use it to assert that no wake ever crosses a shard
+  /// boundary outside the mailbox protocol.
+  static Simulation* current() noexcept;
 
   /// Awaitable: suspend the calling coroutine for `d` simulated nanoseconds.
   auto delay(Time d) noexcept {
@@ -107,6 +122,15 @@ class Simulation {
 
   /// Number of events currently queued (both tiers).
   std::size_t events_queued() const noexcept { return queue_.size(); }
+
+  /// Sentinel for "no queued event" from next_event_time().
+  static constexpr Time kNoEvent = BucketQueue::kNoDeadline;
+
+  /// Timestamp of the earliest queued event, or kNoEvent when the queue is
+  /// empty. Used by the sharded driver to compute conservative time windows.
+  Time next_event_time() const noexcept {
+    return queue_.empty() ? kNoEvent : queue_.next_time(now_);
+  }
 
  private:
   static constexpr std::size_t kPoolChunk = 256;

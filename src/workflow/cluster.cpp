@@ -55,8 +55,15 @@ const std::vector<std::string>& ClusterSpec::known_names() {
 }
 
 Cluster::Cluster(const ClusterSpec& spec, const Layout& layout)
-    : spec_(spec), layout_(layout) {
+    : Cluster(spec, layout, ShardMap{}) {}
+
+Cluster::Cluster(const ClusterSpec& spec, const Layout& layout,
+                 const ShardMap& shards)
+    : spec_(spec), layout_(layout), shard_map_(shards) {
   assert(layout.producers > 0);
+  assert(shards.num_shards >= 1);
+  assert(shards.rank_to_shard.empty() ||
+         shards.rank_to_shard.size() == static_cast<std::size_t>(num_ranks()));
   const int cpn = spec.cores_per_node;
   const auto nodes_for = [cpn](int ranks) { return (ranks + cpn - 1) / cpn; };
 
@@ -65,13 +72,11 @@ Cluster::Cluster(const ClusterSpec& spec, const Layout& layout)
   const int server_hosts = nodes_for(layout.servers);
   const int compute_hosts = producer_hosts_ + consumer_hosts + server_hosts;
 
-  net::FabricConfig fcfg = spec.fabric;
-  fcfg.num_hosts = compute_hosts + spec.pfs.num_io_gateways;
-  fabric = std::make_unique<net::Fabric>(sim, fcfg);
-
-  pfs::PfsConfig pcfg = spec.pfs;
-  pcfg.first_gateway_host = compute_hosts;
-  fs = std::make_unique<pfs::ParallelFileSystem>(sim, *fabric, pcfg);
+  shard_sims_.push_back(&sim);
+  for (int s = 1; s < shards.num_shards; ++s) {
+    extra_sims_.push_back(std::make_unique<sim::Simulation>());
+    shard_sims_.push_back(extra_sims_.back().get());
+  }
 
   // rank -> host: each group packs its own nodes.
   std::vector<int> rank_to_host(static_cast<std::size_t>(num_ranks()));
@@ -86,7 +91,46 @@ Cluster::Cluster(const ClusterSpec& spec, const Layout& layout)
     rank_to_host[static_cast<std::size_t>(server_rank(s))] =
         producer_hosts_ + consumer_hosts + s / cpn;
   }
+
+  net::FabricConfig fcfg = spec.fabric;
+  fcfg.num_hosts = compute_hosts + spec.pfs.num_io_gateways;
+
+  if (shards.num_shards > 1) {
+    // Hosts inherit their ranks' shard; every rank of a host must agree
+    // (the partitioner aligns shard boundaries to node boundaries).
+    std::vector<sim::Simulation*> host_sims(
+        static_cast<std::size_t>(fcfg.num_hosts), &sim);
+    std::vector<int> host_shard(static_cast<std::size_t>(fcfg.num_hosts), -1);
+    for (int r = 0; r < num_ranks(); ++r) {
+      const int h = rank_to_host[static_cast<std::size_t>(r)];
+      const int s = shards.rank_to_shard[static_cast<std::size_t>(r)];
+      assert(s >= 0 && s < shards.num_shards);
+      assert((host_shard[static_cast<std::size_t>(h)] == -1 ||
+              host_shard[static_cast<std::size_t>(h)] == s) &&
+             "all ranks of a host must live on one shard");
+      host_shard[static_cast<std::size_t>(h)] = s;
+      host_sims[static_cast<std::size_t>(h)] =
+          shard_sims_[static_cast<std::size_t>(s)];
+    }
+    fabric = std::make_unique<net::Fabric>(sim, fcfg, host_sims);
+  } else {
+    fabric = std::make_unique<net::Fabric>(sim, fcfg);
+  }
+
+  pfs::PfsConfig pcfg = spec.pfs;
+  pcfg.first_gateway_host = compute_hosts;
+  fs = std::make_unique<pfs::ParallelFileSystem>(sim, *fabric, pcfg);
+
   world = std::make_unique<mpi::World>(sim, *fabric, std::move(rank_to_host));
+  if (shards.num_shards > 1) {
+    std::vector<sim::Simulation*> rank_sims(
+        static_cast<std::size_t>(num_ranks()));
+    for (int r = 0; r < num_ranks(); ++r) {
+      rank_sims[static_cast<std::size_t>(r)] = shard_sims_[static_cast<std::size_t>(
+          shards.rank_to_shard[static_cast<std::size_t>(r)])];
+    }
+    world->bind_rank_sims(std::move(rank_sims));
+  }
 }
 
 }  // namespace zipper::workflow

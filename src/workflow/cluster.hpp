@@ -48,11 +48,26 @@ struct Layout {
   int servers = 0;  // staging servers / Decaf links; 0 for serverless couplings
 };
 
+/// Partition of ranks onto shard Simulations for sharded parallel runs.
+/// Shard 0 is the Cluster's default `sim`; shards 1..num_shards-1 are extra
+/// kernels owned by the Cluster. Constraint: all ranks of one host must map
+/// to the same shard — the fabric binds whole hosts (their NIC/shm
+/// resources) to shards. Hosts without ranks (PFS gateways) stay on shard 0.
+struct ShardMap {
+  int num_shards = 1;
+  std::vector<int> rank_to_shard;  // size num_ranks(); values in [0, num_shards)
+};
+
 /// The assembled universe: simulation kernel, fabric, PFS, MPI world, trace
 /// recorder, with ranks mapped to hosts.
 class Cluster {
  public:
   Cluster(const ClusterSpec& spec, const Layout& layout);
+
+  /// Sharded construction: rank wakes, host fabric resources, and (where a
+  /// leaf is wholly owned) switch ports bind to the owning shard's kernel.
+  /// With shards.num_shards == 1 this is identical to the plain constructor.
+  Cluster(const ClusterSpec& spec, const Layout& layout, const ShardMap& shards);
 
   sim::Simulation sim;
   trace::Recorder recorder;
@@ -73,6 +88,22 @@ class Cluster {
   }
   int producer_hosts() const noexcept { return producer_hosts_; }
 
+  int num_shards() const noexcept {
+    return static_cast<int>(shard_sims_.size());
+  }
+  /// Shard s's simulation kernel; shard_sim(0) is always `sim`.
+  sim::Simulation& shard_sim(int s) {
+    return *shard_sims_[static_cast<std::size_t>(s)];
+  }
+  const std::vector<sim::Simulation*>& shard_sims() const noexcept {
+    return shard_sims_;
+  }
+  int shard_of_rank(int r) const {
+    return shard_map_.rank_to_shard.empty()
+               ? 0
+               : shard_map_.rank_to_shard[static_cast<std::size_t>(r)];
+  }
+
   /// Sum of XmitWait counters over all producer hosts (the quantity Fig 15
   /// plots; the paper reads it per compute node with opapmaquery).
   std::uint64_t producer_xmit_wait() const {
@@ -82,7 +113,12 @@ class Cluster {
  private:
   ClusterSpec spec_;
   Layout layout_;
+  ShardMap shard_map_;
   int producer_hosts_ = 0;
+  // extra_sims_ backs shards 1..N-1; shard_sims_[0] == &sim. Declared after
+  // `sim` is initialized (it lives in the public section above).
+  std::vector<std::unique_ptr<sim::Simulation>> extra_sims_;
+  std::vector<sim::Simulation*> shard_sims_;
 };
 
 }  // namespace zipper::workflow

@@ -1,10 +1,14 @@
 #include "workflow/runner.hpp"
 
+#include <chrono>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "sim/latch.hpp"
+#include "sim/sharded.hpp"
 #include "trace/recorder.hpp"
+#include "workflow/zipper_coupling.hpp"
 
 namespace zipper::workflow {
 
@@ -16,10 +20,13 @@ namespace {
 constexpr int kHaloTagBase = 1 << 16;
 
 /// One producer rank: the CL/ST/UD phases plus the transport PUT.
-Task producer_proc(Cluster& cl, const apps::WorkloadProfile& prof,
-                   Coupling* coupling, const core::chaos::ChaosEngine* chaos,
-                   int p, sim::Latch& done, Time& finish) {
-  auto& sim = cl.sim;
+/// `sim` is the kernel this rank runs on (a shard's in sharded runs); `p` is
+/// the global producer index (world rank, RNG seed, halo ring), `cp` the
+/// coupling-local index (slice couplings number their producers from 0).
+Task producer_proc(Cluster& cl, sim::Simulation& sim,
+                   const apps::WorkloadProfile& prof, Coupling* coupling,
+                   const core::chaos::ChaosEngine* chaos, int p, int cp,
+                   sim::Latch& done, Time& finish) {
   auto& rec = cl.recorder;
   const int P = cl.layout().producers;
   const int rank = cl.producer_rank(p);
@@ -58,7 +65,7 @@ Task producer_proc(Cluster& cl, const apps::WorkloadProfile& prof,
           co_await sim.delay(jittered(prof.compute_per_step() / nb));
         }
         trace::ScopedSpan s(rec, sim, rank, trace::Cat::kPut);
-        co_await coupling->producer_block(p, step, b, nb);
+        co_await coupling->producer_block(cp, step, b, nb);
       }
       continue;
     }
@@ -89,18 +96,18 @@ Task producer_proc(Cluster& cl, const apps::WorkloadProfile& prof,
     }
     if (coupling) {
       trace::ScopedSpan s(rec, sim, rank, trace::Cat::kPut);
-      co_await coupling->producer_step(p, step);
+      co_await coupling->producer_step(cp, step);
     }
   }
-  if (coupling) co_await coupling->producer_finalize(p);
+  if (coupling) co_await coupling->producer_finalize(cp);
   finish = sim.now();
   done.count_down();
 }
 
-Task consumer_proc(Cluster& cl, Coupling* coupling, int c, sim::Latch& done,
-                   Time& finish) {
-  co_await coupling->consumer_run(c);
-  finish = cl.sim.now();
+Task consumer_proc(sim::Simulation& sim, Coupling* coupling, int cc,
+                   sim::Latch& done, Time& finish) {
+  co_await coupling->consumer_run(cc);
+  finish = sim.now();
   done.count_down();
 }
 
@@ -110,35 +117,12 @@ Task finish_watcher(Cluster& cl, sim::Latch& all_done, bool& finished) {
   cl.sim.request_stop();
 }
 
-}  // namespace
-
-RunResult run_workflow(Cluster& cl, const apps::WorkloadProfile& prof,
-                       Coupling* coupling, const core::chaos::ChaosEngine* chaos) {
-  const int P = cl.layout().producers;
-  const int Q = coupling ? cl.layout().consumers : 0;
-
-  if (coupling) coupling->spawn_services();
-
-  sim::Latch all_done(cl.sim, P + Q);
-  std::vector<Time> producer_finish(static_cast<std::size_t>(P), 0);
-  std::vector<Time> consumer_finish(static_cast<std::size_t>(Q), 0);
-  bool finished = false;
-
-  for (int p = 0; p < P; ++p) {
-    cl.sim.spawn(producer_proc(cl, prof, coupling, chaos, p, all_done,
-                               producer_finish[static_cast<std::size_t>(p)]));
-  }
-  for (int c = 0; c < Q; ++c) {
-    cl.sim.spawn(consumer_proc(cl, coupling, c, all_done,
-                               consumer_finish[static_cast<std::size_t>(c)]));
-  }
-  cl.sim.spawn(finish_watcher(cl, all_done, finished));
-  cl.sim.run();
-  if (!finished) {
-    throw std::runtime_error("workflow deadlocked: " +
-                             std::string(coupling ? coupling->name() : "sim-only"));
-  }
-
+/// The result tail shared by the sequential and sharded paths: finish-time
+/// maxima, recorder aggregates, fabric counters. Coupling metrics are filled
+/// in by the caller (the sharded path sums slice stats first).
+RunResult collect_result(Cluster& cl, int P, int Q,
+                         const std::vector<Time>& producer_finish,
+                         const std::vector<Time>& consumer_finish) {
   RunResult r;
   Time last_producer = 0, last_any = 0;
   for (Time t : producer_finish) last_producer = std::max(last_producer, t);
@@ -158,7 +142,139 @@ RunResult run_workflow(Cluster& cl, const apps::WorkloadProfile& prof,
     r.analysis_s = sim::to_seconds(rec.total(trace::Cat::kAnalysis)) / Q;
   }
   r.producer_xmit_wait = cl.producer_xmit_wait();
+  return r;
+}
+
+}  // namespace
+
+RunResult run_workflow(Cluster& cl, const apps::WorkloadProfile& prof,
+                       Coupling* coupling, const core::chaos::ChaosEngine* chaos) {
+  const int P = cl.layout().producers;
+  const int Q = coupling ? cl.layout().consumers : 0;
+
+  if (coupling) coupling->spawn_services();
+
+  sim::Latch all_done(cl.sim, P + Q);
+  std::vector<Time> producer_finish(static_cast<std::size_t>(P), 0);
+  std::vector<Time> consumer_finish(static_cast<std::size_t>(Q), 0);
+  bool finished = false;
+
+  for (int p = 0; p < P; ++p) {
+    cl.sim.spawn(producer_proc(cl, cl.sim, prof, coupling, chaos, p, p, all_done,
+                               producer_finish[static_cast<std::size_t>(p)]));
+  }
+  for (int c = 0; c < Q; ++c) {
+    cl.sim.spawn(consumer_proc(cl.sim, coupling, c, all_done,
+                               consumer_finish[static_cast<std::size_t>(c)]));
+  }
+  cl.sim.spawn(finish_watcher(cl, all_done, finished));
+  cl.sim.run();
+  if (!finished) {
+    throw std::runtime_error("workflow deadlocked: " +
+                             std::string(coupling ? coupling->name() : "sim-only"));
+  }
+
+  RunResult r = collect_result(cl, P, Q, producer_finish, consumer_finish);
   if (coupling) r.metrics = coupling->metrics();
+  return r;
+}
+
+RunResult run_workflow_sharded(Cluster& cl, const apps::WorkloadProfile& prof,
+                               const core::dsim::SimZipperConfig& base_cfg,
+                               const ShardPlan& plan, ShardRunInfo* info) {
+  const int S = plan.num_shards;
+  const int P = cl.layout().producers;
+  const int Q = cl.layout().consumers;
+  if (!plan.sharded() || static_cast<int>(plan.groups.size()) != S ||
+      cl.num_shards() != S) {
+    throw std::logic_error("run_workflow_sharded: plan/cluster shard mismatch");
+  }
+
+  // One slice SimZipper per group: local producer/consumer indices [0, Pg) /
+  // [0, Qg) map onto world ranks p0.. / consumer_rank(c0)... Hooks are
+  // re-based so observers see global indices; they fire on shard worker
+  // threads, so user-supplied hooks must be thread-safe.
+  std::vector<std::unique_ptr<ZipperCoupling>> slices;
+  slices.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    const ShardGroup& g = plan.groups[static_cast<std::size_t>(s)];
+    core::dsim::SimZipperConfig cfg = base_cfg;
+    cfg.first_producer_rank = cl.producer_rank(g.p0);
+    if (base_cfg.on_analyzed) {
+      cfg.on_analyzed = [fn = base_cfg.on_analyzed, p0 = g.p0,
+                         c0 = g.c0](int c, const core::BlockHeader& h) {
+        core::BlockHeader gh = h;
+        gh.id.producer += p0;
+        fn(c0 + c, gh);
+      };
+    }
+    if (base_cfg.on_output) {
+      cfg.on_output = [fn = base_cfg.on_output, p0 = g.p0,
+                       c0 = g.c0](int c, const core::BlockHeader& h) {
+        core::BlockHeader gh = h;
+        gh.id.producer += p0;
+        fn(c0 + c, gh);
+      };
+    }
+    slices.push_back(std::make_unique<ZipperCoupling>(
+        cl, s, prof, std::move(cfg), g.p1 - g.p0, g.c1 - g.c0,
+        cl.consumer_rank(g.c0)));
+  }
+
+  for (auto& slice : slices) slice->spawn_services();
+
+  std::vector<Time> producer_finish(static_cast<std::size_t>(P), 0);
+  std::vector<Time> consumer_finish(static_cast<std::size_t>(Q), 0);
+  std::vector<std::unique_ptr<sim::Latch>> latches;
+  latches.reserve(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) {
+    const ShardGroup& g = plan.groups[static_cast<std::size_t>(s)];
+    auto& ssim = cl.shard_sim(s);
+    latches.push_back(std::make_unique<sim::Latch>(
+        ssim, (g.p1 - g.p0) + (g.c1 - g.c0)));
+    for (int p = g.p0; p < g.p1; ++p) {
+      ssim.spawn(producer_proc(cl, ssim, prof, slices[static_cast<std::size_t>(s)].get(),
+                               nullptr, p, p - g.p0, *latches.back(),
+                               producer_finish[static_cast<std::size_t>(p)]));
+    }
+    for (int c = g.c0; c < g.c1; ++c) {
+      ssim.spawn(consumer_proc(ssim, slices[static_cast<std::size_t>(s)].get(),
+                               c - g.c0, *latches.back(),
+                               consumer_finish[static_cast<std::size_t>(c)]));
+    }
+  }
+
+  // The partitioner only shards fully decomposed plans (no cross-shard
+  // edges, no perpetual background processes), so every shard free-runs to
+  // drain — no window barriers on the scenario path.
+  sim::ShardedSimulation driver(cl.shard_sims(),
+                                sim::ShardedConfig{plan.threads, plan.lookahead});
+  const auto wall0 = std::chrono::steady_clock::now();
+  const sim::ShardedStats st = driver.run_free();
+  const auto wall1 = std::chrono::steady_clock::now();
+
+  for (int s = 0; s < S; ++s) {
+    if (latches[static_cast<std::size_t>(s)]->pending() != 0) {
+      throw std::runtime_error("workflow deadlocked: Zipper shard " +
+                               std::to_string(s));
+    }
+  }
+
+  if (info) {
+    info->events = st.events;
+    info->windows = st.windows;
+    info->messages = st.messages;
+    info->wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  }
+
+  RunResult r = collect_result(cl, P, Q, producer_finish, consumer_finish);
+  core::dsim::SimZipperStats total;
+  bool chaos = false;
+  for (auto& slice : slices) {
+    accumulate_stats(total, slice->stats());
+    chaos = chaos || slice->has_chaos();
+  }
+  r.metrics = zipper_metrics(total, chaos);
   return r;
 }
 

@@ -13,8 +13,12 @@
 #include <map>
 #include <string>
 
+#include <vector>
+
 #include "apps/profiles.hpp"
 #include "core/chaos/chaos.hpp"
+#include "core/dsim/sim_runtime.hpp"
+#include "sim/time.hpp"
 #include "workflow/cluster.hpp"
 #include "workflow/coupling.hpp"
 
@@ -39,5 +43,52 @@ struct RunResult {
 RunResult run_workflow(Cluster& cluster, const apps::WorkloadProfile& profile,
                        Coupling* coupling,
                        const core::chaos::ChaosEngine* chaos = nullptr);
+
+/// One shard's slice of the workflow: producers [p0, p1) and consumers
+/// [c0, c1) by global index. The partitioner aligns group boundaries so
+/// every producer's statically-routed consumer lands in the same group.
+struct ShardGroup {
+  int p0 = 0, p1 = 0;  // producer index range
+  int c0 = 0, c1 = 0;  // consumer index range
+};
+
+/// A validated shard assignment produced by exp/partition.hpp. num_shards ==
+/// 1 means "run sequentially" (fallback_reason says why). `lookahead` is the
+/// minimum cross-shard fabric latency from the ClusterSpec (software
+/// overhead + one hop) — the conservative window the driver *could* use; the
+/// scenario path only shards plans it proved fully decomposable, so the
+/// shards free-run with no barriers at all and lookahead is reporting only.
+struct ShardPlan {
+  int num_shards = 1;
+  int threads = 1;
+  sim::Time lookahead = 0;
+  std::vector<ShardGroup> groups;   // one per shard
+  std::vector<int> rank_to_shard;   // size cluster.num_ranks()
+  std::string fallback_reason;      // set when num_shards == 1
+  bool sharded() const noexcept { return num_shards > 1; }
+};
+
+/// Diagnostic counters from a sharded run (emitted only under the
+/// shard_metrics spec flag — wall_s is host-dependent and must never reach
+/// default artifacts).
+struct ShardRunInfo {
+  std::uint64_t events = 0;    // events dispatched across all shards
+  std::uint64_t windows = 0;   // barrier rounds (0: free-run)
+  std::uint64_t messages = 0;  // cross-shard mailbox messages
+  double wall_s = 0;           // wall-clock of the parallel run loop
+};
+
+/// Sharded Zipper workflow run: builds one slice SimZipper per shard group
+/// (hooks wrapped to report global producer/consumer indices — hooks run on
+/// shard worker threads, so user hooks must be thread-safe), spawns each
+/// rank's process on its shard's kernel, and free-runs all shards on
+/// plan.threads workers. Byte-identical to run_workflow of the same spec at
+/// any thread count. Requires plan.sharded() and a Cluster built with the
+/// plan's ShardMap.
+RunResult run_workflow_sharded(Cluster& cluster,
+                               const apps::WorkloadProfile& profile,
+                               const core::dsim::SimZipperConfig& base_cfg,
+                               const ShardPlan& plan,
+                               ShardRunInfo* info = nullptr);
 
 }  // namespace zipper::workflow

@@ -10,6 +10,58 @@
 
 namespace zipper::workflow {
 
+/// Field-wise sum of slice runtimes' counters. All fields are integer Times
+/// or counts, so summing per-shard slices and then applying the ratio
+/// formulas in zipper_metrics() reproduces a single whole-workflow runtime's
+/// metrics byte-for-byte.
+inline void accumulate_stats(core::dsim::SimZipperStats& into,
+                             const core::dsim::SimZipperStats& s) {
+  into.producer_stall += s.producer_stall;
+  into.sender_busy += s.sender_busy;
+  into.writer_busy += s.writer_busy;
+  into.analysis_busy += s.analysis_busy;
+  into.store_busy += s.store_busy;
+  into.blocks_total += s.blocks_total;
+  into.blocks_stolen += s.blocks_stolen;
+  into.blocks_consumer_stolen += s.blocks_consumer_stolen;
+  into.blocks_analyzed += s.blocks_analyzed;
+  into.bytes_via_network += s.bytes_via_network;
+  into.bytes_via_pfs += s.bytes_via_pfs;
+  into.put_retries += s.put_retries;
+  into.blocks_spilled_slow += s.blocks_spilled_slow;
+  into.control_actions += s.control_actions;
+}
+
+/// The metric map every Zipper figure reads, as a pure function of the
+/// runtime counters so the sequential path (one runtime) and the sharded
+/// path (summed slices) share one formula.
+inline std::map<std::string, double> zipper_metrics(
+    const core::dsim::SimZipperStats& s, bool chaos) {
+  std::map<std::string, double> m{
+      {"stall_s", sim::to_seconds(s.producer_stall)},
+      {"sender_busy_s", sim::to_seconds(s.sender_busy)},
+      {"writer_busy_s", sim::to_seconds(s.writer_busy)},
+      {"analysis_busy_s", sim::to_seconds(s.analysis_busy)},
+      {"store_busy_s", sim::to_seconds(s.store_busy)},
+      {"blocks_total", static_cast<double>(s.blocks_total)},
+      {"blocks_stolen", static_cast<double>(s.blocks_stolen)},
+      {"consumer_steals", static_cast<double>(s.blocks_consumer_stolen)},
+      {"steal_fraction", s.blocks_total
+                             ? static_cast<double>(s.blocks_stolen) / s.blocks_total
+                             : 0.0},
+      {"bytes_via_network", static_cast<double>(s.bytes_via_network)},
+      {"bytes_via_pfs", static_cast<double>(s.bytes_via_pfs)},
+  };
+  // Resilience counters appear only for chaos/controller runs so default
+  // artifacts stay byte-identical to the pre-chaos layout.
+  if (chaos) {
+    m.emplace("put_retries", static_cast<double>(s.put_retries));
+    m.emplace("blocks_spilled_slow", static_cast<double>(s.blocks_spilled_slow));
+    m.emplace("control_actions", static_cast<double>(s.control_actions));
+  }
+  return m;
+}
+
 class ZipperCoupling : public Coupling {
  public:
   ZipperCoupling(Cluster& cluster, const apps::WorkloadProfile& profile,
@@ -19,6 +71,20 @@ class ZipperCoupling : public Coupling {
             cluster.sim, *cluster.world, *cluster.fs, cluster.recorder, profile,
             cfg, cluster.layout().producers, cluster.layout().consumers,
             cluster.consumer_rank(0))) {}
+
+  /// Shard-slice coupling: a SimZipper over producers [first local index
+  /// maps to world rank cfg.first_producer_rank] and `consumers` consumer
+  /// ranks starting at `first_consumer_rank`, running on shard `shard`'s
+  /// kernel. The caller (run_workflow_sharded) pre-slices cfg and hooks.
+  ZipperCoupling(Cluster& cluster, int shard,
+                 const apps::WorkloadProfile& profile,
+                 core::dsim::SimZipperConfig cfg, int producers, int consumers,
+                 int first_consumer_rank)
+      : chaos_(cfg.chaos != nullptr || static_cast<bool>(cfg.controller)),
+        zip_(std::make_unique<core::dsim::SimZipper>(
+            cluster.shard_sim(shard), *cluster.world, *cluster.fs,
+            cluster.recorder, profile, cfg, producers, consumers,
+            first_consumer_rank)) {}
 
   std::string name() const override { return "Zipper"; }
 
@@ -35,34 +101,11 @@ class ZipperCoupling : public Coupling {
   sim::Task consumer_run(int c) override { return zip_->consumer_run(c); }
 
   std::map<std::string, double> metrics() const override {
-    const auto& s = zip_->stats();
-    std::map<std::string, double> m{
-        {"stall_s", sim::to_seconds(s.producer_stall)},
-        {"sender_busy_s", sim::to_seconds(s.sender_busy)},
-        {"writer_busy_s", sim::to_seconds(s.writer_busy)},
-        {"analysis_busy_s", sim::to_seconds(s.analysis_busy)},
-        {"store_busy_s", sim::to_seconds(s.store_busy)},
-        {"blocks_total", static_cast<double>(s.blocks_total)},
-        {"blocks_stolen", static_cast<double>(s.blocks_stolen)},
-        {"consumer_steals", static_cast<double>(s.blocks_consumer_stolen)},
-        {"steal_fraction", s.blocks_total
-                               ? static_cast<double>(s.blocks_stolen) / s.blocks_total
-                               : 0.0},
-        {"bytes_via_network", static_cast<double>(s.bytes_via_network)},
-        {"bytes_via_pfs", static_cast<double>(s.bytes_via_pfs)},
-    };
-    // Resilience counters appear only for chaos/controller runs so default
-    // artifacts stay byte-identical to the pre-chaos layout.
-    if (chaos_) {
-      m.emplace("put_retries", static_cast<double>(s.put_retries));
-      m.emplace("blocks_spilled_slow",
-                static_cast<double>(s.blocks_spilled_slow));
-      m.emplace("control_actions", static_cast<double>(s.control_actions));
-    }
-    return m;
+    return zipper_metrics(zip_->stats(), chaos_);
   }
 
   const core::dsim::SimZipperStats& stats() const { return zip_->stats(); }
+  bool has_chaos() const noexcept { return chaos_; }
 
  private:
   bool chaos_ = false;

@@ -1,0 +1,530 @@
+// Sharded parallel DES: the ShardedSimulation engine's determinism contract
+// (free-run / windowed / lockstep modes, cross-shard FIFO and exactly-once
+// delivery, thread-count independence), the conservative auto-partitioner's
+// safety gates, and the end-to-end byte-identity of sharded scenario
+// artifacts against the sequential run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "exp/artifacts.hpp"
+#include "exp/grid.hpp"
+#include "exp/partition.hpp"
+#include "exp/registry.hpp"
+#include "exp/scenario.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simulation.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+using namespace zipper;
+using namespace zipper::sim;
+
+namespace {
+
+Task log_delays(Simulation& sim, std::vector<std::pair<Time, int>>& log,
+                int id, int count, Time stride) {
+  for (int i = 0; i < count; ++i) {
+    co_await sim.delay(stride);
+    log.emplace_back(sim.now(), id);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------- engine: free-run --
+
+// A fully decomposed partition must produce, per shard, exactly the event
+// sequence the same workload produces on a private sequential Simulation —
+// at every thread count.
+TEST(ShardedSim, RunFreeMatchesSequentialPerShard) {
+  auto reference = [](int id) {
+    Simulation sim;
+    std::vector<std::pair<Time, int>> log;
+    sim.spawn(log_delays(sim, log, id, 50, 7 + id));
+    sim.spawn(log_delays(sim, log, 100 + id, 30, 11));
+    sim.run();
+    return std::tuple{log, sim.events_dispatched(), sim.now()};
+  };
+
+  for (int threads : {1, 2, 4}) {
+    ShardedSimulation driver(3, ShardedConfig{threads, 0});
+    std::vector<std::vector<std::pair<Time, int>>> logs(3);
+    for (int s = 0; s < 3; ++s) {
+      auto& sh = driver.shard(s);
+      sh.spawn(log_delays(sh, logs[static_cast<std::size_t>(s)], s, 50, 7 + s));
+      sh.spawn(log_delays(sh, logs[static_cast<std::size_t>(s)], 100 + s, 30, 11));
+    }
+    const auto stats = driver.run_free();
+    EXPECT_EQ(stats.windows, 0u);
+    EXPECT_EQ(stats.messages, 0u);
+    std::uint64_t total_events = 0;
+    Time max_end = 0;
+    for (int s = 0; s < 3; ++s) {
+      const auto [ref_log, ref_events, ref_end] = reference(s);
+      EXPECT_EQ(logs[static_cast<std::size_t>(s)], ref_log) << "shard " << s;
+      total_events += ref_events;
+      max_end = std::max(max_end, ref_end);
+    }
+    EXPECT_EQ(stats.events, total_events);
+    EXPECT_EQ(stats.end_time, max_end);
+  }
+}
+
+// ------------------------------------------------------- engine: windowed --
+
+namespace {
+
+// A ring of shards passing a token: shard s receives at t, forwards to
+// (s+1)%S at t + L. Returns the (shard, time) delivery log and stats.
+std::pair<std::vector<std::pair<int, Time>>, ShardedStats> run_token_ring(
+    int S, int threads, Time L, int hops) {
+  ShardedSimulation driver(S, ShardedConfig{threads, L});
+  auto log = std::make_shared<std::vector<std::pair<int, Time>>>();
+  auto mu = std::make_shared<std::mutex>();
+
+  // The forwarding closure posts from the shard it executes in, so each
+  // hop respects the conservative contract t >= now() + L.
+  struct Forward {
+    ShardedSimulation* d;
+    std::shared_ptr<std::vector<std::pair<int, Time>>> log;
+    std::shared_ptr<std::mutex> mu;
+    int S;
+    int left;
+    void hop(int at, Time t) const {
+      {
+        std::lock_guard<std::mutex> lk(*mu);
+        log->emplace_back(at, t);
+      }
+      if (left <= 0) return;
+      Forward next = *this;
+      next.left = left - 1;
+      const int to = (at + 1) % S;
+      d->post(at, to, t + d->lookahead(),
+              [next, to, t2 = t + d->lookahead()] { next.hop(to, t2); });
+    }
+  };
+  const Forward f{&driver, log, mu, S, hops};
+  // Seed the ring from shard 0's context before run() starts.
+  driver.post(0, 0, L, [f, L] { f.hop(0, L); });
+
+  const auto stats = driver.run();
+  return {*log, stats};
+}
+
+}  // namespace
+
+// Windowed execution must be a pure function of the partition: identical
+// delivery logs and stats at 1, 2, 3, and 4 worker threads.
+TEST(ShardedSim, WindowedIdenticalAcrossThreadCounts) {
+  const auto [ref_log, ref_stats] = run_token_ring(4, 1, 10, 40);
+  ASSERT_EQ(ref_log.size(), 41u);
+  // The token visits shards round-robin at L, 2L, 3L, ...
+  for (std::size_t i = 0; i < ref_log.size(); ++i) {
+    EXPECT_EQ(ref_log[i].first, static_cast<int>(i % 4));
+    EXPECT_EQ(ref_log[i].second, static_cast<Time>(10 * (i + 1)));
+  }
+  EXPECT_EQ(ref_stats.messages, 41u);
+  for (int threads : {2, 3, 4}) {
+    const auto [log, stats] = run_token_ring(4, threads, 10, 40);
+    EXPECT_EQ(log, ref_log) << "threads=" << threads;
+    EXPECT_EQ(stats.windows, ref_stats.windows);
+    EXPECT_EQ(stats.messages, ref_stats.messages);
+    EXPECT_EQ(stats.events, ref_stats.events);
+    EXPECT_EQ(stats.end_time, ref_stats.end_time);
+  }
+}
+
+// ------------------------------------------------------- engine: lockstep --
+
+// Zero lookahead degenerates to same-timestamp sub-rounds: a chain of
+// same-time cross-shard messages must all land at one timestamp, in
+// deterministic order, and the run must still terminate.
+TEST(ShardedSim, LockstepZeroLookaheadSameTimeChain) {
+  for (int threads : {1, 4}) {
+    ShardedSimulation driver(3, ShardedConfig{threads, 0});
+    std::vector<std::pair<int, Time>> log;
+    std::mutex mu;
+    const Time t0 = 5;
+    // 0 -> 1 -> 2, every hop at the same simulated instant.
+    driver.post(0, 0, t0, [&, t0] {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        log.emplace_back(0, t0);
+      }
+      driver.post(0, 1, t0, [&, t0] {
+        {
+          std::lock_guard<std::mutex> lk(mu);
+          log.emplace_back(1, t0);
+        }
+        driver.post(1, 2, t0, [&, t0] {
+          std::lock_guard<std::mutex> lk(mu);
+          log.emplace_back(2, t0);
+        });
+      });
+    });
+    const auto stats = driver.run();
+    ASSERT_EQ(log.size(), 3u) << "threads=" << threads;
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(log[static_cast<std::size_t>(s)],
+                (std::pair{s, t0}));
+    }
+    EXPECT_EQ(stats.messages, 3u);
+    EXPECT_EQ(stats.end_time, t0);
+    // One barrier round per same-time hop, at minimum.
+    EXPECT_GE(stats.windows, 3u);
+  }
+}
+
+// A single-shard ShardedSimulation is just a Simulation with barrier
+// bookkeeping: events, end time, and self-posts must match the plain run.
+TEST(ShardedSim, SingleShardDegenerateMatchesPlainSimulation) {
+  Simulation ref;
+  std::vector<std::pair<Time, int>> ref_log;
+  ref.spawn(log_delays(ref, ref_log, 0, 20, 13));
+  ref.run();
+
+  ShardedSimulation driver(1, ShardedConfig{4, 50});
+  std::vector<std::pair<Time, int>> log;
+  driver.shard(0).spawn(log_delays(driver.shard(0), log, 0, 20, 13));
+  bool self_post_ran = false;
+  driver.post(0, 0, 50, [&] { self_post_ran = true; });
+  const auto stats = driver.run();
+  EXPECT_EQ(log, ref_log);
+  EXPECT_TRUE(self_post_ran);
+  // The shard clock rests somewhere inside the final lookahead window past
+  // the last event (run_until parks at window_end - 1).
+  const Time last_event = std::max<Time>(ref.now(), 50);
+  EXPECT_GE(stats.end_time, last_event);
+  EXPECT_LT(stats.end_time, last_event + 50);
+  EXPECT_EQ(stats.messages, 1u);
+}
+
+// ------------------------------------- engine: randomized FIFO/exactly-once --
+
+namespace {
+
+struct Delivery {
+  int src, dst, seq;
+  Time t;
+  bool operator==(const Delivery&) const = default;
+};
+
+std::vector<Delivery> run_random_storm(int S, int threads, Time L,
+                                       std::uint64_t seed) {
+  ShardedSimulation driver(S, ShardedConfig{threads, L});
+  auto log = std::make_shared<std::vector<Delivery>>();
+  auto mu = std::make_shared<std::mutex>();
+
+  // Per-shard deterministic traffic: seeded by (seed, shard), independent of
+  // thread count. Send times are strictly increasing per origin, so per
+  // (src, dst) delivery must be FIFO.
+  for (int s = 0; s < S; ++s) {
+    auto& sh = driver.shard(s);
+    sh.spawn([](Simulation& sim, ShardedSimulation& d, int src, int S,
+                std::uint64_t sd, std::shared_ptr<std::vector<Delivery>> lg,
+                std::shared_ptr<std::mutex> m) -> Task {
+      std::mt19937_64 rng(sd);
+      std::uniform_int_distribution<Time> jitter(1, 5);
+      std::uniform_int_distribution<int> pick(0, S - 2);
+      std::vector<int> seq(static_cast<std::size_t>(S), 0);
+      for (int i = 0; i < 64; ++i) {
+        co_await sim.delay(jitter(rng));
+        int dst = pick(rng);
+        if (dst >= src) ++dst;  // any shard but ourselves
+        const int k = seq[static_cast<std::size_t>(dst)]++;
+        const Time t = sim.now() + d.lookahead();
+        d.post(src, dst, t, [lg, m, src, dst, k, t] {
+          std::lock_guard<std::mutex> lk(*m);
+          lg->push_back(Delivery{src, dst, k, t});
+        });
+      }
+    }(sh, driver, s, S, seed * 1000003u + static_cast<std::uint64_t>(s), log,
+      mu));
+  }
+  const auto stats = driver.run();
+  EXPECT_EQ(stats.messages, static_cast<std::uint64_t>(S) * 64u);
+
+  // Exactly-once: every (src, dst, seq) triple appears exactly one time.
+  std::set<std::tuple<int, int, int>> seen;
+  for (const auto& dv : *log) {
+    EXPECT_TRUE(seen.emplace(dv.src, dv.dst, dv.seq).second)
+        << "duplicate delivery src=" << dv.src << " dst=" << dv.dst
+        << " seq=" << dv.seq;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(S) * 64u);
+
+  // FIFO per (src, dst): delivery timestamps must be non-decreasing in seq.
+  std::map<std::pair<int, int>, std::pair<int, Time>> last;
+  std::vector<Delivery> sorted = *log;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Delivery& a, const Delivery& b) {
+                     return std::tie(a.src, a.dst, a.seq) <
+                            std::tie(b.src, b.dst, b.seq);
+                   });
+  for (const auto& dv : sorted) {
+    auto it = last.find({dv.src, dv.dst});
+    if (it != last.end()) {
+      EXPECT_EQ(dv.seq, it->second.first + 1);
+      EXPECT_GT(dv.t, it->second.second);
+    }
+    last[{dv.src, dv.dst}] = {dv.seq, dv.t};
+  }
+  return sorted;
+}
+
+}  // namespace
+
+TEST(ShardedSim, RandomTrafficFifoExactlyOnceAndThreadInvariant) {
+  for (std::uint64_t seed : {1u, 42u, 1805u}) {
+    const auto ref = run_random_storm(4, 1, 8, seed);
+    const auto par = run_random_storm(4, 4, 8, seed);
+    EXPECT_EQ(ref, par) << "seed=" << seed;
+  }
+}
+
+// --------------------------------------------------------- auto-partitioner --
+
+namespace {
+
+// The scaling_xl shape: the decomposable CFD spec (no spill, no halo ring).
+exp::ScenarioSpec shardable_spec() {
+  exp::ScenarioSpec s;
+  s.cluster = "stampede2";
+  s.workload = exp::Workload::kCfdStampede2;
+  s.steps = 2;
+  s.producers = 544;   // 8 KNL hosts
+  s.consumers = 272;   // 4 KNL hosts
+  s.method = transports::Method::kZipper;
+  s.zipper.enable_steal = false;
+  s.halo_neighbors = 0;
+  s.label = "parallel/base";
+  return s;
+}
+
+}  // namespace
+
+TEST(PlanShards, ShardsTheDecomposableSpec) {
+  const auto spec = shardable_spec();
+  const auto plan = exp::plan_shards(spec, 4);
+  ASSERT_TRUE(plan.sharded()) << plan.fallback_reason;
+  EXPECT_GE(plan.num_shards, 2);
+  EXPECT_LE(plan.threads, 4);
+  EXPECT_EQ(plan.lookahead,
+            exp::shard_lookahead(exp::make_cluster_spec(spec)));
+  EXPECT_GT(plan.lookahead, 0);
+
+  // Groups tile [0,P) x [0,Q) contiguously and rank_to_shard agrees.
+  const int P = spec.producers, Q = spec.effective_consumers();
+  ASSERT_EQ(plan.rank_to_shard.size(), static_cast<std::size_t>(P + Q));
+  int p = 0, c = 0;
+  for (std::size_t s = 0; s < plan.groups.size(); ++s) {
+    const auto& g = plan.groups[s];
+    EXPECT_EQ(g.p0, p);
+    EXPECT_EQ(g.c0, c);
+    EXPECT_GT(g.p1, g.p0);
+    EXPECT_GT(g.c1, g.c0);
+    for (int i = g.p0; i < g.p1; ++i)
+      EXPECT_EQ(plan.rank_to_shard[static_cast<std::size_t>(i)],
+                static_cast<int>(s));
+    for (int i = g.c0; i < g.c1; ++i)
+      EXPECT_EQ(plan.rank_to_shard[static_cast<std::size_t>(P + i)],
+                static_cast<int>(s));
+    p = g.p1;
+    c = g.c1;
+  }
+  EXPECT_EQ(p, P);
+  EXPECT_EQ(c, Q);
+}
+
+// Every safety gate must force the sequential fallback with a stated reason.
+TEST(PlanShards, GatesFallBackToSequential) {
+  const auto base = shardable_spec();
+  const auto expect_fallback = [](exp::ScenarioSpec s, const char* what) {
+    const auto plan = exp::plan_shards(s, 4);
+    EXPECT_FALSE(plan.sharded()) << what;
+    EXPECT_EQ(plan.num_shards, 1) << what;
+    EXPECT_FALSE(plan.fallback_reason.empty()) << what;
+  };
+
+  EXPECT_FALSE(exp::plan_shards(base, 1).sharded())
+      << "threads=1 must stay sequential";
+
+  auto s = base;
+  s.method = std::nullopt;
+  expect_fallback(s, "sim-only");
+
+  s = base;
+  s.method = transports::Method::kDecaf;
+  expect_fallback(s, "non-zipper transport");
+
+  s = base;
+  s.zipper.enable_steal = true;  // the default: spill may touch the PFS
+  expect_fallback(s, "writer spill enabled");
+
+  s = base;
+  s.zipper.sched.consumer_steal = true;
+  expect_fallback(s, "consumer stealing");
+
+  s = base;
+  s.zipper.preserve = true;
+  expect_fallback(s, "preserve mode");
+
+  s = base;
+  s.chaos.straggler = {1, 4.0};
+  expect_fallback(s, "chaos injection");
+
+  s = base;
+  s.record_traces = true;
+  expect_fallback(s, "trace recording");
+
+  s = base;
+  s.adaptive_control = true;
+  expect_fallback(s, "adaptive control");
+
+  s = base;
+  s.background_load_intensity = 0.4;
+  expect_fallback(s, "background PFS load");
+
+  s = base;
+  s.halo_neighbors = 2;
+  expect_fallback(s, "halo ring couples producers");
+
+  s = base;
+  s.producers = 136;
+  s.consumers = 272;
+  expect_fallback(s, "P < Q fan-out routing");
+
+  s = base;
+  s.consumers = 68;  // one consumer host: no host-aligned 2-way cut exists
+  expect_fallback(s, "no aligned partition");
+}
+
+// The oversized thread count must clamp to the shard count, never exceed it.
+TEST(PlanShards, ThreadsClampToShards) {
+  const auto plan = exp::plan_shards(shardable_spec(), 64);
+  ASSERT_TRUE(plan.sharded()) << plan.fallback_reason;
+  EXPECT_LE(plan.threads, plan.num_shards);
+}
+
+// -------------------------------------------------- scenario byte-identity --
+
+// The headline contract: a sharded scenario run writes byte-identical CSV
+// and JSON artifacts to the sequential run, at any --sim-threads value.
+TEST(ShardedScenario, ArtifactsByteIdenticalAcrossSimThreads) {
+  auto spec = shardable_spec();
+  const auto seq = exp::run_scenario(spec);
+  ASSERT_FALSE(seq.crashed) << seq.note;
+  const auto seq_csv = exp::to_csv({seq});
+  const auto seq_json = exp::to_json({seq});
+  for (int threads : {2, 4, 8}) {
+    auto sharded = spec;
+    sharded.sim_threads = threads;
+    const auto r = exp::run_scenario(sharded);
+    EXPECT_EQ(exp::to_csv({r}), seq_csv) << "sim_threads=" << threads;
+    EXPECT_EQ(exp::to_json({r}), seq_json) << "sim_threads=" << threads;
+  }
+}
+
+// Registered figures must be --sim-threads-invariant too: specs the
+// partitioner can shard run sharded, everything else falls back — either
+// way the artifact bytes cannot change.
+TEST(ShardedScenario, RegisteredFigureSpecsUnchangedBySimThreads) {
+  for (const char* name : {"scaling_xl", "fig12"}) {
+    const auto* fig = exp::find_figure(name);
+    ASSERT_NE(fig, nullptr) << name;
+    auto specs = fig->scenarios(false);
+    ASSERT_FALSE(specs.empty());
+    auto spec = specs.front();  // one representative point per figure
+    const auto seq = exp::run_scenario(spec);
+    auto sharded = spec;
+    sharded.sim_threads = 8;
+    const auto r = exp::run_scenario(sharded);
+    EXPECT_EQ(exp::to_csv({r}), exp::to_csv({seq})) << name;
+    EXPECT_EQ(exp::to_json({r}), exp::to_json({seq})) << name;
+  }
+}
+
+// Runtime hooks must fire exactly once per analyzed block with *global*
+// consumer and producer indices, whether the run is sequential or sharded
+// (where they fire on shard worker threads under the caller's lock).
+TEST(ShardedScenario, HooksFireExactlyOnceWithGlobalIndices) {
+  using Seen = std::vector<std::tuple<int, int, int, int, std::uint64_t>>;
+  const auto collect = [](int sim_threads) {
+    auto spec = shardable_spec();
+    spec.sim_threads = sim_threads;
+    auto seen = std::make_shared<Seen>();
+    auto mu = std::make_shared<std::mutex>();
+    spec.zipper.on_analyzed = [seen, mu](int c, const core::BlockHeader& h) {
+      std::lock_guard<std::mutex> lk(*mu);
+      seen->emplace_back(c, h.id.step, h.id.producer, h.id.index, h.bytes);
+    };
+    const auto r = exp::run_scenario(spec);
+    EXPECT_FALSE(r.crashed) << r.note;
+    std::sort(seen->begin(), seen->end());
+    return *seen;
+  };
+
+  const auto seq = collect(1);
+  ASSERT_FALSE(seq.empty());
+  const auto par = collect(4);
+  EXPECT_EQ(seq, par);
+
+  const auto spec = shardable_spec();
+  for (const auto& [c, step, producer, index, bytes] : par) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, spec.effective_consumers());
+    EXPECT_GE(producer, 0);
+    EXPECT_LT(producer, spec.producers);
+    EXPECT_GT(bytes, 0u);
+    (void)step;
+    (void)index;
+  }
+}
+
+// shard_* diagnostic columns are strictly opt-in, and report a real
+// multi-shard execution when the partitioner sharded the run.
+TEST(ShardedScenario, ShardMetricsColumnsOptIn) {
+  auto spec = shardable_spec();
+  spec.sim_threads = 4;
+  const auto quiet = exp::run_scenario(spec);
+  for (const auto& [k, v] : quiet.metrics) {
+    EXPECT_NE(k.rfind("shard_", 0), 0u) << k;
+  }
+
+  spec.shard_metrics = true;
+  const auto loud = exp::run_scenario(spec);
+  EXPECT_GE(loud.get("shard_count"), 2.0);
+  EXPECT_GE(loud.get("shard_threads"), 2.0);
+  EXPECT_GT(loud.get("shard_lookahead_ns"), 0.0);
+  EXPECT_GT(loud.get("shard_events"), 0.0);
+  EXPECT_EQ(loud.get("shard_windows"), 0.0);   // free-run: no barriers
+  EXPECT_EQ(loud.get("shard_messages"), 0.0);  // fully decomposed
+}
+
+// The sweep grid's sim_threads axis tags labels and switches the points to
+// shard_metrics, unlike the figure-level --sim-threads flag which must not
+// change anything.
+TEST(ShardedScenario, GridSimThreadsAxis) {
+  exp::SweepGrid g;
+  g.label_prefix = "t";
+  g.base = shardable_spec();
+  g.sim_threads = {1, 4};
+  const auto specs = g.expand();
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].label, "t/t1");
+  EXPECT_EQ(specs[1].label, "t/t4");
+  EXPECT_EQ(specs[0].sim_threads, 1);
+  EXPECT_EQ(specs[1].sim_threads, 4);
+  EXPECT_TRUE(specs[0].shard_metrics);
+  EXPECT_TRUE(specs[1].shard_metrics);
+}

@@ -118,6 +118,43 @@ TEST(BucketQueue, RunUntilBetweenEventsDispatchesNothing) {
   EXPECT_EQ(log[0], (std::pair{3 * kRing, 0}));
 }
 
+// Batch heap->ring promotion: dense equal-timestamp runs deep in the far
+// horizon must drain in exact schedule order even when near-horizon events
+// are interleaved at the same timestamps after the batch was promoted
+// (heap-scheduled events precede ring-scheduled ones at equal t).
+TEST(BucketQueue, BatchPromotionKeepsFifoUnderLoad) {
+  Simulation sim;
+  std::vector<std::pair<Time, int>> log;
+  std::vector<std::pair<Time, int>> expected;
+  int id = 0;
+  // 40 far-horizon timestamps x 8 same-t events each: all land in the
+  // overflow heap, then promote to the ring in batches as time advances.
+  for (int k = 0; k < 40; ++k) {
+    const Time t = 2 * kRing + 64 * k;
+    for (int j = 0; j < 8; ++j) {
+      sim.spawn(record_at(sim, t, log, id));
+      expected.emplace_back(t, id);
+      ++id;
+    }
+  }
+  // Late near-horizon arrivals at a subset of the same timestamps: they were
+  // scheduled after the heap batch, so they must fire after it.
+  for (int k = 0; k < 40; k += 5) {
+    const Time t = 2 * kRing + 64 * k;
+    sim.spawn([](Simulation& s, std::vector<std::pair<Time, int>>& l, Time tgt,
+                 int i) -> Task {
+      co_await s.delay(tgt - 10);
+      s.spawn(record_at(s, 10, l, i));
+    }(sim, log, t, id));
+    expected.emplace_back(t, id);
+    ++id;
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  sim.run();
+  EXPECT_EQ(log, expected);
+}
+
 // Two identical mixed-tier universes must dispatch identical event orders.
 TEST(BucketQueue, MixedTierDeterminismAcrossRuns) {
   auto run_once = []() {

@@ -77,8 +77,8 @@ int usage(int code) {
       "zipper_lab — declarative scenario lab for the zipper reproduction\n"
       "\n"
       "  zipper_lab list [--names]\n"
-      "  zipper_lab run <figure...> [--full] [-j N] [--no-artifacts]\n"
-      "                 [--artifacts-dir=DIR] [--progress]\n"
+      "  zipper_lab run <figure...> [--full] [-j N] [--sim-threads N]\n"
+      "                 [--no-artifacts] [--artifacts-dir=DIR] [--progress]\n"
       "  zipper_lab sweep [axis flags] [-j N] [--csv=F] [--json=F] [--quiet]\n"
       "  zipper_lab analyze <figure...|axis flags> [--full] [-j N]\n"
       "                 [--ranks=N] [--artifacts-dir=DIR] [--no-artifacts]\n"
@@ -139,6 +139,7 @@ constexpr const char* kSweepAxisHelp[] = {
     "--fan=1,2,4                 pipeline fan-in divisor per derived stage",
     "--compress=1,2,8            pipeline per-edge compression (edges >= 1)",
     "--staging=0,1               pipeline interior stages: staging nodes (1) or colocated (0)",
+    "--sim-threads=1,2,4         sharded-DES worker threads (shard_* columns; results byte-identical)",
 };
 constexpr const char* kSweepScalarHelp[] = {
     "--cluster=bridges|stampede2", "--servers=N",
@@ -201,6 +202,16 @@ int cmd_run(int argc, char** argv) {
         std::fprintf(stderr, "invalid -j value '%s'\n", arg.c_str() + 2);
         return 2;
       }
+    } else if (arg == "--sim-threads" && i + 1 < argc) {
+      if (!parse_jobs(argv[++i], &opts.sim_threads)) {
+        std::fprintf(stderr, "invalid --sim-threads value '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (flag_value(arg, "--sim-threads", &v)) {
+      if (!parse_jobs(v.c_str(), &opts.sim_threads)) {
+        std::fprintf(stderr, "invalid --sim-threads value '%s'\n", v.c_str());
+        return 2;
+      }
     } else if (arg == "--progress") {
       opts.progress = true;
     } else if (arg == "all") {
@@ -217,6 +228,7 @@ int cmd_run(int argc, char** argv) {
     return 2;
   }
   if (opts.jobs < 1) opts.jobs = 1;
+  if (opts.sim_threads < 1) opts.sim_threads = 1;
   for (const auto& name : names) {
     const FigureDef* fig = find_figure(name);
     if (!fig) {
@@ -307,6 +319,15 @@ int parse_one_sweep_flag(int argc, char** argv, int* i, SweepCli* cli) {
       grid.base.servers = std::atoi(v.c_str());
     } else if (flag_value(arg, "--steps", &v)) {
       for (const auto& tok : split_csv(v)) grid.steps.push_back(std::atoi(tok.c_str()));
+    } else if (flag_value(arg, "--sim-threads", &v)) {
+      for (const auto& tok : split_csv(v)) {
+        const int t = std::atoi(tok.c_str());
+        if (t < 1) {
+          std::fprintf(stderr, "invalid --sim-threads value '%s'\n", tok.c_str());
+          return 2;
+        }
+        grid.sim_threads.push_back(t);
+      }
     } else if (flag_value(arg, "--block-kib", &v)) {
       for (const auto& tok : split_csv(v)) {
         grid.block_kib.push_back(std::strtoull(tok.c_str(), nullptr, 10));
