@@ -13,6 +13,8 @@
 #include "apps/md/lj_md.hpp"
 #include "apps/synthetic.hpp"
 #include "common/rng.hpp"
+#include "core/exec/threaded.hpp"
+#include "core/exec/virtual_time.hpp"
 #include "core/rt/producer_buffer.hpp"
 #include "net/fabric.hpp"
 #include "sim/channel.hpp"
@@ -156,6 +158,83 @@ static void BM_ChannelPingPong(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * pairs * kRounds);
 }
 BENCHMARK(BM_ChannelPingPong)->Arg(64)->Arg(1024);
+
+// The same request/reply shape through the unified execution layer
+// (core/exec), one bench per executor. The virtual variant must match the
+// raw-kernel ping-pong above — the VirtualTimeExecutor veneer is required to
+// be zero-cost, so any gap here is a regression in the unified channel path
+// feeding the DES kernel. The threaded variant prices the real park/wake
+// handoff (mutex + condvar) the RunInCoro awaitables pay per transfer.
+static void BM_ExecChannelPingPongVirtual(benchmark::State& state) {
+  constexpr int kPairs = 64;
+  constexpr int kRounds = 100;
+  struct Duo {
+    sim::Channel<int> ping, pong;
+    explicit Duo(sim::Simulation& s) : ping(s), pong(s) {}
+  };
+  for (auto _ : state) {
+    sim::Simulation s;
+    core::exec::VirtualTimeExecutor ex(s);
+    std::vector<std::unique_ptr<Duo>> duos;
+    for (int i = 0; i < kPairs; ++i) duos.push_back(std::make_unique<Duo>(ex));
+    for (int i = 0; i < kPairs; ++i) {
+      Duo& d = *duos[static_cast<std::size_t>(i)];
+      ex.spawn([](Duo& du) -> sim::Task {  // client
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.send(k);
+          co_await du.pong.recv();
+        }
+      }(d));
+      ex.spawn([](Duo& du) -> sim::Task {  // server
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.recv();
+          co_await du.pong.send(k);
+        }
+      }(d));
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * kPairs * kRounds);
+}
+BENCHMARK(BM_ExecChannelPingPongVirtual)->Name("BM_ExecChannelPingPong/virtual");
+
+static void BM_ExecChannelPingPongThreaded(benchmark::State& state) {
+  constexpr int kPairs = 2;  // each coroutine occupies one worker thread
+  constexpr int kRounds = 512;
+  using core::exec::ThreadPoolExecutor;
+  using core::exec::TpChannel;
+  struct Duo {
+    TpChannel<int> ping, pong;
+    explicit Duo(ThreadPoolExecutor& e) : ping(e, 1), pong(e, 1) {}
+  };
+  for (auto _ : state) {
+    ThreadPoolExecutor ex;
+    std::vector<std::unique_ptr<Duo>> duos;
+    for (int i = 0; i < kPairs; ++i) duos.push_back(std::make_unique<Duo>(ex));
+    for (int i = 0; i < kPairs; ++i) {
+      Duo& d = *duos[static_cast<std::size_t>(i)];
+      ex.spawn([](Duo& du) -> sim::Task {  // client
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.send(k);
+          co_await du.pong.recv();
+        }
+      }(d));
+      ex.spawn([](Duo& du) -> sim::Task {  // server
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.recv();
+          co_await du.pong.send(k);
+        }
+      }(d));
+    }
+    ex.shutdown();  // workers drain the queue and finish every round trip
+  }
+  state.SetItemsProcessed(state.iterations() * kPairs * kRounds);
+}
+// UseRealTime: the round trips happen on pool workers, not the bench thread.
+BENCHMARK(BM_ExecChannelPingPongThreaded)
+    ->Name("BM_ExecChannelPingPong/threaded")
+    ->UseRealTime();
 
 // Bounded-channel backpressure: senders park on a full buffer and are promoted
 // one slot at a time — stresses the sender waiter list and buffer slots.

@@ -6,10 +6,10 @@
 //
 // Demonstrates the API surface in ~60 lines of application code: endpoints,
 // self-describing blocks, dataflow-driven reads, the runtime stats (blocks
-// sent over the network path vs stolen onto the file path), and how the
-// threaded runtime feeds the timeline analysis layer: its counters become
-// synthetic spans (core/rt/trace_export.hpp) that the same stall-attribution
-// analyzer consumes as the DES traces.
+// sent over the network path vs stolen onto the file path), and real trace
+// spans: hand the runtime a trace::Recorder (Config::recorder) and the
+// unified body records genuine per-operation [t0, t1] spans on its monotonic
+// clock — the same stall-attribution analyzer the DES traces feed.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -17,7 +17,6 @@
 #include "apps/synthetic.hpp"
 #include "common/stats.hpp"
 #include "core/rt/runtime.hpp"
-#include "core/rt/trace_export.hpp"
 #include "trace/timeline.hpp"
 
 using namespace zipper;
@@ -30,10 +29,13 @@ int main() {
   constexpr int kBlocksPerStep = 16;
   constexpr std::size_t kDoublesPerBlock = 64 * 1024;  // 512 KiB blocks
 
+  trace::Recorder rec;  // must outlive the runtime
+
   core::rt::Config cfg;
   cfg.producer_buffer_blocks = 8;
   cfg.high_water = 0.5;
   cfg.network_bandwidth = 200e6;  // throttle the "network" so stealing engages
+  cfg.recorder = &rec;            // record real spans while the run streams
   core::rt::Runtime zipper(kProducers, kConsumers, cfg);
 
   // --- simulation side ------------------------------------------------------
@@ -91,12 +93,12 @@ int main() {
               static_cast<unsigned long long>(stolen),
               static_cast<double>(stall_ns) / 1e6);
 
-  // The threaded runtime's counters feed the same attribution analyzer the
-  // DES traces do (placement along the axis is synthetic; totals are exact).
-  trace::Recorder rec;
-  core::rt::append_synthetic_spans(zipper, rec);
+  // Real spans (producer ranks 0..P-1: stall/transfer/steal; consumer ranks
+  // P..P+Q-1: read/store) feed the same attribution analyzer the DES traces
+  // do — with true per-span nesting on the threaded clock.
   if (!rec.spans().empty()) {
-    std::printf("\nstall attribution from the endpoint counters:\n%s",
+    std::printf("\nstall attribution from %zu recorded spans:\n%s",
+                rec.spans().size(),
                 trace::attribution_table(trace::analyze(rec)).c_str());
   }
   const std::uint64_t expected =

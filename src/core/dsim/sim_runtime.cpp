@@ -1,544 +1,109 @@
 #include "core/dsim/sim_runtime.hpp"
 
-#include <any>
-#include <cassert>
-#include <map>
-#include <optional>
+#include <utility>
 
-#include "common/ring_buffer.hpp"
-
-#include "sim/channel.hpp"
-#include "sim/latch.hpp"
-#include "sim/sync.hpp"
+#include "core/zipper/vt_binding.hpp"
 
 namespace zipper::core::dsim {
 
-using sim::Task;
-using sim::Time;
-
 namespace {
 
-constexpr int kZipperTag = 7000;
-constexpr int kZipperAckTag = 7001;
+zbody::VtEnvConfig make_env_config(const SimZipperConfig& cfg,
+                                   int first_consumer_rank) {
+  zbody::VtEnvConfig ec;
+  ec.sender_bandwidth = cfg.sender_bandwidth;
+  ec.writer_bandwidth = cfg.writer_bandwidth;
+  ec.receiver_bandwidth = cfg.receiver_bandwidth;
+  ec.reader_bandwidth = cfg.reader_bandwidth;
+  ec.sender_window = cfg.sender_window;
+  ec.file_tag = cfg.file_tag;
+  ec.first_producer_rank = cfg.first_producer_rank;
+  ec.first_consumer_rank = first_consumer_rank;
+  return ec;
+}
 
-struct MixedMsg {
-  bool has_block = false;
-  BlockHeader block;
-  std::vector<BlockHeader> ids_on_disk;
-  bool done = false;
-  int producer = -1;
-};
+zbody::BodyConfig make_body_config(SimZipperConfig cfg,
+                                   const apps::WorkloadProfile& profile,
+                                   int first_consumer_rank) {
+  zbody::BodyConfig bc;
+  bc.block_bytes = cfg.block_bytes;
+  bc.producer_buffer_blocks = cfg.producer_buffer_blocks;
+  bc.high_water = cfg.high_water;
+  bc.enable_steal = cfg.enable_steal;
+  bc.preserve = cfg.preserve;
+  bc.consumer_buffer_blocks = cfg.consumer_buffer_blocks;
+  bc.sched = cfg.sched;
+  bc.step_bytes = profile.bytes_per_rank_per_step;
+  bc.first_producer_rank = cfg.first_producer_rank;
+  bc.first_consumer_rank = first_consumer_rank;
+  bc.chaos = std::move(cfg.chaos);
+  bc.max_put_retries = cfg.max_put_retries;
+  bc.put_retry_backoff = cfg.put_retry_backoff;
+  bc.controller = std::move(cfg.controller);
+  bc.control_interval = cfg.control_interval;
+  bc.on_analyzed = std::move(cfg.on_analyzed);
+  bc.on_output = std::move(cfg.on_output);
+  return bc;
+}
 
 }  // namespace
-
-// ----------------------------------------------------------- producer side --
-
-/// Coroutine analog of core/rt's ProducerBuffer (same Algorithm-1 default
-/// policy, now consulted through the pluggable sched layer).
-struct SimZipper::Producer {
-  Producer(sim::Simulation& s, const sched::SchedConfig& sc, StealPolicy base,
-           std::uint64_t block_bytes)
-      : spill(sc, base), sizer(sc, block_bytes), q(base.capacity), m(s),
-        not_full(s), not_empty(s), above_threshold(s),
-        writer_done(s, base.enabled ? 1 : 0) {}
-
-  sched::SpillPolicy spill;
-  sched::BlockSizer sizer;
-  common::RingBuffer<BlockHeader> q;
-  bool closed = false;
-  sim::SimMutex m;  // protects q/closed across coroutine suspension points
-  sim::SimCondVar not_full, not_empty, above_threshold;
-  sim::Latch writer_done;
-  // spilled headers per consumer, drained into mixed messages
-  std::map<int, std::vector<BlockHeader>> spilled;
-
-  std::vector<BlockHeader> take_spilled(int c) {
-    auto it = spilled.find(c);
-    if (it == spilled.end()) return {};
-    auto out = std::move(it->second);
-    spilled.erase(it);
-    return out;
-  }
-};
-
-struct SimZipper::Consumer {
-  Consumer(sim::Simulation& s, int buffer_cap)
-      : buffer(s, static_cast<std::size_t>(buffer_cap)), reader_q(s), output_q(s),
-        output_done(s, 1) {}
-
-  sim::Channel<BlockHeader> buffer;    // the consumer buffer
-  sim::Channel<BlockHeader> reader_q;  // block IDs on disk
-  sim::Channel<BlockHeader> output_q;  // Preserve-mode persistence queue
-  sim::Latch output_done;
-  int expected_producers = 0;
-};
 
 SimZipper::SimZipper(sim::Simulation& sim, mpi::World& world,
                      pfs::ParallelFileSystem& fs, trace::Recorder& rec,
                      const apps::WorkloadProfile& profile, SimZipperConfig cfg,
-                     int num_producers, int num_consumers, int first_consumer_rank)
-    : sim_(&sim), world_(&world), fs_(&fs), rec_(&rec), profile_(profile),
-      cfg_(cfg), P_(num_producers), Q_(num_consumers),
-      first_consumer_rank_(first_consumer_rank), ctx_(num_producers, num_consumers),
-      route_(cfg.sched, num_producers, num_consumers) {
-  blocks_per_step_ = static_cast<int>(
-      (profile.bytes_per_rank_per_step + cfg.block_bytes - 1) / cfg.block_bytes);
-  live_control_ = static_cast<bool>(cfg_.controller);
-  spill_on_ = cfg_.enable_steal;
-  // With a live controller the spill channel may be switched on mid-run, so
-  // the writers exist (and the SpillPolicy is armed) even when the run
-  // starts with spilling off; spill_on_ gates them until then.
-  const StealPolicy base{static_cast<std::size_t>(cfg.producer_buffer_blocks),
-                         cfg.high_water, cfg.enable_steal || live_control_};
-  for (int p = 0; p < P_; ++p) {
-    producers_.push_back(
-        std::make_unique<Producer>(sim, cfg.sched, base, cfg.block_bytes));
-  }
-  for (int c = 0; c < Q_; ++c) {
-    auto cons = std::make_unique<Consumer>(sim, cfg.consumer_buffer_blocks);
-    // A controller may re-route mid-run, so end-of-stream bookkeeping must
-    // use the unpinned protocol: every consumer hears from every producer.
-    cons->expected_producers = live_control_ ? P_ : route_.expected_producers(c);
-    consumers_.push_back(std::move(cons));
-  }
-}
+                     int num_producers, int num_consumers,
+                     int first_consumer_rank)
+    : env_(std::make_unique<zbody::VtEnv>(
+          sim, world, fs, rec, profile,
+          make_env_config(cfg, first_consumer_rank), num_producers,
+          num_consumers)),
+      body_(std::make_unique<zbody::ZipperBody<zbody::VtBinding>>(
+          *env_, make_body_config(std::move(cfg), profile, first_consumer_rank),
+          num_producers, num_consumers)) {}
 
 SimZipper::~SimZipper() = default;
 
 void SimZipper::spawn_services() {
-  for (int p = 0; p < P_; ++p) {
-    sim_->spawn(sender_main(p));
-    if (cfg_.enable_steal || live_control_) sim_->spawn(writer_main(p));
+  for (int p = 0; p < body_->producers(); ++p) {
+    body_->spawn_producer_services(p);
   }
-  if (live_control_) sim_->spawn(control_main());
-}
-
-double SimZipper::chaos_slowdown(int c) const {
-  return cfg_.chaos
-             ? cfg_.chaos->consumer_slowdown(c, sim::to_seconds(sim_->now()))
-             : 1.0;
-}
-
-sim::Task SimZipper::put_header(int p, BlockHeader h) {
-  Producer& pm = *producers_[static_cast<std::size_t>(p)];
-  co_await pm.m.lock();
-  if (pm.q.size() >= pm.spill.capacity()) {
-    const Time t0 = sim_->now();
-    while (pm.q.size() >= pm.spill.capacity()) co_await pm.not_full.wait(pm.m);
-    stats_.producer_stall += sim_->now() - t0;
-    ctx_.add_stall(p, static_cast<std::uint64_t>(sim_->now() - t0));
-    rec_->record(producer_rank(p), trace::Cat::kStall, t0, sim_->now());
-  }
-  pm.q.push_back(h);
-  ++stats_.blocks_total;
-  pm.not_empty.notify_one();
-  if (pm.spill.wake_writer(pm.q.size())) pm.above_threshold.notify_one();
-  pm.m.unlock();
-}
-
-sim::Task SimZipper::producer_put_block(int p, int step, int b, int num_blocks) {
-  assert(num_blocks > 0 && b < num_blocks);
-  BlockHeader h;
-  h.id = BlockId{step, p, b};
-  if (num_blocks == blocks_per_step_) {
-    // The runtime's own split: config-sized blocks, remainder in the last.
-    h.offset = static_cast<std::uint64_t>(b) * cfg_.block_bytes;
-    h.bytes = (b == num_blocks - 1)
-                  ? profile_.bytes_per_rank_per_step -
-                        static_cast<std::uint64_t>(num_blocks - 1) * cfg_.block_bytes
-                  : cfg_.block_bytes;
-  } else {
-    // Caller-chosen granularity: proportional split total*k/n boundaries,
-    // which balances to within one byte and cannot underflow the remainder
-    // however num_blocks relates to the step's bytes.
-    const std::uint64_t total = profile_.bytes_per_rank_per_step;
-    const std::uint64_t nb = static_cast<std::uint64_t>(num_blocks);
-    const std::uint64_t i = static_cast<std::uint64_t>(b);
-    h.offset = total * i / nb;
-    h.bytes = total * (i + 1) / nb - h.offset;
-  }
-  return put_header(p, h);
-}
-
-sim::Task SimZipper::producer_put_raw(int p, BlockHeader h) {
-  return put_header(p, h);
+  body_->spawn_control();
 }
 
 sim::Task SimZipper::producer_put(int p, int step) {
-  Producer& pm = *producers_[static_cast<std::size_t>(p)];
-  // One BlockSizer consultation per step: the whole-step put is the path
-  // where the runtime itself chooses the split granularity. A live
-  // controller override (if any) takes precedence over the sizer.
-  const std::uint64_t bsz = live_block_bytes_
-                                ? live_block_bytes_
-                                : pm.sizer.next_block_bytes(ctx_.stall_ns(p));
-  const int nb = static_cast<int>(
-      (profile_.bytes_per_rank_per_step + bsz - 1) / bsz);
-  for (int b = 0; b < nb; ++b) {
-    BlockHeader h;
-    h.id = BlockId{step, p, b};
-    h.offset = static_cast<std::uint64_t>(b) * bsz;
-    h.bytes = (b == nb - 1) ? profile_.bytes_per_rank_per_step -
-                                  static_cast<std::uint64_t>(nb - 1) * bsz
-                            : bsz;
-    co_await put_header(p, h);
-  }
+  return body_->producer_put(p, step);
+}
+
+sim::Task SimZipper::producer_put_block(int p, int step, int block,
+                                        int num_blocks) {
+  return body_->producer_put_block(p, step, block, num_blocks);
+}
+
+sim::Task SimZipper::producer_put_raw(int p, BlockHeader h) {
+  return body_->put_header(p, zbody::Item<zbody::VtBinding>{h, {}});
 }
 
 sim::Task SimZipper::producer_finalize(int p) {
-  Producer& pm = *producers_[static_cast<std::size_t>(p)];
-  co_await pm.m.lock();
-  pm.closed = true;
-  pm.not_empty.notify_all();
-  pm.above_threshold.notify_all();
-  pm.m.unlock();
-  // The sender coroutine drains the queue, joins the writer, and emits the
-  // final control messages; nothing further to do on the app thread.
+  return body_->producer_finalize(p);
 }
 
-sim::Task SimZipper::sender_main(int p) {
-  Producer& pm = *producers_[static_cast<std::size_t>(p)];
-  int in_flight = 0;
-  while (true) {
-    co_await pm.m.lock();
-    while (pm.q.empty() && !pm.closed) co_await pm.not_empty.wait(pm.m);
-    if (pm.q.empty() && pm.closed) {
-      pm.m.unlock();
-      break;
-    }
-    BlockHeader h = pm.q.take_front();
-    pm.not_full.notify_one();
-    pm.m.unlock();
+sim::Task SimZipper::consumer_run(int c) { return body_->consumer_run(c); }
 
-    const int c = route_.consumer_for(h.id, ctx_);
-    // Resilience path: a put addressed to a consumer inside a fault window
-    // times out. Back off exponentially and retry; if the fault outlasts
-    // the retry budget, declare the consumer slow and degrade the block to
-    // the PFS channel so the producer keeps streaming.
-    if (cfg_.chaos &&
-        cfg_.chaos->fault_active(c, sim::to_seconds(sim_->now()))) {
-      bool degraded = true;
-      Time backoff = cfg_.put_retry_backoff;
-      const Time w0 = sim_->now();
-      for (int attempt = 0; attempt < cfg_.max_put_retries; ++attempt) {
-        ++stats_.put_retries;
-        co_await sim_->delay(backoff);
-        backoff *= 2;
-        if (!cfg_.chaos->fault_active(c, sim::to_seconds(sim_->now()))) {
-          degraded = false;  // consumer recovered inside the retry budget
-          break;
-        }
-      }
-      // Backoff is transmit stall (data ready, peer won't take it), charged
-      // like any congestion-control wait.
-      world_->fabric().charge_xmit_wait(world_->host_of(producer_rank(p)),
-                                        sim_->now() - w0);
-      if (degraded) {
-        co_await spill_slow(p, h, c);
-        continue;
-      }
-    }
-    ctx_.on_routed(c);
-    MixedMsg msg;
-    msg.has_block = true;
-    msg.block = h;
-    msg.producer = producer_rank(p);
-    msg.ids_on_disk = pm.take_spilled(c);
-    {
-      trace::ScopedSpan span(*rec_, *sim_, producer_rank(p),
-                             trace::Cat::kTransfer);
-      const Time t0 = sim_->now();
-      // Flow control: wait for credits before injecting another block. The
-      // credit wait is a transmit stall (data ready, fabric won't take it),
-      // so it shows up in the host's XmitWait counter like any other
-      // congestion-control backoff.
-      if (in_flight >= cfg_.sender_window) {
-        const Time w0 = sim_->now();
-        while (in_flight >= cfg_.sender_window) {
-          mpi::Envelope ack;
-          co_await world_->recv(producer_rank(p), mpi::kAnySource,
-                                kZipperAckTag, ack);
-          --in_flight;
-        }
-        world_->fabric().charge_xmit_wait(world_->host_of(producer_rank(p)),
-                                          sim_->now() - w0);
-      }
-      co_await sim_->delay(cost(h.bytes, cfg_.sender_bandwidth));
-      co_await world_->send(producer_rank(p), consumer_rank(c), kZipperTag,
-                            h.bytes, std::any{std::move(msg)});
-      ++in_flight;
-      stats_.sender_busy += sim_->now() - t0;
-      stats_.bytes_via_network += h.bytes;
-    }
-  }
-  // Wait for the writer to finish its in-flight spill before flushing the
-  // final spilled-ID lists.
-  co_await pm.writer_done.wait();
-  std::vector<int> fed;
-  if (live_control_) {
-    // Unpinned protocol (route may have changed mid-run): every consumer
-    // hears end-of-stream from every producer.
-    fed.resize(static_cast<std::size_t>(Q_));
-    for (int c = 0; c < Q_; ++c) fed[static_cast<std::size_t>(c)] = c;
-  } else {
-    fed = route_.consumers_fed_by(p);
-  }
-  for (int c : fed) {
-    MixedMsg msg;
-    msg.done = true;
-    msg.producer = producer_rank(p);
-    msg.ids_on_disk = pm.take_spilled(c);
-    co_await world_->send(producer_rank(p), consumer_rank(c), kZipperTag, 64,
-                          std::any{std::move(msg)});
-  }
+const SimZipperStats& SimZipper::stats() const {
+  body_->aggregate_into(stats_);
+  return stats_;
 }
 
-sim::Task SimZipper::writer_main(int p) {
-  Producer& pm = *producers_[static_cast<std::size_t>(p)];
-  while (true) {
-    co_await pm.m.lock();
-    while (!pm.closed &&
-           !(spill_on_ && pm.spill.should_spill(pm.q.size(), ctx_.stall_ns(p)))) {
-      co_await pm.above_threshold.wait(pm.m);
-    }
-    if (pm.closed) {
-      pm.m.unlock();
-      break;
-    }
-    BlockHeader h = pm.q.take_front();  // Algorithm 1: steal the first block
-    pm.not_full.notify_one();
-    pm.m.unlock();
-
-    {
-      trace::ScopedSpan span(*rec_, *sim_, producer_rank(p), trace::Cat::kSteal);
-      const Time t0 = sim_->now();
-      co_await sim_->delay(cost(h.bytes, cfg_.writer_bandwidth));
-      pfs::FileId fid = 0;
-      const int host = world_->host_of(producer_rank(p));
-      co_await fs_->create(host, spill_name(h.id), fid);
-      co_await fs_->write(host, fid, 0, h.bytes);
-      stats_.writer_busy += sim_->now() - t0;
-      stats_.bytes_via_pfs += h.bytes;
-    }
-    ++stats_.blocks_stolen;
-    h.on_disk = true;
-    const int c = route_.consumer_for(h.id, ctx_);
-    ctx_.on_routed(c);
-    pm.spilled[c].push_back(h);
-  }
-  pm.writer_done.count_down();
+exec::RankStats SimZipper::producer_stats(int p) const {
+  return body_->producer_stats(p);
 }
 
-sim::Task SimZipper::spill_slow(int p, BlockHeader h, int c) {
-  Producer& pm = *producers_[static_cast<std::size_t>(p)];
-  {
-    trace::ScopedSpan span(*rec_, *sim_, producer_rank(p), trace::Cat::kSteal);
-    const Time t0 = sim_->now();
-    co_await sim_->delay(cost(h.bytes, cfg_.writer_bandwidth));
-    pfs::FileId fid = 0;
-    const int host = world_->host_of(producer_rank(p));
-    co_await fs_->create(host, spill_name(h.id), fid);
-    co_await fs_->write(host, fid, 0, h.bytes);
-    stats_.writer_busy += sim_->now() - t0;
-    stats_.bytes_via_pfs += h.bytes;
-  }
-  ++stats_.blocks_spilled_slow;
-  h.on_disk = true;
-  ctx_.on_routed(c);
-  pm.spilled[c].push_back(h);
+exec::RankStats SimZipper::consumer_stats(int c) const {
+  return body_->consumer_stats(c);
 }
 
-// ------------------------------------------------------- online controller --
-
-sim::Task SimZipper::control_main() {
-  std::uint64_t last_stall = 0;
-  std::uint64_t last_analyzed = 0;
-  // Runs until the workflow's finish watcher stops the simulation, like the
-  // background-load loops.
-  while (true) {
-    co_await sim_->delay(cfg_.control_interval);
-    chaos::ControlSnapshot snap;
-    snap.now_s = sim::to_seconds(sim_->now());
-    snap.window_s = sim::to_seconds(cfg_.control_interval);
-    const std::uint64_t stall = ctx_.total_stall_ns();
-    snap.stall_s = static_cast<double>(stall - last_stall) / 1e9;
-    last_stall = stall;
-    snap.stall_fraction =
-        snap.stall_s / (snap.window_s * static_cast<double>(P_));
-    snap.max_queued = ctx_.max_queued();
-    snap.blocks_analyzed = stats_.blocks_analyzed - last_analyzed;
-    last_analyzed = stats_.blocks_analyzed;
-    const chaos::ControlAction act = cfg_.controller(snap);
-    if (act.any()) co_await apply_action(act);
-  }
-}
-
-sim::Task SimZipper::apply_action(chaos::ControlAction act) {
-  ++stats_.control_actions;
-  if (act.route && *act.route != cfg_.sched.route) {
-    cfg_.sched.route = *act.route;
-    route_ = sched::RoutePolicy(cfg_.sched, P_, Q_);
-  }
-  if (act.consumer_steal) cfg_.sched.consumer_steal = *act.consumer_steal;
-  if (act.block_bytes) live_block_bytes_ = *act.block_bytes;
-  if (act.spill && *act.spill != spill_on_) {
-    spill_on_ = *act.spill;
-    if (spill_on_) {
-      // Stalled producers pushed their last block before parking, so no
-      // fresh push will ring the wake bell — ring it here.
-      for (auto& pm : producers_) {
-        co_await pm->m.lock();
-        pm->above_threshold.notify_all();
-        pm->m.unlock();
-      }
-    }
-  }
-}
-
-// ----------------------------------------------------------- consumer side --
-
-sim::Task SimZipper::receiver_main(int c) {
-  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
-  const int rank = consumer_rank(c);
-  int done = 0;
-  while (done < cm.expected_producers) {
-    mpi::Envelope env;
-    co_await world_->recv(rank, mpi::kAnySource, kZipperTag, env);
-    MixedMsg msg = std::any_cast<MixedMsg>(std::move(env.payload));
-    for (const BlockHeader& h : msg.ids_on_disk) co_await cm.reader_q.send(h);
-    if (msg.has_block) {
-      // Straggler / fault injection lands here: the consumer-side unpack and
-      // match work is what a slow rank serves slowly.
-      Time d = cost(msg.block.bytes, cfg_.receiver_bandwidth);
-      if (cfg_.chaos)
-        d = static_cast<Time>(static_cast<double>(d) * chaos_slowdown(c));
-      co_await sim_->delay(d);
-      // Return a flow-control credit to the sender.
-      world_->isend(rank, msg.producer, kZipperAckTag, 32);
-      co_await cm.buffer.send(msg.block);
-    }
-    if (msg.done) ++done;
-  }
-  cm.reader_q.close();
-}
-
-sim::Task SimZipper::reader_main(int c) {
-  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
-  const int rank = consumer_rank(c);
-  while (true) {
-    auto h = co_await cm.reader_q.recv();
-    if (!h) break;
-    trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kRead);
-    co_await fs_->read(world_->host_of(rank), fs_->id_of(spill_name(h->id)), 0,
-                       h->bytes);
-    co_await sim_->delay(cost(h->bytes, cfg_.reader_bandwidth));
-    h->on_disk = true;
-    co_await cm.buffer.send(*h);
-  }
-  cm.buffer.close();
-}
-
-sim::Task SimZipper::output_main(int c) {
-  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
-  const int rank = consumer_rank(c);
-  const int host = world_->host_of(rank);
-  pfs::FileId fid = 0;
-  co_await fs_->create(host, cfg_.file_tag + "preserve_c" + std::to_string(c),
-                       fid);
-  std::uint64_t offset = 0;
-  while (true) {
-    auto h = co_await cm.output_q.recv();
-    if (!h) break;
-    trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kStore);
-    const Time t0 = sim_->now();
-    co_await fs_->write(host, fid, offset, h->bytes);
-    stats_.store_busy += sim_->now() - t0;
-    offset += h->bytes;
-  }
-  cm.output_done.count_down();
-}
-
-std::optional<std::pair<BlockHeader, int>> SimZipper::try_steal(int thief) {
-  int victim = -1;
-  std::size_t deepest = 0;
-  for (int v = 0; v < Q_; ++v) {
-    if (v == thief) continue;
-    const std::size_t n = consumers_[static_cast<std::size_t>(v)]->buffer.size();
-    if (n >= cfg_.sched.steal_min_queue && n > deepest) {
-      deepest = n;
-      victim = v;
-    }
-  }
-  if (victim < 0) return std::nullopt;
-  auto h = consumers_[static_cast<std::size_t>(victim)]->buffer.try_recv();
-  if (!h) return std::nullopt;
-  return std::make_pair(*h, victim);
-}
-
-bool SimZipper::all_consumer_buffers_drained() const {
-  for (const auto& cm : consumers_) {
-    if (!cm->buffer.closed() || !cm->buffer.empty()) return false;
-  }
-  return true;
-}
-
-sim::Task SimZipper::consumer_run(int c) {
-  Consumer& cm = *consumers_[static_cast<std::size_t>(c)];
-  const int rank = consumer_rank(c);
-  sim_->spawn(receiver_main(c));
-  sim_->spawn(reader_main(c));
-  if (cfg_.preserve) {
-    sim_->spawn(output_main(c));
-  } else {
-    cm.output_done.count_down();
-  }
-
-  // Nap length between steal probes while idle: short against any realistic
-  // per-block analysis time, so a freshly overloaded peer is noticed fast.
-  constexpr Time kStealPoll = 200 * sim::kMicrosecond;
-
-  while (true) {
-    // Re-read each iteration: the online controller may flip stealing on
-    // mid-run (a no-op re-read on the default path).
-    const bool stealing = cfg_.sched.consumer_steal && Q_ > 1;
-    std::optional<BlockHeader> h;
-    int routed_to = c;  // consumer whose outstanding count this block holds
-    if (!stealing) {
-      h = co_await cm.buffer.recv();
-      if (!h) break;
-    } else if (auto own = cm.buffer.try_recv()) {
-      h = *own;
-    } else if (auto stolen = try_steal(c)) {
-      // An idle consumer pulls a whole ready block from the deepest peer.
-      // Blocks are self-describing (§4.2), so delivery re-sequences cleanly:
-      // the thief analyzes and (in Preserve mode) persists it as its own.
-      h = stolen->first;
-      routed_to = stolen->second;
-      ++stats_.blocks_consumer_stolen;
-    } else if (cm.buffer.closed()) {
-      // Own stream drained: stay on as a thief until every peer drained too.
-      if (all_consumer_buffers_drained()) break;
-      co_await sim_->delay(kStealPoll);
-      continue;
-    } else {
-      co_await sim_->delay(kStealPoll);
-      continue;
-    }
-    ctx_.on_analyzed(routed_to);
-    if (cfg_.on_analyzed) cfg_.on_analyzed(c, *h);
-    if (cfg_.preserve && !h->on_disk) co_await cm.output_q.send(*h);
-    trace::ScopedSpan span(*rec_, *sim_, rank, trace::Cat::kAnalysis);
-    const Time t0 = sim_->now();
-    Time at = profile_.analysis_time(h->bytes);
-    if (cfg_.chaos)
-      at = static_cast<Time>(static_cast<double>(at) * chaos_slowdown(c));
-    co_await sim_->delay(at);
-    stats_.analysis_busy += sim_->now() - t0;
-    ++stats_.blocks_analyzed;
-    if (cfg_.on_output) cfg_.on_output(c, *h);
-  }
-  cm.output_q.close();
-  co_await cm.output_done.wait();
+int SimZipper::blocks_per_step() const noexcept {
+  return body_->blocks_per_step();
 }
 
 }  // namespace zipper::core::dsim

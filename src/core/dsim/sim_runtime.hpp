@@ -1,9 +1,12 @@
 // The Zipper runtime, discrete-event edition — used for the paper-scale
 // experiments (up to 13,056 simulated cores).
 //
-// Mirrors core/rt structurally: per-producer {bounded producer buffer, sender
-// coroutine, work-stealing writer coroutine}, per-consumer {receiver, reader,
-// analysis loop, Preserve-mode output coroutine}. Costs come from two places:
+// Since the coroutine-native unification this is a thin facade: the
+// application logic (producer put path, sender resilience ladder, writer
+// stealing, receiver/reader/output services, consumer stealing, online
+// controller) lives in core/zipper/ZipperBody, instantiated here over the
+// virtual-time binding (core/exec/VirtualTimeExecutor + VtEnv). Costs come
+// from two places:
 //   * the cluster model (fabric ports, PFS OSTs) — contention, congestion;
 //   * calibrated per-rank software rates (sender/writer/receiver/reader
 //     bytes/s) representing the runtime's packing/copy/protocol work, fitted
@@ -13,20 +16,24 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <optional>
 #include <string>
-#include <utility>
-#include <vector>
 
 #include "apps/profiles.hpp"
 #include "common/units.hpp"
 #include "core/block.hpp"
 #include "core/chaos/chaos.hpp"
-#include "core/policy.hpp"
+#include "core/exec/exec.hpp"
 #include "core/sched/sched.hpp"
 #include "mpi/mpi.hpp"
 #include "pfs/pfs.hpp"
 #include "trace/recorder.hpp"
+
+namespace zipper::core::zbody {
+struct VtBinding;
+class VtEnv;
+template <class B>
+class ZipperBody;
+}  // namespace zipper::core::zbody
 
 namespace zipper::core::dsim {
 
@@ -106,23 +113,9 @@ struct SimZipperConfig {
   sim::Time control_interval = 250 * sim::kMillisecond;
 };
 
-struct SimZipperStats {
-  sim::Time producer_stall = 0;   // Zipper.write blocked on a full buffer
-  sim::Time sender_busy = 0;      // data-transfer time on sender threads
-  sim::Time writer_busy = 0;      // spill time on writer threads
-  sim::Time analysis_busy = 0;
-  sim::Time store_busy = 0;       // Preserve-mode output writes
-  std::uint64_t blocks_total = 0;
-  std::uint64_t blocks_stolen = 0;           // spilled to the PFS (writer path)
-  std::uint64_t blocks_consumer_stolen = 0;  // pulled by an idle peer consumer
-  std::uint64_t blocks_analyzed = 0;
-  std::uint64_t bytes_via_network = 0;
-  std::uint64_t bytes_via_pfs = 0;
-  // Chaos-resilience counters (zero unless a ChaosEngine / controller runs).
-  std::uint64_t put_retries = 0;          // backoff attempts on faulted puts
-  std::uint64_t blocks_spilled_slow = 0;  // degraded to PFS after retries
-  std::uint64_t control_actions = 0;      // knob changes applied live
-};
+/// Aggregate counters — the unified exec-layer struct (both executors share
+/// it; see core/exec/exec.hpp for field meanings).
+using SimZipperStats = exec::AggregateStats;
 
 /// One Zipper-coupled workflow instance on a simulated cluster.
 class SimZipper {
@@ -166,66 +159,17 @@ class SimZipper {
   /// upstream producers finished and everything is analyzed/stored.
   sim::Task consumer_run(int c);
 
-  const SimZipperStats& stats() const noexcept { return stats_; }
-  int blocks_per_step() const noexcept { return blocks_per_step_; }
+  const SimZipperStats& stats() const;
+  /// Per-endpoint counters (unified exec::RankStats, same struct the
+  /// threaded runtime reports).
+  exec::RankStats producer_stats(int p) const;
+  exec::RankStats consumer_stats(int c) const;
+  int blocks_per_step() const noexcept;
 
  private:
-  struct Producer;
-  struct Consumer;
-
-  sim::Task sender_main(int p);
-  sim::Task writer_main(int p);
-  sim::Task receiver_main(int c);
-  sim::Task reader_main(int c);
-  sim::Task output_main(int c);
-  /// Online controller loop: snapshot counters every control_interval,
-  /// apply the returned knob deltas. Spawned only when cfg_.controller set.
-  sim::Task control_main();
-  sim::Task apply_action(chaos::ControlAction act);
-  /// Spill a block to the PFS on the sender path (resilience degradation);
-  /// mirrors writer_main's body so the consumer fetches it via its reader.
-  sim::Task spill_slow(int p, BlockHeader h, int c);
-  /// Chaos service-time multiplier for consumer `c` right now (1.0 when no
-  /// engine is attached).
-  double chaos_slowdown(int c) const;
-
-  /// Pushes one prepared header into producer p's buffer (the tail of the
-  /// old producer_put_block: stall accounting, push, writer wake).
-  sim::Task put_header(int p, BlockHeader h);
-  /// Consumer-steal victim selection + splice: a whole ready block from the
-  /// deepest peer buffer at/above steal_min_queue, with the victim's index
-  /// (for outstanding-count accounting). nullopt when no peer qualifies.
-  std::optional<std::pair<BlockHeader, int>> try_steal(int thief);
-  bool all_consumer_buffers_drained() const;
-
-  int consumer_rank(int c) const noexcept { return first_consumer_rank_ + c; }
-  int producer_rank(int p) const noexcept {
-    return cfg_.first_producer_rank + p;
-  }
-  std::string spill_name(const BlockId& id) const {
-    return cfg_.file_tag + "spill_" + id.to_string();
-  }
-  static sim::Time cost(std::uint64_t bytes, double rate) {
-    return static_cast<sim::Time>(static_cast<double>(bytes) / rate * 1e9);
-  }
-
-  sim::Simulation* sim_;
-  mpi::World* world_;
-  pfs::ParallelFileSystem* fs_;
-  trace::Recorder* rec_;
-  apps::WorkloadProfile profile_;
-  SimZipperConfig cfg_;
-  int P_, Q_, first_consumer_rank_;
-  int blocks_per_step_;
-  sched::SchedContext ctx_;
-  sched::RoutePolicy route_;
-  std::vector<std::unique_ptr<Producer>> producers_;
-  std::vector<std::unique_ptr<Consumer>> consumers_;
-  SimZipperStats stats_;
-  // Live re-tuning state (all inert without a controller).
-  bool live_control_ = false;        // unpinned protocol + writers always on
-  bool spill_on_ = true;             // live gate in front of the SpillPolicy
-  std::uint64_t live_block_bytes_ = 0;  // controller block-size override
+  std::unique_ptr<zbody::VtEnv> env_;
+  std::unique_ptr<zbody::ZipperBody<zbody::VtBinding>> body_;
+  mutable SimZipperStats stats_;
 };
 
 }  // namespace zipper::core::dsim

@@ -1,0 +1,73 @@
+#include "core/exec/threaded.hpp"
+
+#include <exception>
+
+namespace zipper::core::exec {
+
+void ThreadPoolExecutor::spawn(sim::Task t) {
+  std::coroutine_handle<> h = t.release();
+  {
+    std::lock_guard lk(m_);
+    assert(!stopping_ && "spawn on a stopping executor");
+    run_queue_.push_back(h);
+    // Grow on demand: every queued task must be claimable by a parked worker
+    // immediately — spawned tasks are long-lived services, so making one wait
+    // behind another would deadlock the pipeline, not just delay it.
+    if (run_queue_.size() > idle_) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPoolExecutor::worker_loop() {
+  for (;;) {
+    std::coroutine_handle<> h;
+    {
+      std::unique_lock lk(m_);
+      ++idle_;
+      work_ready_.wait(lk, [&] { return stopping_ || !run_queue_.empty(); });
+      --idle_;
+      if (run_queue_.empty()) return;  // stopping, nothing left
+      h = run_queue_.front();
+      run_queue_.pop_front();
+    }
+    // Blocking awaitables: the task runs to completion right here.
+    h.resume();
+    assert(h.done() && "threaded task suspended mid-body");
+    auto th = sim::Task::Handle::from_address(h.address());
+    std::exception_ptr e = th.promise().exception;
+    h.destroy();
+    if (e) std::rethrow_exception(e);  // fatal, like a throwing std::thread
+  }
+}
+
+void ThreadPoolExecutor::shutdown() {
+  {
+    std::lock_guard lk(m_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPoolExecutor::workers_started() const {
+  std::lock_guard lk(m_);
+  return workers_.size();
+}
+
+void run_inline(sim::Task t) {
+  sim::Task::Handle h = t.release();
+  if (!h) return;
+  h.resume();
+  assert(h.done() && "run_inline task suspended mid-body");
+  std::exception_ptr e = h.promise().exception;
+  h.destroy();
+  if (e) std::rethrow_exception(e);
+}
+
+}  // namespace zipper::core::exec

@@ -1,0 +1,310 @@
+// ThreadPoolExecutor: the unified-execution adapter over real threads.
+//
+// TaskProcessor-style worker pool: spawn() hands a coroutine to an idle
+// worker (growing the pool on demand when none is parked), workers park on a
+// condition variable between tasks, and the run queue is bounded by the pool
+// itself — a task is dequeued the moment a worker exists for it.
+//
+// The awaitable primitives here follow the RunInCoro idiom: every awaitable
+// performs its (possibly blocking) operation inside await_ready() and
+// returns true, so a coroutine running on this executor never actually
+// suspends mid-body — it occupies one worker thread for its lifetime, and
+// plain OS blocking provides the waiting. This keeps the coroutine-shaped
+// unified body (core/zipper) executable unchanged on both executors: under
+// virtual time the same co_awaits park on the event queue; here they block.
+//
+// The clock is monotonic nanoseconds since executor construction, giving the
+// threaded runtime real timestamps on the same sim::Time axis the trace
+// layer consumes.
+#pragma once
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/rt/channel.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace zipper::core::exec {
+
+class ThreadPoolExecutor {
+ public:
+  ThreadPoolExecutor() : t0_(std::chrono::steady_clock::now()) {}
+  ~ThreadPoolExecutor() { shutdown(); }
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  /// Monotonic ns since construction.
+  sim::Time now() const noexcept {
+    return static_cast<sim::Time>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  /// Dispatches `t` to a parked worker (or a fresh one). The task runs to
+  /// completion on that worker — its awaitables block rather than suspend.
+  void spawn(sim::Task t);
+
+  auto sleep_until(sim::Time t) noexcept {
+    struct Awaiter {
+      ThreadPoolExecutor* ex;
+      sim::Time deadline;
+      bool await_ready() const {
+        const sim::Time d = deadline - ex->now();
+        if (d > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, t};
+  }
+
+  auto yield() noexcept {
+    struct Awaiter {
+      bool await_ready() const {
+        std::this_thread::yield();
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{};
+  }
+
+  /// Joins every worker. Spawned tasks must already be unblockable (their
+  /// channels closed); called by the owner's destructor.
+  void shutdown();
+
+  std::size_t workers_started() const;
+
+ private:
+  void worker_loop();
+
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex m_;
+  std::condition_variable work_ready_;
+  std::deque<std::coroutine_handle<>> run_queue_;
+  std::vector<std::thread> workers_;
+  std::size_t idle_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs a coroutine to completion synchronously on the calling thread — the
+/// bridge from a plain application thread (Zipper.write / Zipper.read) into
+/// the awaitable body. Blocking awaitables make this a plain nested call.
+void run_inline(sim::Task t);
+
+// ---------------------------------------------------------- primitives ----
+// Constructed from a ThreadPoolExecutor& to mirror the virtual-time
+// primitives' Simulation& constructors; none of them need the executor.
+
+class TpMutex {
+ public:
+  explicit TpMutex(ThreadPoolExecutor&) {}
+  TpMutex(const TpMutex&) = delete;
+  TpMutex& operator=(const TpMutex&) = delete;
+
+  auto lock() {
+    struct Awaiter {
+      std::mutex* m;
+      bool await_ready() const {
+        m->lock();
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{&m_};
+  }
+  bool try_lock() { return m_.try_lock(); }
+  void unlock() { m_.unlock(); }
+  std::mutex& raw() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+class TpCondVar {
+ public:
+  explicit TpCondVar(ThreadPoolExecutor&) {}
+  TpCondVar(const TpCondVar&) = delete;
+  TpCondVar& operator=(const TpCondVar&) = delete;
+
+  /// Awaitable analog of SimCondVar::wait: atomically releases `m`, blocks,
+  /// re-acquires. Spurious wakeups are allowed (callers run predicate loops).
+  auto wait(TpMutex& m) {
+    struct Awaiter {
+      TpCondVar* cv;
+      TpMutex* m;
+      bool await_ready() const {
+        std::unique_lock lk(m->raw(), std::adopt_lock);
+        cv->cv_.wait(lk);
+        lk.release();
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, &m};
+  }
+
+  /// Timed variant used by interruptible control loops.
+  auto wait_for(TpMutex& m, sim::Time d) {
+    struct Awaiter {
+      TpCondVar* cv;
+      TpMutex* m;
+      sim::Time d;
+      bool await_ready() const {
+        std::unique_lock lk(m->raw(), std::adopt_lock);
+        cv->cv_.wait_for(lk, std::chrono::nanoseconds(d));
+        lk.release();
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, &m, d};
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+class TpLatch {
+ public:
+  TpLatch(ThreadPoolExecutor&, std::int64_t count) : count_(count) {}
+  TpLatch(const TpLatch&) = delete;
+  TpLatch& operator=(const TpLatch&) = delete;
+
+  void count_down(std::int64_t n = 1) {
+    std::lock_guard lk(m_);
+    assert(count_ >= n && "latch underflow");
+    count_ -= n;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      TpLatch* l;
+      bool await_ready() const {
+        std::unique_lock lk(l->m_);
+        l->cv_.wait(lk, [&] { return l->count_ == 0; });
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  std::int64_t pending() const {
+    std::lock_guard lk(m_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::int64_t count_;
+};
+
+class TpSemaphore {
+ public:
+  TpSemaphore(ThreadPoolExecutor&, std::int64_t initial) : count_(initial) {}
+  TpSemaphore(const TpSemaphore&) = delete;
+  TpSemaphore& operator=(const TpSemaphore&) = delete;
+
+  auto acquire() {
+    struct Awaiter {
+      TpSemaphore* s;
+      bool await_ready() const {
+        std::unique_lock lk(s->m_);
+        s->cv_.wait(lk, [&] { return s->count_ > 0; });
+        --s->count_;
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release(std::int64_t n = 1) {
+    std::lock_guard lk(m_);
+    count_ += n;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::int64_t count_;
+};
+
+/// Awaitable channel over the threaded runtime's bounded MPMC RtChannel —
+/// same surface as sim::Channel, blocking semantics underneath.
+template <typename T>
+class TpChannel {
+ public:
+  explicit TpChannel(ThreadPoolExecutor&, std::size_t capacity = 0)
+      : ch_(capacity) {}
+  TpChannel(const TpChannel&) = delete;
+  TpChannel& operator=(const TpChannel&) = delete;
+
+  auto send(T value) {
+    struct Awaiter {
+      rt::RtChannel<T>* ch;
+      T value;
+      bool delivered = false;
+      bool await_ready() {
+        delivered = ch->push(std::move(value));
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      bool await_resume() const noexcept { return delivered; }
+    };
+    return Awaiter{&ch_, std::move(value)};
+  }
+
+  auto recv() {
+    struct Awaiter {
+      rt::RtChannel<T>* ch;
+      std::optional<T> slot;
+      bool await_ready() {
+        slot = ch->pop();
+        return true;
+      }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      std::optional<T> await_resume() noexcept { return std::move(slot); }
+    };
+    return Awaiter{&ch_, std::nullopt};
+  }
+
+  std::optional<T> try_recv() { return ch_.try_pop(); }
+  std::optional<T> recv_for_ns(sim::Time d) {
+    return ch_.pop_for(std::chrono::nanoseconds(d));
+  }
+
+  void close() { ch_.close(); }
+  bool closed() const { return ch_.closed(); }
+  std::size_t size() const { return ch_.size(); }
+  bool empty() const { return ch_.size() == 0; }
+
+ private:
+  rt::RtChannel<T> ch_;
+};
+
+}  // namespace zipper::core::exec

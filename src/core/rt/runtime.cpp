@@ -1,272 +1,17 @@
 #include "core/rt/runtime.hpp"
 
 #include <cassert>
-#include <chrono>
-#include <cstdio>
-#include <fstream>
-#include <map>
-#include <mutex>
-#include <stdexcept>
+#include <optional>
+#include <utility>
+
+#include "core/exec/threaded.hpp"
+#include "core/zipper/rt_binding.hpp"
 
 namespace zipper::core::rt {
 
 namespace fs = std::filesystem;
 
-namespace {
-
-fs::path spill_path(const fs::path& dir, const BlockId& id) {
-  return dir / ("blk_" + id.to_string() + ".bin");
-}
-
-fs::path preserve_path(const fs::path& dir, const BlockId& id) {
-  return dir / ("out_" + id.to_string() + ".bin");
-}
-
-void write_file(const fs::path& p, std::span<const std::byte> bytes) {
-  std::ofstream f(p, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("Zipper: cannot open spill file " + p.string());
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!f) throw std::runtime_error("Zipper: short write to " + p.string());
-}
-
-std::vector<std::byte> read_file(const fs::path& p, std::uint64_t expected) {
-  std::ifstream f(p, std::ios::binary);
-  if (!f) throw std::runtime_error("Zipper: cannot open spill file " + p.string());
-  std::vector<std::byte> out(expected);
-  f.read(reinterpret_cast<char*>(out.data()), static_cast<std::streamsize>(expected));
-  if (static_cast<std::uint64_t>(f.gcount()) != expected) {
-    throw std::runtime_error("Zipper: short read from " + p.string());
-  }
-  return out;
-}
-
-/// Shared-rate limiter standing in for the HPC network's finite bandwidth.
-class TokenBucket {
- public:
-  explicit TokenBucket(double bytes_per_second) : rate_(bytes_per_second) {}
-
-  void acquire(std::uint64_t bytes) {
-    if (rate_ <= 0) return;
-    std::chrono::steady_clock::time_point wake;
-    {
-      std::lock_guard lk(m_);
-      const auto now = std::chrono::steady_clock::now();
-      if (next_free_ < now) next_free_ = now;
-      next_free_ += std::chrono::nanoseconds(
-          static_cast<std::int64_t>(static_cast<double>(bytes) / rate_ * 1e9));
-      wake = next_free_;
-    }
-    std::this_thread::sleep_until(wake);
-  }
-
- private:
-  std::mutex m_;
-  double rate_;
-  std::chrono::steady_clock::time_point next_free_{};
-};
-
-struct NetMessage {
-  std::shared_ptr<Block> block;          // null for pure control messages
-  std::vector<BlockHeader> ids_on_disk;  // spilled blocks bound for this consumer
-  int producer = -1;
-  bool producer_done = false;
-};
-
-}  // namespace
-
-namespace detail {
-
-struct ConsumerImpl {
-  ConsumerImpl(const Config& cfg, int consumer_index, int expected_producers)
-      : net(cfg.net_channel_blocks),
-        buffer(cfg.consumer_buffer_blocks),
-        reader_q(0),
-        output_q(0),
-        index(consumer_index),
-        expected(expected_producers) {}
-
-  RtChannel<NetMessage> net;
-  RtChannel<std::shared_ptr<Block>> buffer;
-  RtChannel<BlockHeader> reader_q;
-  RtChannel<std::shared_ptr<Block>> output_q;
-  std::thread receiver, reader, output;
-  int index;
-  int expected;
-  std::atomic<std::uint64_t> from_net{0}, from_disk{0}, read_count{0}, preserved{0};
-  std::atomic<std::uint64_t> stolen_from_peers{0};
-  std::atomic<std::uint64_t> wait_ns{0};
-};
-
-struct ProducerImpl {
-  ProducerImpl(const Config& cfg, int producer_index)
-      : buf(sched::SpillPolicy{
-            cfg.sched, StealPolicy{cfg.producer_buffer_blocks, cfg.high_water,
-                                   cfg.enable_steal}}),
-        sizer(cfg.sched, cfg.block_bytes),
-        index(producer_index) {}
-
-  ProducerBuffer buf;
-  sched::BlockSizer sizer;  // app thread only: suggested_block_bytes()
-  int index;
-  std::thread sender, writer;
-  std::atomic<std::uint64_t> sent{0};
-  std::mutex spill_m;
-  std::map<int, std::vector<BlockHeader>> spilled;  // consumer -> spilled headers
-  bool finished = false;
-
-  std::vector<BlockHeader> take_spilled(int consumer) {
-    std::lock_guard lk(spill_m);
-    auto it = spilled.find(consumer);
-    if (it == spilled.end()) return {};
-    auto out = std::move(it->second);
-    spilled.erase(it);
-    return out;
-  }
-  void add_spilled(int consumer, const BlockHeader& h) {
-    std::lock_guard lk(spill_m);
-    spilled[consumer].push_back(h);
-  }
-};
-
-struct RuntimeShared {
-  Config cfg;
-  int P, Q;
-  TokenBucket net_bw;
-  sched::SchedContext ctx;
-  sched::RoutePolicy route;
-  std::vector<std::unique_ptr<ProducerImpl>> producers;
-  std::vector<std::unique_ptr<ConsumerImpl>> consumers;
-  // Chaos injection: seeded oracle + the wall clock its windows run on.
-  std::shared_ptr<const chaos::ChaosEngine> chaos;
-  std::chrono::steady_clock::time_point chaos_t0;
-
-  RuntimeShared(const Config& c, int p, int q)
-      : cfg(c), P(p), Q(q), net_bw(c.network_bandwidth), ctx(p, q),
-        route(c.sched, p, q) {
-    if (cfg.chaos.any()) {
-      chaos = std::make_shared<chaos::ChaosEngine>(cfg.chaos, p, q,
-                                                   cfg.chaos_horizon_s);
-      chaos_t0 = std::chrono::steady_clock::now();
-    }
-  }
-
-  double now_s() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         chaos_t0)
-        .count();
-  }
-
-  std::vector<int> consumers_fed_by(int producer) const {
-    return route.consumers_fed_by(producer);
-  }
-
-  /// Every consumer's buffer closed and drained — the end-of-run condition a
-  /// stealing consumer waits for before reporting end-of-stream.
-  bool all_buffers_drained() const {
-    for (const auto& cm : consumers) {
-      if (!cm->buffer.closed() || cm->buffer.size() > 0) return false;
-    }
-    return true;
-  }
-};
-
-}  // namespace detail
-
-using detail::ConsumerImpl;
-using detail::ProducerImpl;
-using detail::RuntimeShared;
-
-// ------------------------------------------------------------ thread bodies --
-
-namespace {
-
-void sender_main(RuntimeShared& sh, ProducerImpl& pm) {
-  while (auto popped = pm.buf.pop()) {
-    std::shared_ptr<Block> block = std::move(*popped);
-    const int c = sh.route.consumer_for(block->header.id, sh.ctx);
-    sh.ctx.on_routed(c);
-    NetMessage msg;
-    msg.producer = pm.index;
-    msg.ids_on_disk = pm.take_spilled(c);
-    sh.net_bw.acquire(block->header.bytes);
-    msg.block = std::move(block);
-    sh.consumers[static_cast<std::size_t>(c)]->net.push(std::move(msg));
-    pm.sent.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-void writer_main(RuntimeShared& sh, ProducerImpl& pm) {
-  while (auto stolen = pm.buf.steal()) {
-    std::shared_ptr<Block> block = std::move(*stolen);
-    write_file(spill_path(sh.cfg.spill_dir, block->header.id), block->payload);
-    BlockHeader h = block->header;
-    h.on_disk = true;
-    const int c = sh.route.consumer_for(h.id, sh.ctx);
-    sh.ctx.on_routed(c);
-    pm.add_spilled(c, h);
-  }
-}
-
-void receiver_main(RuntimeShared& sh, ConsumerImpl& cm) {
-  int done = 0;
-  while (auto popped = cm.net.pop()) {
-    NetMessage msg = std::move(*popped);
-    for (const BlockHeader& h : msg.ids_on_disk) cm.reader_q.push(h);
-    if (msg.block) {
-      // Straggler / fault injection: a chaos-slowed consumer serves each
-      // received block that much extra service time, for real.
-      if (sh.chaos && sh.cfg.chaos_block_service_ns > 0) {
-        const double slow = sh.chaos->consumer_slowdown(cm.index, sh.now_s());
-        if (slow > 1.0) {
-          std::this_thread::sleep_for(std::chrono::nanoseconds(
-              static_cast<std::int64_t>(
-                  static_cast<double>(sh.cfg.chaos_block_service_ns) *
-                  (slow - 1.0))));
-        }
-      }
-      cm.from_net.fetch_add(1, std::memory_order_relaxed);
-      if (sh.cfg.mode == Mode::kPreserve) cm.output_q.push(msg.block);
-      cm.buffer.push(std::move(msg.block));
-    }
-    if (msg.producer_done && ++done == cm.expected) break;
-  }
-  cm.reader_q.close();
-}
-
-void reader_main(RuntimeShared& sh, ConsumerImpl& cm) {
-  while (auto popped = cm.reader_q.pop()) {
-    const BlockHeader h = *popped;
-    auto block = std::make_shared<Block>();
-    block->header = h;
-    const fs::path src = spill_path(sh.cfg.spill_dir, h.id);
-    block->payload = read_file(src, h.bytes);
-    cm.from_disk.fetch_add(1, std::memory_order_relaxed);
-    if (sh.cfg.mode == Mode::kPreserve) {
-      // Already on disk: the output thread can skip it (on_disk flag); the
-      // spill file simply moves to its final home.
-      fs::rename(src, preserve_path(sh.cfg.preserve_dir, h.id));
-      cm.preserved.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      fs::remove(src);
-    }
-    cm.buffer.push(std::move(block));
-  }
-  cm.buffer.close();
-  cm.output_q.close();
-}
-
-void output_main(RuntimeShared& sh, ConsumerImpl& cm) {
-  // Preserve mode only: persists blocks that arrived over the network
-  // (on_disk == false); blocks the reader fetched were persisted already.
-  while (auto popped = cm.output_q.pop()) {
-    const std::shared_ptr<Block>& block = *popped;
-    write_file(preserve_path(sh.cfg.preserve_dir, block->header.id), block->payload);
-    cm.preserved.fetch_add(1, std::memory_order_relaxed);
-  }
-}
-
-}  // namespace
+using ItemT = zbody::Item<zbody::RtBinding>;
 
 // ---------------------------------------------------------------- endpoints --
 
@@ -275,143 +20,41 @@ void ProducerEndpoint::write(BlockId id, std::span<const std::byte> data,
   auto block = std::make_shared<Block>();
   block->header = BlockHeader{id, offset, data.size(), false};
   block->payload.assign(data.begin(), data.end());
-  impl_->buf.push(std::move(block));
+  const BlockHeader h = block->header;
+  exec::run_inline(rt_->body_->put_header(index_, ItemT{h, std::move(block)}));
 }
 
 void ProducerEndpoint::finish() {
-  assert(!impl_->finished && "finish() called twice");
-  impl_->finished = true;
-  impl_->buf.close();
-  if (impl_->writer.joinable()) impl_->writer.join();
-  if (impl_->sender.joinable()) impl_->sender.join();
-  // The writer has stopped: the spilled lists are final. Flush them with the
-  // end-of-stream control message to every consumer this producer feeds.
-  for (int c : shared_->consumers_fed_by(impl_->index)) {
-    NetMessage msg;
-    msg.producer = impl_->index;
-    msg.producer_done = true;
-    msg.ids_on_disk = impl_->take_spilled(c);
-    shared_->consumers[static_cast<std::size_t>(c)]->net.push(std::move(msg));
-  }
+  assert(!finished_ && "finish() called twice");
+  finished_ = true;
+  exec::run_inline(rt_->body_->producer_finalize(index_));
+  // Block until the sender drained the buffer, joined the writer, and flushed
+  // the end-of-stream control messages — the contract finish() always had.
+  exec::run_inline(rt_->body_->wait_sender_done(index_));
 }
 
 std::uint64_t ProducerEndpoint::suggested_block_bytes() {
-  return impl_->sizer.next_block_bytes(impl_->buf.stall_ns());
+  return rt_->body_->suggested_block_bytes(index_);
 }
 
 ProducerStats ProducerEndpoint::stats() const {
-  ProducerStats s;
-  s.blocks_written = impl_->buf.pushed();
-  s.blocks_sent = impl_->sent.load(std::memory_order_relaxed);
-  s.blocks_stolen = impl_->buf.stolen();
-  s.stall_ns = impl_->buf.stall_ns();
-  return s;
+  return rt_->body_->producer_stats(index_);
 }
 
-namespace {
-
-/// Accumulates a read() call's wall time into the consumer's wait counter —
-/// read() does no work of its own, so its whole duration is time spent
-/// waiting for the next block (the counter trace_export.hpp turns into a
-/// synthetic stall span).
-struct ReadWaitTimer {
-  explicit ReadWaitTimer(ConsumerImpl& c)
-      : cm(c), t0(std::chrono::steady_clock::now()) {}
-  ~ReadWaitTimer() {
-    const auto dt = std::chrono::steady_clock::now() - t0;
-    cm.wait_ns.fetch_add(
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
-        std::memory_order_relaxed);
-  }
-  ConsumerImpl& cm;
-  std::chrono::steady_clock::time_point t0;
-};
-
-}  // namespace
-
 std::shared_ptr<const Block> ConsumerEndpoint::read() {
-  ConsumerImpl& cm = *impl_;
-  RuntimeShared& sh = *shared_;
-  ReadWaitTimer wait_timer(cm);
-  if (!sh.cfg.sched.consumer_steal || sh.Q <= 1) {
-    auto popped = cm.buffer.pop();
-    if (!popped) return nullptr;
-    cm.read_count.fetch_add(1, std::memory_order_relaxed);
-    sh.ctx.on_analyzed(cm.index);
-    return std::move(*popped);
+  if (ended_) return nullptr;
+  std::optional<ItemT> out;
+  exec::run_inline(rt_->body_->consumer_next(index_, out));
+  if (!out) {
+    ended_ = true;
+    rt_->body_->close_consumer_output(index_);
+    return nullptr;
   }
-  // Consumer-side work stealing: prefer own blocks, then splice a whole
-  // ready block off the deepest-queued peer. Blocks are self-describing, so
-  // re-sequencing at delivery is just handing the thief the header+payload;
-  // Preserve-mode persistence already happened on the victim's receiver/
-  // reader threads before the block entered its buffer.
-  for (;;) {
-    if (auto own = cm.buffer.try_pop()) {
-      cm.read_count.fetch_add(1, std::memory_order_relaxed);
-      sh.ctx.on_analyzed(cm.index);
-      return std::move(*own);
-    }
-    int victim = -1;
-    std::size_t deepest = 0;
-    for (const auto& peer : sh.consumers) {
-      if (peer->index == cm.index) continue;
-      const std::size_t n = peer->buffer.size();
-      if (n >= sh.cfg.sched.steal_min_queue && n > deepest) {
-        deepest = n;
-        victim = peer->index;
-      }
-    }
-    if (victim >= 0) {
-      auto& vm = *sh.consumers[static_cast<std::size_t>(victim)];
-      if (auto stolen = vm.buffer.try_pop()) {
-        cm.read_count.fetch_add(1, std::memory_order_relaxed);
-        cm.stolen_from_peers.fetch_add(1, std::memory_order_relaxed);
-        sh.ctx.on_analyzed(victim);
-        return std::move(*stolen);
-      }
-    }
-    if (cm.buffer.closed()) {
-      if (cm.buffer.size() == 0 && sh.all_buffers_drained()) {
-        return nullptr;  // the whole run drained, not just this stream
-      }
-      // Drain mode: own stream ended. A peer whose buffer is also closed can
-      // never grow past the steal threshold again, so take its leftovers at
-      // any depth — without this, a peer abandoned mid-drain (its app thread
-      // died or stopped calling read()) would strand every thief in the nap
-      // loop below forever.
-      for (const auto& peer : sh.consumers) {
-        if (peer->index == cm.index) continue;
-        if (!peer->buffer.closed() || peer->buffer.size() == 0) continue;
-        if (auto stolen = peer->buffer.try_pop()) {
-          cm.read_count.fetch_add(1, std::memory_order_relaxed);
-          cm.stolen_from_peers.fetch_add(1, std::memory_order_relaxed);
-          sh.ctx.on_analyzed(peer->index);
-          return std::move(*stolen);
-        }
-      }
-      // A still-open peer holds blocks below the steal threshold: nap
-      // instead of spinning (pop_for returns immediately on a closed
-      // channel, so it cannot provide the wait here).
-      std::this_thread::sleep_for(std::chrono::microseconds(500));
-    } else if (auto v = cm.buffer.pop_for(std::chrono::microseconds(500))) {
-      cm.read_count.fetch_add(1, std::memory_order_relaxed);
-      sh.ctx.on_analyzed(cm.index);
-      return std::move(*v);
-    }
-  }
+  return std::move(out->payload);
 }
 
 ConsumerStats ConsumerEndpoint::stats() const {
-  ConsumerStats s;
-  s.blocks_from_network = impl_->from_net.load(std::memory_order_relaxed);
-  s.blocks_from_disk = impl_->from_disk.load(std::memory_order_relaxed);
-  s.blocks_read = impl_->read_count.load(std::memory_order_relaxed);
-  s.blocks_preserved = impl_->preserved.load(std::memory_order_relaxed);
-  s.blocks_stolen_from_peers =
-      impl_->stolen_from_peers.load(std::memory_order_relaxed);
-  s.wait_ns = impl_->wait_ns.load(std::memory_order_relaxed);
-  return s;
+  return rt_->body_->consumer_stats(index_);
 }
 
 // ------------------------------------------------------------------ runtime --
@@ -429,72 +72,85 @@ Runtime::Runtime(int num_producers, int num_consumers, Config config)
     }
     fs::create_directories(config_.preserve_dir);
   }
+  if (config_.chaos.any()) {
+    chaos_ = std::make_shared<chaos::ChaosEngine>(
+        config_.chaos, num_producers, num_consumers, config_.chaos_horizon_s);
+  }
 
-  shared_ = std::make_unique<RuntimeShared>(config_, num_producers, num_consumers);
+  zbody::RtEnvConfig ec;
+  ec.spill_dir = config_.spill_dir;
+  ec.preserve_dir = config_.preserve_dir;
+  ec.preserve = config_.mode == Mode::kPreserve;
+  ec.network_bandwidth = config_.network_bandwidth;
+  ec.net_channel_blocks = config_.net_channel_blocks;
+  ec.chaos_block_service_ns = config_.chaos_block_service_ns;
+  ec.recorder = config_.recorder;
+  env_ = std::make_unique<zbody::RtEnv>(std::move(ec), num_consumers);
+
+  zbody::BodyConfig bc;
+  bc.block_bytes = config_.block_bytes;
+  bc.producer_buffer_blocks = static_cast<int>(config_.producer_buffer_blocks);
+  bc.high_water = config_.high_water;
+  bc.enable_steal = config_.enable_steal;
+  bc.preserve = config_.mode == Mode::kPreserve;
+  bc.consumer_buffer_blocks = static_cast<int>(config_.consumer_buffer_blocks);
+  bc.sched = config_.sched;
+  bc.step_bytes = 0;  // the application chooses its own write() sizes
+  // Trace-rank convention: producers are ranks 0..P-1, consumers P..P+Q-1.
+  bc.first_producer_rank = 0;
+  bc.first_consumer_rank = num_producers;
+  bc.chaos = chaos_;
+  bc.max_put_retries = config_.max_put_retries;
+  bc.put_retry_backoff = config_.put_retry_backoff;
+  bc.controller = config_.controller;
+  bc.control_interval = config_.control_interval;
+  body_ = std::make_unique<zbody::ZipperBody<zbody::RtBinding>>(
+      *env_, std::move(bc), num_producers, num_consumers);
 
   consumers_.resize(static_cast<std::size_t>(num_consumers));
   for (int c = 0; c < num_consumers; ++c) {
-    auto impl = std::make_unique<ConsumerImpl>(config_, c,
-                                               shared_->route.expected_producers(c));
-    auto& cm = *impl;
-    cm.receiver = std::thread(receiver_main, std::ref(*shared_), std::ref(cm));
-    cm.reader = std::thread(reader_main, std::ref(*shared_), std::ref(cm));
-    if (config_.mode == Mode::kPreserve) {
-      cm.output = std::thread(output_main, std::ref(*shared_), std::ref(cm));
-    }
-    consumers_[static_cast<std::size_t>(c)].impl_ = impl.get();
-    consumers_[static_cast<std::size_t>(c)].shared_ = shared_.get();
-    shared_->consumers.push_back(std::move(impl));
+    consumers_[static_cast<std::size_t>(c)].rt_ = this;
+    consumers_[static_cast<std::size_t>(c)].index_ = c;
+    body_->spawn_consumer_services(c);
   }
-
   producers_.resize(static_cast<std::size_t>(num_producers));
   for (int p = 0; p < num_producers; ++p) {
-    auto impl = std::make_unique<ProducerImpl>(config_, p);
-    auto& pm = *impl;
-    pm.sender = std::thread(sender_main, std::ref(*shared_), std::ref(pm));
-    if (config_.enable_steal) {
-      pm.writer = std::thread(writer_main, std::ref(*shared_), std::ref(pm));
-    }
-    producers_[static_cast<std::size_t>(p)].impl_ = impl.get();
-    producers_[static_cast<std::size_t>(p)].shared_ = shared_.get();
-    shared_->producers.push_back(std::move(impl));
+    producers_[static_cast<std::size_t>(p)].rt_ = this;
+    producers_[static_cast<std::size_t>(p)].index_ = p;
+    body_->spawn_producer_services(p);
   }
+  body_->spawn_control();
 }
 
 const chaos::ChaosEngine* Runtime::chaos() const noexcept {
-  return shared_->chaos.get();
+  return chaos_.get();
 }
 
 void Runtime::wait_idle() {
-  for (auto& cm : shared_->consumers) {
-    if (cm->receiver.joinable()) cm->receiver.join();
-    if (cm->reader.joinable()) cm->reader.join();
-    if (cm->output.joinable()) cm->output.join();
+  for (int c = 0; c < num_consumers(); ++c) {
+    exec::run_inline(body_->wait_consumer_services(c));
   }
 }
 
 Runtime::~Runtime() {
-  // Emergency shutdown for producers whose finish() was never called.
-  for (auto& pm : shared_->producers) {
-    if (!pm->finished) {
-      pm->buf.close();
-      if (pm->writer.joinable()) pm->writer.join();
-      if (pm->sender.joinable()) pm->sender.join();
+  // Emergency teardown must leave no service coroutine blocked, or the
+  // executor join below would hang. Close the transport first so an
+  // unfinished producer's sender cannot wedge on a net channel no consumer
+  // drains anymore (sends on a closed channel fail silently, exactly like
+  // the old thread runtime's push-returns-false path).
+  env_->close_transport();
+  for (auto& pe : producers_) {
+    if (!pe.finished_) {
+      exec::run_inline(body_->producer_finalize(pe.index_));
+      exec::run_inline(body_->wait_sender_done(pe.index_));
     }
   }
+  env_->stop_control();
   // Unblock every consumer-side stage (a consumer abandoned mid-stream could
-  // otherwise leave its reader parked on a full buffer), then join.
-  for (auto& cm : shared_->consumers) {
-    cm->net.close();
-    cm->buffer.close();
-    cm->reader_q.close();
-    cm->output_q.close();
-  }
-  for (auto& cm : shared_->consumers) {
-    if (cm->receiver.joinable()) cm->receiver.join();
-    if (cm->reader.joinable()) cm->reader.join();
-    if (cm->output.joinable()) cm->output.join();
-  }
+  // otherwise leave its reader parked on a full buffer), then join the
+  // workers while the body the coroutines reference is still alive.
+  body_->emergency_close_consumers();
+  env_->prim().shutdown();
 }
 
 }  // namespace zipper::core::rt

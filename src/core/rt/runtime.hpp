@@ -5,17 +5,22 @@
 // consumer endpoints (analysis threads/ranks), below the application layer:
 //
 //   producer side (per endpoint, Fig 8):   consumer side (per endpoint, Fig 9):
-//     ProducerBuffer                          receiver thread
-//     sender thread  --(mixed messages)-->    consumer buffer
-//     writer thread  --(spill files)---->     reader thread
-//                                             output thread (Preserve mode)
+//     producer buffer                         receiver coroutine
+//     sender coroutine --(mixed messages)-->  consumer buffer
+//     writer coroutine --(spill files)---->   reader coroutine
+//                                             output coroutine (Preserve mode)
 //
-// The "low-latency HPC network" is an in-process message channel (optionally
-// throttled to a configurable bandwidth so the dual-channel behaviour can be
-// observed on one machine), and the "parallel file system" is a spill
-// directory on the real file system. Mixed messages carry one data block plus
-// the IDs of blocks the writer thread spilled to disk, exactly as in the
-// paper; the consumer's reader thread fetches those from the spill directory.
+// Since the coroutine-native unification this is a thin facade: the
+// application logic lives in core/zipper/ZipperBody — the same body the
+// discrete-event runtime instantiates — bound here to the
+// core/exec/ThreadPoolExecutor (worker threads, monotonic clock, blocking
+// channels) through RtEnv. The "low-latency HPC network" is an in-process
+// message channel (optionally throttled to a configurable bandwidth so the
+// dual-channel behaviour can be observed on one machine), and the "parallel
+// file system" is a spill directory on the real file system. Mixed messages
+// carry one data block plus the IDs of blocks the writer spilled to disk,
+// exactly as in the paper; the consumer's reader fetches those from the spill
+// directory.
 //
 // API (paper §4.1):  producer(i).write(id, data, bytes)  /  consumer(j).read().
 //
@@ -24,23 +29,27 @@
 // kNoPreserve deletes spill files after consumption.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
-#include <optional>
 #include <span>
-#include <string>
-#include <thread>
 #include <vector>
 
 #include "core/block.hpp"
 #include "core/chaos/chaos.hpp"
-#include "core/policy.hpp"
-#include "core/rt/channel.hpp"
-#include "core/rt/producer_buffer.hpp"
+#include "core/exec/exec.hpp"
 #include "core/sched/sched.hpp"
+#include "sim/time.hpp"
+#include "trace/recorder.hpp"
+
+namespace zipper::core::zbody {
+struct RtBinding;
+class RtEnv;
+template <class B>
+class ZipperBody;
+}  // namespace zipper::core::zbody
 
 namespace zipper::core::rt {
 
@@ -70,36 +79,39 @@ struct Config {
   /// seeded ChaosEngine over `chaos_horizon_s` of wall time. Consumers hit
   /// by the straggler/fault axes serve each received block
   /// `chaos_block_service_ns x (slowdown - 1)` slower (real sleeps on the
-  /// receiver thread); drift is app-driven via Runtime::chaos(). Defaults
+  /// receiver worker); drift is app-driven via Runtime::chaos(). Defaults
   /// leave the schedule untouched.
   chaos::ChaosSpec chaos;
   std::uint64_t chaos_block_service_ns = 0;  // base per-block service time
   double chaos_horizon_s = 10.0;             // fault windows spread over this
+
+  /// Resilience ladder for puts routed to a faulted consumer: exponential
+  /// backoff starting at put_retry_backoff, up to max_put_retries attempts,
+  /// then degrade the block to the spill channel.
+  int max_put_retries = 3;
+  sim::Time put_retry_backoff = 20 * sim::kMillisecond;
+
+  /// Optional real-span trace sink: the shared body records genuine
+  /// [t0, t1] spans (stall/transfer/steal/read/analysis/store) on the
+  /// executor's monotonic clock — producers get trace ranks 0..P-1,
+  /// consumers P..P+Q-1. Must outlive the Runtime. Null = no tracing.
+  trace::Recorder* recorder = nullptr;
+
+  /// Online re-tuning: when set, a control coroutine snapshots the streaming
+  /// counters every control_interval (wall time) and applies the returned
+  /// knob changes live — the same AdaptiveController contract the
+  /// discrete-event runtime honours.
+  std::function<chaos::ControlAction(const chaos::ControlSnapshot&)> controller;
+  sim::Time control_interval = 250 * sim::kMillisecond;
 };
 
-struct ProducerStats {
-  std::uint64_t blocks_written = 0;  // accepted via write()
-  std::uint64_t blocks_sent = 0;     // via network path
-  std::uint64_t blocks_stolen = 0;   // via file path
-  std::uint64_t stall_ns = 0;        // write() blocked on a full buffer
-};
-
-struct ConsumerStats {
-  std::uint64_t blocks_from_network = 0;
-  std::uint64_t blocks_from_disk = 0;
-  std::uint64_t blocks_read = 0;      // handed to the application
-  std::uint64_t blocks_preserved = 0; // persisted by the output thread / reader
-  std::uint64_t blocks_stolen_from_peers = 0;  // consumer-side work stealing
-  std::uint64_t wait_ns = 0;  // read() blocked waiting for the next block
-};
+/// Per-endpoint counters — the unified exec-layer struct shared with the
+/// discrete-event runtime (producer endpoints populate the producer-side
+/// fields, consumer endpoints the consumer-side ones).
+using ProducerStats = exec::RankStats;
+using ConsumerStats = exec::RankStats;
 
 class Runtime;
-
-namespace detail {
-struct RuntimeShared;
-struct ProducerImpl;
-struct ConsumerImpl;
-}  // namespace detail
 
 /// Producer-side endpoint: one per simulation thread/rank.
 class ProducerEndpoint {
@@ -108,9 +120,10 @@ class ProducerEndpoint {
 
   /// Zipper.write(block_id, data, block_size): copies `data` into the
   /// producer buffer; may stall while the buffer is full.
-  void write(BlockId id, std::span<const std::byte> data, std::uint64_t offset = 0);
-  /// Signals end-of-stream for this producer; drains and joins its sender and
-  /// writer threads, then flushes the end-of-stream control message.
+  void write(BlockId id, std::span<const std::byte> data,
+             std::uint64_t offset = 0);
+  /// Signals end-of-stream for this producer; drains its sender and writer
+  /// services, then flushes the end-of-stream control message.
   void finish();
 
   /// The BlockSizer's advice for the next write() granularity, fed this
@@ -122,8 +135,9 @@ class ProducerEndpoint {
 
  private:
   friend class Runtime;
-  detail::ProducerImpl* impl_ = nullptr;
-  detail::RuntimeShared* shared_ = nullptr;
+  Runtime* rt_ = nullptr;
+  int index_ = -1;
+  bool finished_ = false;
 };
 
 /// Consumer-side endpoint: one per analysis thread/rank.
@@ -142,8 +156,9 @@ class ConsumerEndpoint {
 
  private:
   friend class Runtime;
-  detail::ConsumerImpl* impl_ = nullptr;
-  detail::RuntimeShared* shared_ = nullptr;
+  Runtime* rt_ = nullptr;
+  int index_ = -1;
+  bool ended_ = false;
 };
 
 class Runtime {
@@ -168,8 +183,13 @@ class Runtime {
   const chaos::ChaosEngine* chaos() const noexcept;
 
  private:
+  friend class ProducerEndpoint;
+  friend class ConsumerEndpoint;
+
   Config config_;
-  std::unique_ptr<detail::RuntimeShared> shared_;
+  std::shared_ptr<const chaos::ChaosEngine> chaos_;
+  std::unique_ptr<zbody::RtEnv> env_;
+  std::unique_ptr<zbody::ZipperBody<zbody::RtBinding>> body_;
   std::vector<ProducerEndpoint> producers_;
   std::vector<ConsumerEndpoint> consumers_;
 };

@@ -1,0 +1,15 @@
+// The single translation unit both executors consult: explicit
+// instantiations of the unified zipper body over the virtual-time and
+// threaded bindings. core/dsim and core/rt link against these — neither
+// carries application logic of its own.
+#include "core/zipper/body_impl.hpp"
+
+#include "core/zipper/rt_binding.hpp"
+#include "core/zipper/vt_binding.hpp"
+
+namespace zipper::core::zbody {
+
+template class ZipperBody<VtBinding>;
+template class ZipperBody<RtBinding>;
+
+}  // namespace zipper::core::zbody

@@ -3,9 +3,9 @@
 // Ranks record (category, t0, t1) spans; the benches aggregate stall
 // percentages (figures 4–6) and render ASCII Gantt snapshots (figures 17,
 // 19). The recorder is deliberately dumb: a flat vector of spans, filtered on
-// demand. DES runs are single-threaded so no locking is needed; the real
-// threaded runtime reports per-endpoint atomic counters instead of spans
-// (core/rt/runtime.hpp's ProducerStats/ConsumerStats).
+// demand. The recorder itself does no locking: DES runs are single-threaded,
+// and the threaded runtime serializes its writes behind an env-local lock
+// (core/zipper/rt_binding.hpp) before they reach record().
 #pragma once
 
 #include <algorithm>

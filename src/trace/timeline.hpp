@@ -17,9 +17,10 @@
 //     of complete events) loadable in chrome://tracing and Perfetto, one
 //     process per scenario, one thread row per rank.
 //
-// Both runtimes feed this layer: the DES runtime records spans natively;
-// the threaded runtime's counters are converted into synthetic spans by
-// core/rt/trace_export.hpp.
+// Both runtimes feed this layer natively: the unified body (core/zipper)
+// records real spans on whichever executor it runs — simulated timestamps
+// under virtual time, monotonic-clock timestamps under threads (enable with
+// core/rt Config::recorder).
 #pragma once
 
 #include <array>

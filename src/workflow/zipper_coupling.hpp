@@ -105,6 +105,14 @@ class ZipperCoupling : public Coupling {
   }
 
   const core::dsim::SimZipperStats& stats() const { return zip_->stats(); }
+  /// Per-endpoint counters (unified exec::RankStats — the same struct the
+  /// threaded runtime's endpoints report).
+  core::exec::RankStats producer_stats(int p) const {
+    return zip_->producer_stats(p);
+  }
+  core::exec::RankStats consumer_stats(int c) const {
+    return zip_->consumer_stats(c);
+  }
   bool has_chaos() const noexcept { return chaos_; }
 
  private:

@@ -4,6 +4,11 @@
 //   zipper_lab run <name...> [--full] [-j N] [--no-artifacts]
 //                                        reproduce paper figures; writes
 //                                        CSV/JSON artifacts per figure
+//                  [--sim-threads N]     shard the virtual-time DES (byte-
+//                                        identical artifacts at any N)
+//                  [--rt]                threaded-executor smoke: a scaled-
+//                                        down cut of the figure's Zipper
+//                                        scenario on the real runtime
 //   zipper_lab sweep [axis flags] [-j N] run a custom experiment grid the
 //                                        paper never shipped
 //   zipper_lab analyze <name...|axis flags>
@@ -49,14 +54,18 @@
 //   --bg-intensity=0.4 (shared-PFS interference, pairs with --seeds),
 //   --model (emit model::predict comparison columns), --trace
 // Output: -j N, --csv=FILE, --json=FILE, --quiet, --label=PREFIX
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/chaos/chaos.hpp"
+#include "core/rt/runtime.hpp"
 #include "core/sched/sched.hpp"
 #include "exp/analyze.hpp"
 #include "opt/tuner.hpp"
@@ -77,7 +86,7 @@ int usage(int code) {
       "zipper_lab — declarative scenario lab for the zipper reproduction\n"
       "\n"
       "  zipper_lab list [--names]\n"
-      "  zipper_lab run <figure...> [--full] [-j N] [--sim-threads N]\n"
+      "  zipper_lab run <figure...> [--full] [-j N] [--sim-threads N] [--rt]\n"
       "                 [--no-artifacts] [--artifacts-dir=DIR] [--progress]\n"
       "  zipper_lab sweep [axis flags] [-j N] [--csv=F] [--json=F] [--quiet]\n"
       "  zipper_lab analyze <figure...|axis flags> [--full] [-j N]\n"
@@ -179,49 +188,173 @@ int cmd_list(int argc, char** argv) {
   return 0;
 }
 
+// Every `run` flag, kept next to the parser below so a typoed flag or a bad
+// value is rejected eagerly with the full menu — the same error style the
+// sweep axes use — instead of a bare "unknown flag".
+constexpr const char* kRunFlagHelp[] = {
+    "--full                      full-scale scenario set (paper-scale ranks)",
+    "--rt                        threaded-executor smoke: run a scaled-down cut",
+    "                            of the figure's first Zipper scenario on the",
+    "                            real ThreadPoolExecutor runtime (core/rt)",
+    "--sim-threads N             sharded virtual-time DES worker threads",
+    "                            (artifacts byte-identical at any value)",
+    "-j N                        scenario-level parallelism",
+    "--no-artifacts              skip the CSV/JSON artifact files",
+    "--artifacts-dir=DIR         artifact output directory",
+    "--progress                  live per-scenario progress lines",
+};
+
+int bad_run_flag(const char* why, const std::string& arg) {
+  std::fprintf(stderr, "run: %s '%s'\n\nvalid run flags:\n", why, arg.c_str());
+  for (const char* h : kRunFlagHelp) std::fprintf(stderr, "  %s\n", h);
+  return 2;
+}
+
+/// `run <figure> --rt`: a scaled-down cut of the figure's first Zipper
+/// scenario on the real threaded runtime — same unified body the DES runs
+/// execute, bound to the ThreadPoolExecutor. Real threads, real spill files;
+/// verifies exactly-once delivery and prints the unified endpoint counters.
+int run_figure_rt_smoke(const FigureDef& fig) {
+  const auto specs = fig.scenarios(false);
+  const ScenarioSpec* base = nullptr;
+  for (const auto& s : specs) {
+    if (s.kind == ScenarioKind::kWorkflow && s.method &&
+        *s.method == transports::Method::kZipper) {
+      base = &s;
+      break;
+    }
+  }
+  if (!base) {
+    std::fprintf(stderr,
+                 "run: figure '%s' has no Zipper workflow scenario to run "
+                 "with --rt\n",
+                 fig.name.c_str());
+    return 2;
+  }
+  const int P = std::clamp(base->producers, 1, 8);
+  const int Q = std::clamp(base->effective_consumers(), 1, 4);
+  const int steps = std::clamp(base->steps, 1, 4);
+  constexpr int kBlocksPerStep = 4;
+  const std::size_t block_bytes = static_cast<std::size_t>(
+      std::min<std::uint64_t>(base->zipper.block_bytes, 256 * 1024));
+
+  core::rt::Config cfg;
+  cfg.enable_steal = base->zipper.enable_steal;
+  cfg.high_water = base->zipper.high_water;
+  cfg.producer_buffer_blocks = 4;
+  cfg.network_bandwidth = 100e6;  // throttled so the dual channel engages
+  core::rt::Runtime rt(P, Q, cfg);
+
+  std::vector<std::thread> workers;
+  for (int p = 0; p < P; ++p) {
+    workers.emplace_back([&rt, p, steps, block_bytes] {
+      std::vector<std::byte> payload(block_bytes,
+                                     static_cast<std::byte>(p & 0xFF));
+      for (int s = 0; s < steps; ++s)
+        for (int b = 0; b < kBlocksPerStep; ++b)
+          rt.producer(p).write(core::BlockId{s, p, b}, payload);
+      rt.producer(p).finish();
+    });
+  }
+  std::mutex m;
+  std::uint64_t delivered = 0, bytes = 0;
+  for (int c = 0; c < Q; ++c) {
+    workers.emplace_back([&rt, &m, &delivered, &bytes, c] {
+      while (auto block = rt.consumer(c).read()) {
+        std::lock_guard<std::mutex> lock(m);
+        ++delivered;
+        bytes += block->payload.size();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  std::uint64_t sent = 0, stolen = 0, stall_ns = 0;
+  for (int p = 0; p < P; ++p) {
+    const auto s = rt.producer(p).stats();
+    sent += s.blocks_sent;
+    stolen += s.blocks_stolen;
+    stall_ns += s.stall_ns;
+  }
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(P) * steps * kBlocksPerStep;
+  std::printf(
+      "%s --rt: %d producers -> %d consumers, %llu blocks "
+      "(%llu via network, %llu stolen to disk), %.1f MiB, stall %.2f ms\n",
+      fig.name.c_str(), P, Q, static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(stolen),
+      static_cast<double>(bytes) / (1024.0 * 1024.0),
+      static_cast<double>(stall_ns) / 1e6);
+  if (delivered != expected) {
+    std::fprintf(stderr, "run: --rt delivered %llu of %llu blocks\n",
+                 static_cast<unsigned long long>(delivered),
+                 static_cast<unsigned long long>(expected));
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_run(int argc, char** argv) {
   LabOptions opts;
   opts.write_artifacts = true;
+  bool rt = false;
+  bool sim_threads_given = false;
   std::vector<std::string> names;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string v;
     if (arg == "--full") {
       opts.full = true;
+    } else if (arg == "--rt") {
+      rt = true;
     } else if (arg == "--no-artifacts") {
       opts.write_artifacts = false;
     } else if (flag_value(arg, "--artifacts-dir", &v)) {
       opts.artifacts_dir = v;
     } else if (arg == "-j" && i + 1 < argc) {
       if (!parse_jobs(argv[++i], &opts.jobs)) {
-        std::fprintf(stderr, "invalid -j value '%s'\n", argv[i]);
-        return 2;
+        return bad_run_flag("invalid -j value", argv[i]);
       }
     } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
       if (!parse_jobs(arg.c_str() + 2, &opts.jobs)) {
-        std::fprintf(stderr, "invalid -j value '%s'\n", arg.c_str() + 2);
-        return 2;
+        return bad_run_flag("invalid -j value", arg.c_str() + 2);
       }
     } else if (arg == "--sim-threads" && i + 1 < argc) {
       if (!parse_jobs(argv[++i], &opts.sim_threads)) {
-        std::fprintf(stderr, "invalid --sim-threads value '%s'\n", argv[i]);
-        return 2;
+        return bad_run_flag("invalid --sim-threads value", argv[i]);
       }
+      sim_threads_given = true;
     } else if (flag_value(arg, "--sim-threads", &v)) {
       if (!parse_jobs(v.c_str(), &opts.sim_threads)) {
-        std::fprintf(stderr, "invalid --sim-threads value '%s'\n", v.c_str());
-        return 2;
+        return bad_run_flag("invalid --sim-threads value", v);
       }
+      sim_threads_given = true;
     } else if (arg == "--progress") {
       opts.progress = true;
     } else if (arg == "all") {
       for (const auto& fig : registry()) names.push_back(fig.name);
     } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
-      return usage(2);
+      return bad_run_flag("unknown flag", arg);
     } else {
       names.push_back(arg);
     }
+  }
+  // Runtime selection is validated eagerly, before anything runs: --rt picks
+  // the threaded executor, --sim-threads shards the virtual-time executor —
+  // one run cannot use both clocks.
+  if (rt && sim_threads_given) {
+    std::fprintf(stderr,
+                 "run: --rt (threaded executor, real time) contradicts "
+                 "--sim-threads (sharded virtual-time DES); pick one "
+                 "runtime\n");
+    return 2;
+  }
+  if (rt && opts.full) {
+    std::fprintf(stderr,
+                 "run: --rt is a scaled-down threaded smoke; --full scales "
+                 "are virtual-time only (drop one of the flags)\n");
+    return 2;
   }
   if (names.empty()) {
     std::fprintf(stderr, "run: no figure named; try `zipper_lab list`\n");
@@ -236,7 +369,7 @@ int cmd_run(int argc, char** argv) {
                    name.c_str());
       return 2;
     }
-    const int rc = run_figure(*fig, opts);
+    const int rc = rt ? run_figure_rt_smoke(*fig) : run_figure(*fig, opts);
     if (rc != 0) return rc;
   }
   return 0;
