@@ -13,6 +13,7 @@
 #include "apps/md/lj_md.hpp"
 #include "apps/synthetic.hpp"
 #include "common/rng.hpp"
+#include "core/exec/epoll.hpp"
 #include "core/exec/threaded.hpp"
 #include "core/exec/virtual_time.hpp"
 #include "core/rt/producer_buffer.hpp"
@@ -235,6 +236,47 @@ static void BM_ExecChannelPingPongThreaded(benchmark::State& state) {
 BENCHMARK(BM_ExecChannelPingPongThreaded)
     ->Name("BM_ExecChannelPingPong/threaded")
     ->UseRealTime();
+
+// The same shape once more on the EpollExecutor (core/exec/epoll), the
+// real-I/O loop behind zipperd. EpChannel transfers are pure scheduler
+// handoffs -- no fd is touched -- so this prices the epoll loop's ready-ring
+// and channel bookkeeping per park/wake against the DES kernel's, which is
+// the per-block overhead every daemon session pays between the socket and
+// the consumer coroutine. Guarded by tools/check_bench_regression.py via
+// its BENCH_sim.json entry.
+static void BM_EpollChannelPingPong(benchmark::State& state) {
+  constexpr int kPairs = 64;
+  constexpr int kRounds = 100;
+  using core::exec::EpChannel;
+  using core::exec::EpollExecutor;
+  struct Duo {
+    EpChannel<int> ping, pong;
+    explicit Duo(EpollExecutor& e) : ping(e), pong(e) {}
+  };
+  for (auto _ : state) {
+    EpollExecutor ex;
+    std::vector<std::unique_ptr<Duo>> duos;
+    for (int i = 0; i < kPairs; ++i) duos.push_back(std::make_unique<Duo>(ex));
+    for (int i = 0; i < kPairs; ++i) {
+      Duo& d = *duos[static_cast<std::size_t>(i)];
+      ex.spawn([](Duo& du) -> sim::Task {  // client
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.send(k);
+          co_await du.pong.recv();
+        }
+      }(d));
+      ex.spawn([](Duo& du) -> sim::Task {  // server
+        for (int k = 0; k < kRounds; ++k) {
+          co_await du.ping.recv();
+          co_await du.pong.send(k);
+        }
+      }(d));
+    }
+    ex.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kPairs * kRounds);
+}
+BENCHMARK(BM_EpollChannelPingPong);
 
 // Bounded-channel backpressure: senders park on a full buffer and are promoted
 // one slot at a time — stresses the sender waiter list and buffer slots.

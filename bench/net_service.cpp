@@ -1,0 +1,189 @@
+// Service-throughput harness for the real-socket coupling path
+// (docs/service.md): an in-process zipperd in a forked child, and
+// run_client_load in the parent, at 1k and 10k concurrent localhost
+// sessions. Prints the table behind BENCH_net.json — sessions/s and p50/p99
+// block latency (client serialization to daemon analyze, CLOCK_MONOTONIC
+// across both processes).
+//
+// The fork is for fd headroom, not realism theater: at the 10k tier each
+// side holds ~10k sockets, and the container's RLIMIT_NOFILE (20000) only
+// clears if client and daemon count against separate limits — which is also
+// exactly the deployment shape (zipperd is its own process).
+//
+//   net_service [--tier N]...    session tiers (default: 1000, 10000)
+//               [--producers N] [--consumers N] [--steps N]
+//               [--block-bytes N] [--step-bytes N] [--json]
+//
+// Standalone printer like the fig harnesses: links the library only, no
+// google-benchmark. Exit 0 only if every tier verified exactly-once.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/zipper/net_service.hpp"
+
+namespace {
+
+namespace znet = zipper::core::zbody::net;
+
+znet::ZipperdServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server) g_server->request_stop();
+}
+
+// Child: bind (port 0), report the kernel-assigned port through the pipe,
+// serve until SIGTERM. Exit status is the drain result the parent asserts.
+[[noreturn]] void daemon_child(int port_pipe_wr) {
+  znet::ServerOptions opts;  // quiet: no log sink
+  try {
+    znet::ZipperdServer server(std::move(opts));
+    g_server = &server;
+    struct sigaction sa{};
+    sa.sa_handler = on_signal;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+    const std::uint16_t port = server.port();
+    if (::write(port_pipe_wr, &port, sizeof(port)) != sizeof(port)) _exit(3);
+    ::close(port_pipe_wr);
+    server.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "net_service daemon: fatal: %s\n", e.what());
+    _exit(2);
+  }
+  _exit(0);
+}
+
+struct TierResult {
+  std::uint64_t sessions = 0;
+  znet::ClientResult res;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::uint64_t> tiers;
+  znet::SessionSpec spec;
+  // Small per-session geometry: the tiers measure session fan-out and the
+  // per-block service path, not bulk bandwidth (fig02 prices that).
+  spec.producers = 2;
+  spec.consumers = 1;
+  spec.steps = 1;
+  spec.block_bytes = 8 * 1024;
+  spec.step_bytes = 16 * 1024;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (a == "--tier" && has_next) {
+      tiers.push_back(static_cast<std::uint64_t>(std::atoll(argv[++i])));
+    } else if (a == "--producers" && has_next) {
+      spec.producers = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--consumers" && has_next) {
+      spec.consumers = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--steps" && has_next) {
+      spec.steps = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--block-bytes" && has_next) {
+      spec.block_bytes = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--step-bytes" && has_next) {
+      spec.step_bytes = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--tier N]... [--producers N] [--consumers N]\n"
+                   "  [--steps N] [--block-bytes N] [--step-bytes N] [--json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (tiers.empty()) tiers = {1000, 10000};
+
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  const pid_t child = ::fork();
+  if (child < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (child == 0) {
+    ::close(pipefd[0]);
+    daemon_child(pipefd[1]);
+  }
+  ::close(pipefd[1]);
+  std::uint16_t port = 0;
+  if (::read(pipefd[0], &port, sizeof(port)) != sizeof(port) || port == 0) {
+    std::fprintf(stderr, "net_service: daemon never reported a port\n");
+    return 1;
+  }
+  ::close(pipefd[0]);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  bool ok = true;
+  std::vector<TierResult> results;
+  for (const std::uint64_t tier : tiers) {
+    znet::ClientOptions co;
+    co.port = port;
+    co.sessions = tier;
+    co.concurrency = tier;  // every session in flight at once
+    co.spec = spec;
+    TierResult tr;
+    tr.sessions = tier;
+    tr.res = znet::run_client_load(co);
+    if (!tr.res.all_ok() || !tr.res.exactly_once()) {
+      ok = false;
+      std::fprintf(stderr, "net_service: tier %llu FAILED: %s\n",
+                   static_cast<unsigned long long>(tier),
+                   tr.res.errors.empty() ? "block count mismatch"
+                                         : tr.res.errors.front().c_str());
+    }
+    results.push_back(std::move(tr));
+  }
+
+  ::kill(child, SIGTERM);
+  int status = 0;
+  ::waitpid(child, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "net_service: daemon exit status %d\n", status);
+    ok = false;
+  }
+
+  if (json) {
+    std::printf("[");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const TierResult& t = results[i];
+      std::printf(
+          "%s\n  {\"concurrent_sessions\": %llu, \"sessions_per_s\": %.1f, "
+          "\"blocks\": %llu, \"latency_p50_ms\": %.3f, "
+          "\"latency_p99_ms\": %.3f, \"duration_s\": %.3f}",
+          i ? "," : "", static_cast<unsigned long long>(t.sessions),
+          t.res.sessions_per_s(),
+          static_cast<unsigned long long>(t.res.blocks_analyzed),
+          static_cast<double>(t.res.latency_p50_ns()) / 1e6,
+          static_cast<double>(t.res.latency_p99_ns()) / 1e6, t.res.duration_s);
+    }
+    std::printf("\n]\n");
+  } else {
+    std::printf("%12s %12s %10s %12s %12s %10s\n", "sessions", "sessions/s",
+                "blocks", "p50 ms", "p99 ms", "wall s");
+    for (const TierResult& t : results) {
+      std::printf("%12llu %12.1f %10llu %12.3f %12.3f %10.3f\n",
+                  static_cast<unsigned long long>(t.sessions),
+                  t.res.sessions_per_s(),
+                  static_cast<unsigned long long>(t.res.blocks_analyzed),
+                  static_cast<double>(t.res.latency_p50_ns()) / 1e6,
+                  static_cast<double>(t.res.latency_p99_ns()) / 1e6,
+                  t.res.duration_s);
+    }
+  }
+  return ok ? 0 : 1;
+}

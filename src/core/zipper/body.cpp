@@ -1,9 +1,10 @@
-// The single translation unit both executors consult: explicit
-// instantiations of the unified zipper body over the virtual-time and
-// threaded bindings. core/dsim and core/rt link against these — neither
-// carries application logic of its own.
+// The single translation unit every executor consults: explicit
+// instantiations of the unified zipper body over the virtual-time, threaded,
+// and network bindings. core/dsim, core/rt, and the zipperd service layer
+// link against these — none carries application logic of its own.
 #include "core/zipper/body_impl.hpp"
 
+#include "core/zipper/net_binding.hpp"
 #include "core/zipper/rt_binding.hpp"
 #include "core/zipper/vt_binding.hpp"
 
@@ -11,5 +12,6 @@ namespace zipper::core::zbody {
 
 template class ZipperBody<VtBinding>;
 template class ZipperBody<RtBinding>;
+template class ZipperBody<NetBinding>;
 
 }  // namespace zipper::core::zbody

@@ -1,0 +1,296 @@
+#include "core/zipper/net_frame.hpp"
+
+#include <cstring>
+
+#include "common/checksum.hpp"
+
+namespace zipper::core::zbody::net {
+
+namespace {
+
+// ------------------------------------------------------------- encoding ----
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_i32(std::vector<std::byte>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::vector<std::byte>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  out.insert(out.end(), p, p + s.size());
+}
+
+void put_header(std::vector<std::byte>& out, const BlockHeader& h) {
+  put_i32(out, h.id.step);
+  put_i32(out, h.id.producer);
+  put_i32(out, h.id.index);
+  put_u64(out, h.offset);
+  put_u64(out, h.bytes);
+  put_u8(out, h.on_disk ? 1 : 0);
+}
+
+// ------------------------------------------------------------- decoding ----
+
+/// Bounds-checked read cursor; any overrun is a malformed (truncated) frame.
+struct Cursor {
+  const std::byte* p;
+  std::size_t n;
+  std::size_t pos = 0;
+
+  void need(std::size_t k) const {
+    if (pos + k > n) throw FrameError("truncated frame body");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(p[pos++]);
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (len > kMaxFrameBytes) throw FrameError("oversized string field");
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p + pos), len);
+    pos += len;
+    return s;
+  }
+  BlockHeader header() {
+    BlockHeader h;
+    h.id.step = i32();
+    h.id.producer = i32();
+    h.id.index = i32();
+    h.offset = u64();
+    h.bytes = u64();
+    h.on_disk = u8() != 0;
+    return h;
+  }
+  void done() const {
+    if (pos != n) throw FrameError("trailing bytes in frame body");
+  }
+};
+
+std::vector<std::byte> finish(FrameType type, std::vector<std::byte> body) {
+  std::vector<std::byte> out;
+  out.reserve(5 + body.size());
+  put_u32(out, static_cast<std::uint32_t>(body.size() + 1));
+  put_u8(out, static_cast<std::uint8_t>(type));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_hello(const SessionSpec& spec) {
+  std::vector<std::byte> b;
+  put_u32(b, kHelloMagic);
+  put_u64(b, spec.session_id);
+  put_u32(b, spec.producers);
+  put_u32(b, spec.consumers);
+  put_u32(b, spec.steps);
+  put_u64(b, spec.block_bytes);
+  put_u64(b, spec.step_bytes);
+  put_u8(b, spec.route_kind);
+  put_u8(b, spec.consumer_steal ? 1 : 0);
+  put_u8(b, spec.enable_steal ? 1 : 0);
+  put_u8(b, spec.preserve ? 1 : 0);
+  put_u32(b, spec.producer_buffer_blocks);
+  put_u32(b, spec.consumer_buffer_blocks);
+  put_f64(b, spec.high_water);
+  put_u64(b, spec.chaos_seed);
+  put_string(b, spec.fault);
+  put_f64(b, spec.horizon_s);
+  put_string(b, spec.spill_dir);
+  return finish(FrameType::kHello, std::move(b));
+}
+
+SessionSpec decode_hello(const std::vector<std::byte>& body) {
+  Cursor c{body.data(), body.size()};
+  if (c.u32() != kHelloMagic) throw FrameError("bad hello magic");
+  SessionSpec s;
+  s.session_id = c.u64();
+  s.producers = c.u32();
+  s.consumers = c.u32();
+  s.steps = c.u32();
+  s.block_bytes = c.u64();
+  s.step_bytes = c.u64();
+  s.route_kind = c.u8();
+  s.consumer_steal = c.u8() != 0;
+  s.enable_steal = c.u8() != 0;
+  s.preserve = c.u8() != 0;
+  s.producer_buffer_blocks = c.u32();
+  s.consumer_buffer_blocks = c.u32();
+  s.high_water = c.f64();
+  s.chaos_seed = c.u64();
+  s.fault = c.str();
+  s.horizon_s = c.f64();
+  s.spill_dir = c.str();
+  c.done();
+  if (s.producers == 0 || s.consumers == 0 || s.steps == 0 ||
+      s.block_bytes == 0 || s.step_bytes == 0) {
+    throw FrameError("hello with zero-sized session geometry");
+  }
+  return s;
+}
+
+std::vector<std::byte> encode_mixed(const WireMixed& m) {
+  std::vector<std::byte> b;
+  b.reserve(64 + m.payload.size() + 33 * m.ids_on_disk.size());
+  put_u8(b, m.has_block ? 1 : 0);
+  put_u8(b, m.done ? 1 : 0);
+  put_i32(b, m.producer);
+  put_i32(b, m.consumer);
+  put_u64(b, m.sent_raw_ns);
+  put_u32(b, static_cast<std::uint32_t>(m.ids_on_disk.size()));
+  for (const BlockHeader& h : m.ids_on_disk) put_header(b, h);
+  if (m.has_block) {
+    put_header(b, m.block);
+    put_u64(b, common::fnv1a(m.payload));
+    put_u32(b, static_cast<std::uint32_t>(m.payload.size()));
+    b.insert(b.end(), m.payload.begin(), m.payload.end());
+  }
+  return finish(FrameType::kMixed, std::move(b));
+}
+
+WireMixed decode_mixed(const std::vector<std::byte>& body) {
+  Cursor c{body.data(), body.size()};
+  WireMixed m;
+  m.has_block = c.u8() != 0;
+  m.done = c.u8() != 0;
+  m.producer = c.i32();
+  m.consumer = c.i32();
+  m.sent_raw_ns = c.u64();
+  const std::uint32_t nids = c.u32();
+  if (nids > kMaxFrameBytes / 33) throw FrameError("oversized spill-id list");
+  m.ids_on_disk.reserve(nids);
+  for (std::uint32_t i = 0; i < nids; ++i) m.ids_on_disk.push_back(c.header());
+  if (m.has_block) {
+    m.block = c.header();
+    const std::uint64_t sum = c.u64();
+    const std::uint32_t len = c.u32();
+    if (len > kMaxFrameBytes) throw FrameError("oversized block payload");
+    c.need(len);
+    m.payload.assign(c.p + c.pos, c.p + c.pos + len);
+    c.pos += len;
+    if (common::fnv1a(m.payload) != sum) {
+      throw FrameError("block payload checksum mismatch");
+    }
+  }
+  c.done();
+  return m;
+}
+
+std::vector<std::byte> encode_summary(const SessionSummary& s) {
+  std::vector<std::byte> b;
+  put_u64(b, s.session_id);
+  put_u8(b, s.ok ? 1 : 0);
+  put_u64(b, s.blocks_analyzed);
+  put_u64(b, s.blocks_from_network);
+  put_u64(b, s.blocks_from_disk);
+  put_u64(b, s.blocks_preserved);
+  put_u32(b, static_cast<std::uint32_t>(s.latency_ns.size()));
+  for (std::uint64_t v : s.latency_ns) put_u64(b, v);
+  put_string(b, s.error);
+  return finish(FrameType::kSummary, std::move(b));
+}
+
+SessionSummary decode_summary(const std::vector<std::byte>& body) {
+  Cursor c{body.data(), body.size()};
+  SessionSummary s;
+  s.session_id = c.u64();
+  s.ok = c.u8() != 0;
+  s.blocks_analyzed = c.u64();
+  s.blocks_from_network = c.u64();
+  s.blocks_from_disk = c.u64();
+  s.blocks_preserved = c.u64();
+  const std::uint32_t n = c.u32();
+  if (n > kMaxFrameBytes / 8) throw FrameError("oversized latency list");
+  s.latency_ns.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) s.latency_ns.push_back(c.u64());
+  s.error = c.str();
+  c.done();
+  return s;
+}
+
+void FrameDecoder::feed(const std::byte* data, std::size_t n) {
+  // Compact the consumed prefix once it dominates the buffer, so a long
+  // session doesn't grow the buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < 5) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (len == 0) throw FrameError("zero-length frame");
+  if (len > kMaxFrameBytes) {
+    throw FrameError("oversized frame length " + std::to_string(len));
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  const std::uint8_t type = static_cast<std::uint8_t>(buf_[pos_ + 4]);
+  if (type < 1 || type > 3) {
+    throw FrameError("unknown frame type " + std::to_string(type));
+  }
+  Frame f;
+  f.type = static_cast<FrameType>(type);
+  f.body.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 5),
+                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return f;
+}
+
+}  // namespace zipper::core::zbody::net

@@ -9,6 +9,9 @@
 //                  [--rt]                threaded-executor smoke: a scaled-
 //                                        down cut of the figure's Zipper
 //                                        scenario on the real runtime
+//                  [--net]               real-socket smoke: the same cut as
+//                                        an in-process zipperd + client
+//                                        coupling over localhost TCP
 //   zipper_lab sweep [axis flags] [-j N] run a custom experiment grid the
 //                                        paper never shipped
 //   zipper_lab analyze <name...|axis flags>
@@ -67,6 +70,7 @@
 #include "core/chaos/chaos.hpp"
 #include "core/rt/runtime.hpp"
 #include "core/sched/sched.hpp"
+#include "core/zipper/net_service.hpp"
 #include "exp/analyze.hpp"
 #include "opt/tuner.hpp"
 #include "exp/artifacts.hpp"
@@ -86,7 +90,8 @@ int usage(int code) {
       "zipper_lab — declarative scenario lab for the zipper reproduction\n"
       "\n"
       "  zipper_lab list [--names]\n"
-      "  zipper_lab run <figure...> [--full] [-j N] [--sim-threads N] [--rt]\n"
+      "  zipper_lab run <figure...> [--full] [-j N] [--sim-threads N]\n"
+      "                 [--rt] [--net]\n"
       "                 [--no-artifacts] [--artifacts-dir=DIR] [--progress]\n"
       "  zipper_lab sweep [axis flags] [-j N] [--csv=F] [--json=F] [--quiet]\n"
       "  zipper_lab analyze <figure...|axis flags> [--full] [-j N]\n"
@@ -196,6 +201,9 @@ constexpr const char* kRunFlagHelp[] = {
     "--rt                        threaded-executor smoke: run a scaled-down cut",
     "                            of the figure's first Zipper scenario on the",
     "                            real ThreadPoolExecutor runtime (core/rt)",
+    "--net                       real-socket smoke: the same scaled-down cut",
+    "                            as an in-process zipperd + client coupling",
+    "                            over localhost TCP (EpollExecutor runtime)",
     "--sim-threads N             sharded virtual-time DES worker threads",
     "                            (artifacts byte-identical at any value)",
     "-j N                        scenario-level parallelism",
@@ -295,10 +303,79 @@ int run_figure_rt_smoke(const FigureDef& fig) {
   return 0;
 }
 
+/// `run <figure> --net`: the same scaled-down cut as --rt, but as a real
+/// TCP coupling — an in-process zipperd on a background thread, the client
+/// load driver on this one, blocks crossing a localhost socket as frames.
+/// Verifies exactly-once delivery end to end (the --net acceptance check).
+int run_figure_net_smoke(const FigureDef& fig) {
+  const auto specs = fig.scenarios(false);
+  const ScenarioSpec* base = nullptr;
+  for (const auto& s : specs) {
+    if (s.kind == ScenarioKind::kWorkflow && s.method &&
+        *s.method == transports::Method::kZipper) {
+      base = &s;
+      break;
+    }
+  }
+  if (!base) {
+    std::fprintf(stderr,
+                 "run: figure '%s' has no Zipper workflow scenario to run "
+                 "with --net\n",
+                 fig.name.c_str());
+    return 2;
+  }
+  namespace net = core::zbody::net;
+  constexpr int kBlocksPerStep = 4;
+  net::ClientOptions copts;
+  copts.sessions = 2;
+  copts.concurrency = 2;
+  copts.spec.producers =
+      static_cast<std::uint32_t>(std::clamp(base->producers, 1, 8));
+  copts.spec.consumers =
+      static_cast<std::uint32_t>(std::clamp(base->effective_consumers(), 1, 4));
+  copts.spec.steps = static_cast<std::uint32_t>(std::clamp(base->steps, 1, 4));
+  copts.spec.block_bytes =
+      std::min<std::uint64_t>(base->zipper.block_bytes, 256 * 1024);
+  copts.spec.step_bytes = copts.spec.block_bytes * kBlocksPerStep;
+  copts.spec.enable_steal = base->zipper.enable_steal;
+  copts.spec.high_water = base->zipper.high_water;
+
+  net::ServerOptions sopts;  // port 0: kernel-assigned, flake-proof
+  net::ZipperdServer server(std::move(sopts));
+  copts.port = server.port();
+  std::thread daemon([&server] { server.run(); });
+  const net::ClientResult res = net::run_client_load(copts);
+  server.request_stop();
+  daemon.join();
+
+  std::printf(
+      "%s --net: %u producers -> %u consumers over 127.0.0.1:%u, "
+      "%llu sessions, %llu blocks (%llu net, %llu disk), "
+      "p50 %.3f ms, p99 %.3f ms\n",
+      fig.name.c_str(), copts.spec.producers, copts.spec.consumers,
+      static_cast<unsigned>(copts.port),
+      static_cast<unsigned long long>(res.sessions_ok),
+      static_cast<unsigned long long>(res.blocks_analyzed),
+      static_cast<unsigned long long>(res.blocks_from_network),
+      static_cast<unsigned long long>(res.blocks_from_disk),
+      static_cast<double>(res.latency_p50_ns()) / 1e6,
+      static_cast<double>(res.latency_p99_ns()) / 1e6);
+  if (!res.all_ok() || !res.exactly_once()) {
+    std::fprintf(stderr, "run: --net delivered %llu of %llu blocks (%s)\n",
+                 static_cast<unsigned long long>(res.blocks_analyzed),
+                 static_cast<unsigned long long>(res.blocks_expected),
+                 res.errors.empty() ? "no error detail"
+                                    : res.errors.front().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_run(int argc, char** argv) {
   LabOptions opts;
   opts.write_artifacts = true;
   bool rt = false;
+  bool net_smoke = false;
   bool sim_threads_given = false;
   std::vector<std::string> names;
   for (int i = 2; i < argc; ++i) {
@@ -308,6 +385,8 @@ int cmd_run(int argc, char** argv) {
       opts.full = true;
     } else if (arg == "--rt") {
       rt = true;
+    } else if (arg == "--net") {
+      net_smoke = true;
     } else if (arg == "--no-artifacts") {
       opts.write_artifacts = false;
     } else if (flag_value(arg, "--artifacts-dir", &v)) {
@@ -350,10 +429,29 @@ int cmd_run(int argc, char** argv) {
                  "runtime\n");
     return 2;
   }
+  if (net_smoke && rt) {
+    std::fprintf(stderr,
+                 "run: --net (epoll executor, real sockets) contradicts "
+                 "--rt (threaded executor); pick one runtime\n");
+    return 2;
+  }
+  if (net_smoke && sim_threads_given) {
+    std::fprintf(stderr,
+                 "run: --net (epoll executor, real sockets) contradicts "
+                 "--sim-threads (sharded virtual-time DES); pick one "
+                 "runtime\n");
+    return 2;
+  }
   if (rt && opts.full) {
     std::fprintf(stderr,
                  "run: --rt is a scaled-down threaded smoke; --full scales "
                  "are virtual-time only (drop one of the flags)\n");
+    return 2;
+  }
+  if (net_smoke && opts.full) {
+    std::fprintf(stderr,
+                 "run: --net is a scaled-down real-socket smoke; --full "
+                 "scales are virtual-time only (drop one of the flags)\n");
     return 2;
   }
   if (names.empty()) {
@@ -369,7 +467,9 @@ int cmd_run(int argc, char** argv) {
                    name.c_str());
       return 2;
     }
-    const int rc = rt ? run_figure_rt_smoke(*fig) : run_figure(*fig, opts);
+    const int rc = net_smoke ? run_figure_net_smoke(*fig)
+                   : rt      ? run_figure_rt_smoke(*fig)
+                             : run_figure(*fig, opts);
     if (rc != 0) return rc;
   }
   return 0;
